@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (table, figure, or theorem)
+at paper-representative scale, prints the measured table next to the
+paper's claim, and asserts the qualitative shape.  Timing numbers come
+from pytest-benchmark; run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an experiment's table under a visible separator."""
+    print()
+    print("=" * 72)
+    print(result.table())
+    print("=" * 72)
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benches the table printer."""
+    return emit

@@ -1,0 +1,31 @@
+"""AB1/AB2: design-choice ablations (discretization, stick-to-median)."""
+
+from repro.experiments.ablations import (
+    run_discretization_ablation,
+    run_median_ablation,
+)
+
+
+def test_ablation_discretization(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_discretization_ablation(diameter=16, num_pulses=4),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Both variants stay bounded in the fault-free noisy regime; the
+    # discretization's value is analytical (it makes the proof go
+    # through), so we only require comparable magnitudes.
+    assert result.skew_with > 0
+    assert result.skew_without < 10 * result.skew_with
+
+
+def test_ablation_median(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_median_ablation(diameter=16, num_pulses=4),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Dropping the median rule forfeits fault containment.
+    assert result.degradation > 3.0

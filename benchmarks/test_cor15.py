@@ -1,0 +1,15 @@
+"""C15: Corollary 1.5 -- sustained delay/clock/fault variation."""
+
+from repro.experiments.cor15_variation import run_cor15
+
+
+def test_cor15(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_cor15(diameter=16, num_pulses=6), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.within_envelope
+    # All three variation channels were active.
+    assert result.delay_step > 0
+    assert result.rate_step > 0
+    assert result.behavior_changes >= 1

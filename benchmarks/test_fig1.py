@@ -1,0 +1,18 @@
+"""F1: regenerate Figure 1 (TRIX skew pile-up; HEX crash cost)."""
+
+from repro.experiments.fig1_trix_hex import run_fig1
+
+
+def test_fig1(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig1(diameter=32, num_pulses=2), rounds=1, iterations=1
+    )
+    report(result)
+    # Left panel: Theta(u) per layer pile-up for naive TRIX, absorbed by
+    # Gradient TRIX on identical delays.
+    assert result.trix_final_skew >= 0.15 * result.params.u * 32
+    assert result.trix_final_skew > 3 * result.trix_skew_by_layer[1]
+    assert result.gradient_skew_by_layer[-1] < 0.3 * result.trix_final_skew
+    # Right panel: a single crash costs HEX an additive ~d >> u.
+    assert result.hex_crash_penalty >= 0.5 * result.params.d
+    assert result.hex_skew_before_crash < 5 * result.params.u

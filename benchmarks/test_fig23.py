@@ -1,0 +1,17 @@
+"""F2/F3: regenerate Figures 2-3 (base graph / layer structure)."""
+
+from repro.experiments.fig23_structure import run_structure
+
+
+def test_fig23(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_structure(length=32, num_layers=16), rounds=1, iterations=1
+    )
+    report(result)
+    # Figure 2: the replicated line has minimum degree 2 and D = length-1.
+    assert result.min_base_degree == 2
+    assert result.diameter == 31
+    # Figure 3: "most nodes have in- and out-degree 3, some 4".
+    assert set(result.in_degrees) == {3, 4}
+    assert set(result.out_degrees) == {3, 4}
+    assert result.fraction_in_degree_3 > 0.8

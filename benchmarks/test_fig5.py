@@ -1,0 +1,15 @@
+"""F5: regenerate Figure 5 (oscillation without the jump condition)."""
+
+from repro.experiments.fig5_jump import run_fig5
+
+
+def test_fig5(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig5(diameter=24), rounds=1, iterations=1
+    )
+    report(result)
+    # Without JC the oscillation amplifies layer over layer; with JC it is
+    # dampened within a few layers -- exactly Figure 5's two panels.
+    assert result.final_without_jc > 2 * result.amplitude_without_jc[0]
+    assert result.final_with_jc < result.amplitude_with_jc[0] / 4
+    assert result.final_without_jc > 10 * result.final_with_jc

@@ -1,0 +1,16 @@
+"""LA1: Lemma A.1 -- the layer-0 chain keeps local skew <= kappa/2."""
+
+from repro.experiments.lemA1_layer0 import run_lemA1
+
+
+def test_lemA1(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_lemA1(chain_lengths=(8, 16, 32, 64), num_pulses=5),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.all_within_bound
+    # The bound does not degrade with chain length (per-hop, not total).
+    skews = [r.max_adjacent_skew for r in result.rows]
+    assert max(skews) <= result.rows[0].kappa_half

@@ -1,0 +1,19 @@
+"""P1: Lemma 4.22 / Theorem 4.26 -- potential decay and recovery."""
+
+from repro.experiments.potential_decay import run_potential_decay
+
+
+def test_potential_decay(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_potential_decay(diameter=16, amplitude_kappas=6.0),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Injected skew is burned off level by level (Lemma 4.25's halving).
+    assert result.decayed(1)
+    assert result.decayed(2)
+    # Higher levels sit below lower ones everywhere.
+    for layer in range(0, len(result.series[0]), 8):
+        assert result.series[2][layer] <= result.series[1][layer] + 1e-9
+        assert result.series[1][layer] <= result.series[0][layer] + 1e-9

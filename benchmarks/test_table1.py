@@ -1,0 +1,24 @@
+"""T1: regenerate Table 1 (method comparison and growth exponents)."""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_table1(diameters=(8, 16, 32), seeds=(0, 1), num_pulses=3),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Paper's Table 1 shapes: naive TRIX local skew ~ u*D (exponent ~1),
+    # Gradient TRIX sub-linear and within the Theorem 1.1 bound, HEX with
+    # a crash pays an additive d.
+    assert result.fits["naive-trix"].slope > 0.8
+    assert result.fits["gradient-trix"].slope < 0.8
+    by = {}
+    for row in result.rows:
+        by.setdefault(row.method, {})[row.diameter] = row
+    for d, row in by["gradient-trix"].items():
+        assert row.local_skew <= row.theory_bound
+        assert row.worst_case_skew < by["naive-trix"][d].worst_case_skew
+    assert by["hex+crash"][32].local_skew > 0.5 * 1.0  # ~d

@@ -1,0 +1,20 @@
+"""TH1: Theorem 1.1 -- fault-free local skew <= 4k(2 + log2 D)."""
+
+from repro.experiments.thm11_local_skew import run_thm11
+
+
+def test_thm11(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_thm11(
+            diameters=(4, 8, 16, 32, 64), seeds=(0, 1, 2), num_pulses=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.all_within_bound
+    # Log-like growth: the power-law exponent is far below linear.
+    assert result.power_fit.slope < 0.6
+    # And the bound is not vacuous: measured skew grows with D at all.
+    first, last = result.rows[0], result.rows[-1]
+    assert last.local_skew > first.local_skew

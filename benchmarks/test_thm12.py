@@ -1,0 +1,18 @@
+"""TH2: Theorem 1.2 -- stacked worst-case faults, O(5^f k log D) bound."""
+
+from repro.experiments.thm12_worstcase_faults import run_thm12
+
+
+def test_thm12(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_thm12(
+            diameter=16, fault_counts=(0, 1, 2, 3), num_pulses=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.all_within_bound
+    assert result.monotone
+    # Faults hurt: one stacked fault visibly inflates the skew.
+    assert result.rows[1].local_skew > 1.5 * result.rows[0].local_skew

@@ -1,0 +1,17 @@
+"""TH3: Theorem 1.3 -- random sparse faults keep L_l in O(k log D) whp."""
+
+from repro.experiments.thm13_random_faults import run_thm13
+
+
+def test_thm13(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_thm13(diameter=16, num_trials=15, num_pulses=3),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Every sampled plan stayed within the O(k log D) envelope, despite
+    # mixing crash / early / late / Byzantine behaviours.
+    assert result.fraction_within_envelope == 1.0
+    # The trials actually injected faults.
+    assert max(t.num_faults for t in result.trials) >= 1

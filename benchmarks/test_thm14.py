@@ -1,0 +1,14 @@
+"""TH4: Theorem 1.4 -- static faults keep the overall L in O(k log D)."""
+
+from repro.experiments.thm14_static_faults import run_thm14
+
+
+def test_thm14(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_thm14(diameter=16, num_pulses=5), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.within_envelope
+    # Static behaviour => exactly periodic schedule (the proof's engine).
+    assert result.max_period_error < 1e-9
+    assert result.num_faults >= 3

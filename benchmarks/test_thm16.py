@@ -1,0 +1,15 @@
+"""TH6: Theorem 1.6 -- self-stabilization within O(sqrt n) pulses."""
+
+from repro.experiments.thm16_selfstab import run_thm16
+
+
+def test_thm16(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_thm16(diameter=8), rounds=1, iterations=1
+    )
+    report(result)
+    assert result.report.stabilized
+    assert result.stabilized_within_budget
+    # The transient fault was not a no-op.
+    assert result.corrupted_nodes > 0
+    assert result.report.violations > 0

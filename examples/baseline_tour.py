@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Baseline tour: why the paper's Table 1 looks the way it does.
+
+Runs all four clock distribution strategies on comparable workloads --
+
+* an ideal clock tree (no fault tolerance at all),
+* naive TRIX [LW20] (minimal degree, but Theta(u * D) skew pile-up),
+* HEX [DFL+16] (fault-tolerant, but an additive d per crash),
+* Gradient TRIX (this paper: minimal degree, O(kappa log D) skew,
+  crash contained to ~kappa scale)
+
+-- and prints one side-by-side table.
+
+Run:  python examples/baseline_tour.py
+"""
+
+from repro import (
+    AdversarialSplitDelays,
+    FastSimulation,
+    LayeredGraph,
+    Parameters,
+    StaticDelayModel,
+    replicated_line,
+)
+from repro.analysis import format_table
+from repro.baselines import ClockTree, HexSimulation, NaiveTrixSimulation
+from repro.faults import CrashFault, FaultPlan
+
+
+def main() -> None:
+    params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+    diameter = 32
+    base = replicated_line(diameter + 1)
+    graph = LayeredGraph(base, num_layers=diameter + 1)
+    random_delays = StaticDelayModel(params.d, params.u, seed=3)
+    worst_delays = AdversarialSplitDelays(
+        params.d, params.u, lambda e: e[1][0] >= e[0][0]
+    )
+    crash = FaultPlan.from_nodes({(diameter // 2, diameter // 2): CrashFault()})
+
+    rows = []
+
+    tree = ClockTree(depth=6, d=params.d, u=params.u, seed=3)
+    broken = ClockTree(depth=6, d=params.d, u=params.u, seed=3,
+                       broken_edges={2})
+    rows.append((
+        "clock tree", tree.local_skew(), "n/a",
+        f"dead: {64 - broken.reachable_leaves()}/64 leaves lose the clock",
+    ))
+
+    trix_rand = NaiveTrixSimulation(graph, params, delay_model=random_delays)
+    trix_worst = NaiveTrixSimulation(graph, params, delay_model=worst_delays)
+    trix_crash = NaiveTrixSimulation(
+        graph, params, delay_model=random_delays, fault_plan=crash
+    )
+    rows.append((
+        "naive TRIX", trix_rand.run(3).max_local_skew(),
+        trix_worst.run(3).max_local_skew(),
+        f"crash skew {trix_crash.run(3).max_local_skew():.4f}",
+    ))
+
+    hex_clean = HexSimulation(
+        graph.width, graph.num_layers, params, delay_model=random_delays
+    )
+    hex_crash = HexSimulation(
+        graph.width, graph.num_layers, params, delay_model=random_delays,
+        crashed={(graph.width // 2, graph.num_layers // 2)},
+    )
+    rows.append((
+        "HEX", hex_clean.run(3).max_local_skew(), "n/a",
+        f"crash skew {hex_crash.run(3).max_local_skew():.4f} (~d!)",
+    ))
+
+    gt_rand = FastSimulation(graph, params, delay_model=random_delays)
+    gt_worst = FastSimulation(graph, params, delay_model=worst_delays)
+    gt_crash = FastSimulation(
+        graph, params, delay_model=random_delays, fault_plan=crash
+    )
+    rows.append((
+        "Gradient TRIX", gt_rand.run(3).max_local_skew(),
+        gt_worst.run(3).max_local_skew(),
+        f"crash skew {gt_crash.run(3).max_local_skew():.4f}",
+    ))
+
+    print(format_table(
+        ["method", "skew (random delays)", "skew (worst case)", "one crash"],
+        rows,
+        title=f"Clock distribution at D={diameter} "
+              f"(d={params.d}, u={params.u}, kappa={params.kappa:.4f})",
+    ))
+    print(f"\nTheorem 1.1 bound for Gradient TRIX: "
+          f"{params.local_skew_bound(diameter):.4f}")
+    print("Takeaways: the tree dies outright; naive TRIX degrades linearly "
+          "with depth;\nHEX survives crashes but pays ~d for each; Gradient "
+          "TRIX stays at kappa scale\nthroughout -- Table 1 of the paper, "
+          "measured.")
+
+
+if __name__ == "__main__":
+    main()

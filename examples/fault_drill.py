@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fault drill: watch the stick-to-the-median rule contain a Byzantine node.
+
+Injects a single node that reports its pulses 50 kappa late -- far outside
+anything its successors should believe -- and shows layer by layer how the
+median rule pins the damage to ~2 kappa while the naive clamping variant
+(the same algorithm with ``stick_to_median=False``, Algorithm 1 semantics)
+lets the whole downstream column inherit the lie.
+
+Run:  python examples/fault_drill.py
+"""
+
+import numpy as np
+
+from repro import (
+    CorrectionPolicy,
+    FastSimulation,
+    LayeredGraph,
+    Parameters,
+    StaticDelayModel,
+    replicated_line,
+)
+from repro.analysis import local_skew_per_layer
+from repro.faults import AdversarialLateFault, FaultPlan
+
+
+def run(policy, algorithm, graph, params, delays, plan):
+    sim = FastSimulation(
+        graph,
+        params,
+        delay_model=delays,
+        fault_plan=plan,
+        policy=policy,
+        algorithm=algorithm,
+    )
+    return sim.run(3)
+
+
+def main() -> None:
+    params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+    base = replicated_line(16)
+    graph = LayeredGraph(base, num_layers=16)
+    delays = StaticDelayModel(params.d, params.u, seed=5)
+
+    liar = (8, 4)
+    lag = 50.0
+    plan = FaultPlan.from_nodes({liar: AdversarialLateFault(lag)})
+    print(f"Byzantine node {liar} reports pulses {lag:.0f} kappa "
+          f"({lag * params.kappa:.3f} time units) late.\n")
+
+    contained = run(
+        CorrectionPolicy(stick_to_median=True), "simplified",
+        graph, params, delays, plan,
+    )
+    naive = run(
+        CorrectionPolicy(stick_to_median=False), "simplified",
+        graph, params, delays, plan,
+    )
+
+    print("per-layer local skew (pulse-forwarding with Algorithm 1 semantics):")
+    print(f"{'layer':>6} | {'stick-to-median':>16} | {'naive clamp':>12}")
+    print("-" * 42)
+    skews_m = local_skew_per_layer(contained)
+    skews_n = local_skew_per_layer(naive)
+    for layer in range(graph.num_layers):
+        marker = "  <- fault layer" if layer == liar[1] else ""
+        print(f"{layer:6d} | {skews_m[layer]:16.4f} | "
+              f"{skews_n[layer]:12.4f}{marker}")
+
+    print(f"\nworst skew, median rule : {np.max(skews_m):.4f}")
+    print(f"worst skew, naive clamp : {np.max(skews_n):.4f}")
+    print(f"containment factor      : {np.max(skews_n) / np.max(skews_m):.1f}x")
+    print("\nThe full Algorithm 3 adds a second safety net: a node whose")
+    print("own predecessor stays silent or reports absurdly late simply")
+    print("anchors on its last neighbor reception (the 'via H_max' branch).")
+
+
+if __name__ == "__main__":
+    main()

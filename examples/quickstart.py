@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a grid, run Gradient TRIX, compare skew to theory.
+
+Builds the paper's synchronization network (a replicated-line base graph
+stacked into layers), runs the full pulse-forwarding algorithm under random
+static link delays and drifting hardware clocks, and prints the measured
+local skew next to the Theorem 1.1 bound ``4*kappa*(2 + log2 D)``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FastSimulation,
+    LayeredGraph,
+    Parameters,
+    StaticDelayModel,
+    replicated_line,
+)
+from repro.analysis import local_skew_per_layer, max_inter_layer_skew
+from repro.clocks import uniform_random_rates
+
+
+def main() -> None:
+    # Physical parameters: max delay d, uncertainty u, clock drift vartheta.
+    params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+    print(f"kappa = {params.kappa:.5f}  (Equation (1))")
+
+    # The paper's topology: a line with replicated endpoints (Figure 2),
+    # stacked into as many layers as its diameter (a square chip).
+    base = replicated_line(24)
+    graph = LayeredGraph(base, num_layers=24)
+    print(f"base graph: {base.name}, diameter D = {base.diameter}")
+    print(f"grid: {graph.num_layers} layers, n = {graph.num_nodes} nodes")
+
+    # Random static per-edge delays in [d-u, d], random clock rates in
+    # [1, vartheta] -- the paper's communication and clock model.
+    delays = StaticDelayModel(params.d, params.u, seed=42)
+    clocks = uniform_random_rates(graph.nodes(), params.vartheta, rng_or_seed=7)
+    rates = {node: clock.rate for node, clock in clocks.items()}
+
+    sim = FastSimulation(graph, params, delay_model=delays, clock_rates=rates)
+    result = sim.run(num_pulses=5)
+
+    bound = params.local_skew_bound(base.diameter)
+    print(f"\nmeasured sup_l L_l      = {result.max_local_skew():.5f}")
+    print(f"measured sup_l L_l,l+1  = {max_inter_layer_skew(result):.5f}")
+    print(f"Theorem 1.1 bound       = {bound:.5f}")
+    print(f"measured global skew    = {result.global_skew():.5f}")
+    print(f"global bound (6 k D)    = {params.global_skew_bound(base.diameter):.5f}")
+
+    print("\nper-layer local skew (every 4th layer):")
+    for layer, skew in enumerate(local_skew_per_layer(result)):
+        if layer % 4 == 0:
+            bar = "#" * int(60 * skew / bound)
+            print(f"  layer {layer:3d}  {skew:.5f}  {bar}")
+
+    assert result.max_local_skew() <= bound, "Theorem 1.1 violated?!"
+    print("\nOK: measured skew is within the Theorem 1.1 bound.")
+
+
+if __name__ == "__main__":
+    main()

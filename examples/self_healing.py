@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Self-healing: corrupt every node mid-flight and watch the grid recover.
+
+Runs the event-driven simulation with Algorithm 4 (the self-stabilizing
+pulse forwarding), lets the grid settle, then scrambles the volatile state
+of *every* node on layers >= 1 -- reception registers pointing into the
+future, bogus pending pulses, randomized pulse counters -- and injects
+spurious in-flight messages.  Theorem 1.6 says the grid re-synchronizes
+within O(sqrt(n)) pulses; the script prints the violation timeline so you
+can watch it happen.
+
+Run:  python examples/self_healing.py
+"""
+
+import numpy as np
+
+from repro import LayeredGraph, Parameters, StaticDelayModel, replicated_line
+from repro.analysis.stabilization import measure_stabilization
+from repro.core.algorithm import PULSE, GradientTrixNode
+from repro.core.network_sim import GridSimulation
+from repro.core.selfstab import SelfStabilizingNode, corrupt_node
+
+
+def main() -> None:
+    params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+    base = replicated_line(8)
+    graph = LayeredGraph(base, num_layers=8)
+    bound = params.local_skew_bound(base.diameter)
+
+    grid = GridSimulation(
+        graph,
+        params,
+        delay_model=StaticDelayModel(params.d, params.u, seed=1),
+        node_class=SelfStabilizingNode,
+        node_kwargs={"skew_estimate": bound, "max_pulses": None},
+    )
+    total_pulses = 30
+    grid.build(total_pulses)
+
+    # Phase 1: settle.
+    corrupt_at = 14 * params.Lambda
+    grid.sim.run_until(corrupt_at)
+    print(f"t = {grid.sim.now:6.1f}: grid settled "
+          f"({len(grid.trace)} pulses recorded); injecting transient fault")
+
+    # Phase 2: scramble everything.
+    rng = np.random.default_rng(99)
+    corrupted = 0
+    for process in grid.nodes.values():
+        if isinstance(process, GradientTrixNode):
+            corrupt_node(process, rng, time_scale=2 * params.Lambda)
+            corrupted += 1
+    for layer in range(1, graph.num_layers):
+        victim = (int(rng.integers(0, graph.width)), layer)
+        grid.network.inject_at(
+            victim,
+            {PULSE: int(rng.integers(0, 5))},
+            (victim[0], layer - 1),
+            grid.sim.now + float(rng.uniform(0, params.d)),
+        )
+    print(f"t = {grid.sim.now:6.1f}: scrambled {corrupted} nodes, injected "
+          f"{graph.num_layers - 1} spurious messages")
+
+    # Phase 3: recover.
+    grid.sim.run_until((total_pulses + 12) * params.Lambda)
+    report = measure_stabilization(
+        grid.trace,
+        graph,
+        params,
+        skew_bound=bound,
+        observe_from=corrupt_at,
+        observe_until=(total_pulses - 1) * params.Lambda,
+    )
+
+    n = graph.num_nodes
+    print(f"\nviolations observed after corruption : {report.violations}")
+    print(f"last violation at                     : t = "
+          f"{report.stable_from:.2f}")
+    print(f"stabilization time                    : "
+          f"{report.stabilization_pulses} pulses")
+    print(f"Theorem 1.6 budget O(sqrt n)          : ~{int(3 * np.sqrt(n))} "
+          f"pulses (n = {n})")
+    print(f"stabilized                            : {report.stabilized}")
+
+    assert report.stabilized, "grid failed to re-synchronize!"
+    print("\nOK: the grid healed itself -- Theorem 1.6, live.")
+
+
+if __name__ == "__main__":
+    main()

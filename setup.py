@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The environment ships a setuptools without the ``wheel`` package, so the
+PEP 517 editable path is unavailable; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Gradient TRIX: fault-tolerant gradient clock synchronization.
+
+Reproduction of "Clock Synchronization with Gradient TRIX" (Lenzen &
+Srinivas, PODC 2025, arXiv:2301.05073).  The package provides
+
+* the layered grid topology and its base graphs (:mod:`repro.topology`),
+* hardware clock and link delay models (:mod:`repro.clocks`,
+  :mod:`repro.delays`),
+* the fault model (:mod:`repro.faults`),
+* a deterministic discrete-event engine (:mod:`repro.engine`),
+* the Gradient TRIX pulse-forwarding algorithms and a fast closed-form
+  simulator (:mod:`repro.core`),
+* the HEX and naive-TRIX baselines (:mod:`repro.baselines`),
+* skew/potential analysis (:mod:`repro.analysis`), and
+* reproducible experiment drivers for every table, figure and theorem of
+  the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Parameters, replicated_line, LayeredGraph, FastSimulation
+
+    params = Parameters(d=1.0, u=0.01, vartheta=1.001)
+    base = replicated_line(16)
+    graph = LayeredGraph(base, num_layers=16)
+    result = FastSimulation(graph, params).run(num_pulses=5)
+    print(result.max_local_skew(), params.local_skew_bound(base.diameter))
+"""
+
+from repro.params import Parameters
+from repro.topology import (
+    BaseGraph,
+    LayeredGraph,
+    complete_graph,
+    cycle_graph,
+    replicated_line,
+    torus_graph,
+)
+from repro.core import (
+    ChainLayer0,
+    CorrectionPolicy,
+    FastResult,
+    FastSimulation,
+    JitteredLayer0,
+    PerfectLayer0,
+    compute_correction,
+)
+from repro.faults import FaultPlan
+from repro.delays import (
+    AdversarialSplitDelays,
+    StaticDelayModel,
+    UniformDelayModel,
+    VaryingDelayModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialSplitDelays",
+    "BaseGraph",
+    "ChainLayer0",
+    "CorrectionPolicy",
+    "FastResult",
+    "FastSimulation",
+    "FaultPlan",
+    "JitteredLayer0",
+    "LayeredGraph",
+    "Parameters",
+    "PerfectLayer0",
+    "StaticDelayModel",
+    "UniformDelayModel",
+    "VaryingDelayModel",
+    "complete_graph",
+    "compute_correction",
+    "cycle_graph",
+    "replicated_line",
+    "torus_graph",
+]

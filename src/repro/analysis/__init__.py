@@ -1,0 +1,48 @@
+"""Measurement and analysis utilities.
+
+* :mod:`repro.analysis.skew` -- the paper's skew measures (``L_l``,
+  ``L_{l,l+1}``, ``L``, global skew) over simulation results.
+* :mod:`repro.analysis.potentials` -- the potential functions of
+  Definition 4.1 (``psi``, ``Psi``, ``xi``, ``Xi``).
+* :mod:`repro.analysis.stats` -- regression helpers (log/linear/power fits)
+  used to check growth *shapes* against the paper's bounds.
+* :mod:`repro.analysis.report` -- ASCII tables for benchmark output.
+"""
+
+from repro.analysis.skew import (
+    global_skew,
+    inter_layer_skew,
+    local_skew_per_layer,
+    max_inter_layer_skew,
+    max_local_skew,
+    overall_skew,
+    times_from_trace,
+)
+from repro.analysis.potentials import (
+    Psi,
+    Xi,
+    psi,
+    xi,
+    local_skew_bound_from_potential,
+)
+from repro.analysis.stats import fit_linear, fit_log2, fit_power
+from repro.analysis.report import format_table
+
+__all__ = [
+    "Psi",
+    "Xi",
+    "fit_linear",
+    "fit_log2",
+    "fit_power",
+    "format_table",
+    "global_skew",
+    "inter_layer_skew",
+    "local_skew_bound_from_potential",
+    "local_skew_per_layer",
+    "max_inter_layer_skew",
+    "max_local_skew",
+    "overall_skew",
+    "psi",
+    "times_from_trace",
+    "xi",
+]

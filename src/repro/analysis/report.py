@@ -1,0 +1,53 @@
+"""ASCII table formatting for benchmark and experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Render a cell: floats get engineering-friendly precision."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    ``rows`` cells are passed through :func:`format_value`.  The result is
+    ready for ``print`` -- benches emit these so the paper's tables can be
+    compared side by side with the measured ones.
+    """
+    rendered: List[List[str]] = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

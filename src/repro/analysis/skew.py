@@ -1,0 +1,174 @@
+"""Skew measures (Section 2, "Output and Skew").
+
+Given pulse-time matrices ``times[k, l, v]`` (NaN where a node is faulty or
+never pulsed), this module computes
+
+* the intra-layer local skew
+  ``L_l = sup_k max_{{v,w} in E, correct} |t^k_{v,l} - t^k_{w,l}|``,
+* the inter-layer local skew
+  ``L_{l,l+1} = sup_k max_{((v,l),(w,l+1)) in E_l, correct}
+  |t^{k+1}_{v,l} - t^k_{w,l+1}|``
+  (consecutive pulses are compared across layers because each layer adds
+  one nominal period ``Lambda``),
+* the overall local skew ``L = sup_l max(L_l, L_{l,l+1})``, and
+* the global skew (largest same-pulse offset between *any* two correct
+  nodes of a layer).
+
+All functions accept either a :class:`~repro.core.fast.FastResult` or a raw
+``(times, faulty_mask, graph)`` triple via the module-level helpers.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fast import FastResult
+from repro.engine.trace import Trace
+from repro.topology.layered import LayeredGraph
+
+__all__ = [
+    "times_from_trace",
+    "masked_times",
+    "local_skew_per_layer",
+    "max_local_skew",
+    "inter_layer_skew",
+    "max_inter_layer_skew",
+    "overall_skew",
+    "global_skew",
+    "global_skew_per_layer",
+]
+
+
+def times_from_trace(
+    trace: Trace, graph: LayeredGraph, num_pulses: int
+) -> np.ndarray:
+    """Convert an event-driven :class:`Trace` into a ``(K, L, W)`` array."""
+    times = np.full((num_pulses, graph.num_layers, graph.width), np.nan)
+    for record in trace.records:
+        v, layer = record.node
+        if 0 <= record.pulse < num_pulses:
+            times[record.pulse, layer, v] = record.time
+    return times
+
+
+def masked_times(result: FastResult) -> np.ndarray:
+    """Pulse times with faulty nodes masked out (already NaN in ``times``)."""
+    return result.times
+
+
+def _nanmax(values: np.ndarray) -> float:
+    """``nanmax`` that returns 0.0 on empty/all-NaN input, warning-free."""
+    if values.size == 0:
+        return 0.0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        out = np.nanmax(values)
+    if math.isnan(out):
+        return 0.0
+    return float(out)
+
+
+def _edge_arrays(graph: LayeredGraph) -> Tuple[np.ndarray, np.ndarray]:
+    edges = graph.base.edges
+    left = np.array([e[0] for e in edges], dtype=np.int64)
+    right = np.array([e[1] for e in edges], dtype=np.int64)
+    return left, right
+
+
+def local_skew_per_layer(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Measured ``L_l`` for every layer; shape ``(num_layers,)``.
+
+    ``pulses`` restricts the supremum to the given pulse indices (e.g. to
+    drop a warm-up prefix in self-stabilization runs).
+    """
+    times = result.times if pulses is None else result.times[list(pulses)]
+    left, right = _edge_arrays(result.graph)
+    skews = np.empty(result.graph.num_layers)
+    for layer in range(result.graph.num_layers):
+        diffs = np.abs(times[:, layer, left] - times[:, layer, right])
+        skews[layer] = _nanmax(diffs)
+    return skews
+
+
+def max_local_skew(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> float:
+    """``sup_l L_l`` over the measured execution."""
+    return float(np.max(local_skew_per_layer(result, pulses)))
+
+
+def inter_layer_skew(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Measured ``L_{l,l+1}`` for ``l = 0 .. num_layers-2``.
+
+    Compares pulse ``k+1`` on layer ``l`` with pulse ``k`` on layer
+    ``l + 1`` along every edge of ``E_l`` (both own-copy and neighbor-copy
+    edges).
+    """
+    graph = result.graph
+    if result.num_pulses < 2:
+        return np.zeros(max(graph.num_layers - 1, 0))
+    times = result.times if pulses is None else result.times[list(pulses)]
+    if times.shape[0] < 2:
+        return np.zeros(max(graph.num_layers - 1, 0))
+    upper = times[1:]  # pulse k+1
+    lower = times[:-1]  # pulse k
+    # Own-copy edges: (v, l) -> (v, l+1).
+    left, right = _edge_arrays(graph)
+    skews = np.empty(graph.num_layers - 1)
+    for layer in range(graph.num_layers - 1):
+        own = np.abs(upper[:, layer, :] - lower[:, layer + 1, :])
+        cross_a = np.abs(upper[:, layer, left] - lower[:, layer + 1, right])
+        cross_b = np.abs(upper[:, layer, right] - lower[:, layer + 1, left])
+        skews[layer] = max(_nanmax(own), _nanmax(cross_a), _nanmax(cross_b))
+    return skews
+
+
+def max_inter_layer_skew(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> float:
+    """``sup_l L_{l,l+1}``."""
+    values = inter_layer_skew(result, pulses)
+    if values.size == 0:
+        return 0.0
+    return float(np.max(values))
+
+
+def overall_skew(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> float:
+    """The paper's ``L = sup_l max(L_l, L_{l,l+1})``."""
+    return max(
+        max_local_skew(result, pulses), max_inter_layer_skew(result, pulses)
+    )
+
+
+def global_skew_per_layer(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Largest same-pulse spread within each layer (any pair of nodes)."""
+    times = result.times if pulses is None else result.times[list(pulses)]
+    skews = np.empty(result.graph.num_layers)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for layer in range(result.graph.num_layers):
+            layer_times = times[:, layer, :]
+            spread = np.nanmax(layer_times, axis=1) - np.nanmin(
+                layer_times, axis=1
+            )
+            skews[layer] = _nanmax(spread)
+    return skews
+
+
+def global_skew(
+    result: FastResult, pulses: Optional[Sequence[int]] = None
+) -> float:
+    """Maximum same-pulse spread over all layers (the "global skew")."""
+    return float(np.max(global_skew_per_layer(result, pulses)))

@@ -1,0 +1,154 @@
+"""Stabilization-time measurement for self-stabilization experiments.
+
+After transient faults, a correct execution must (re)converge to a steady
+state in which (a) each correct node pulses with period ``Lambda`` (exactly,
+since delays and rates are static) and (b) adjacent correct nodes' pulses
+stay within the skew bound.  Theorem 1.6 bounds the convergence time by
+``O(sqrt(n))`` pulses.
+
+Pulse *indices* are meaningless after corruption (nodes may have swallowed
+or invented pulses), so the checks below align pulses by *time*: each pulse
+of a node is matched to the nearest pulse of its neighbor.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.trace import Trace
+from repro.faults.injection import FaultPlan
+from repro.params import Parameters
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = ["StabilizationReport", "measure_stabilization"]
+
+
+@dataclass(frozen=True)
+class StabilizationReport:
+    """Outcome of a stabilization measurement.
+
+    Attributes
+    ----------
+    stabilized:
+        Whether the execution is clean from ``stable_from`` until the end
+        of the observation window.
+    stable_from:
+        Real time of the last observed violation (``-inf`` when the run was
+        clean throughout).
+    stabilization_pulses:
+        ``stable_from`` converted to pulse periods since the observation
+        start (0 when clean throughout).
+    violations:
+        Count of individual violations observed.
+    last_violation:
+        Description of the latest violation (None when clean).
+    """
+
+    stabilized: bool
+    stable_from: float
+    stabilization_pulses: int
+    violations: int
+    last_violation: Optional[str]
+
+
+def _nearest_offset(sorted_times: List[float], t: float) -> float:
+    """Distance from ``t`` to the nearest element of ``sorted_times``."""
+    if not sorted_times:
+        return math.inf
+    i = bisect.bisect_left(sorted_times, t)
+    best = math.inf
+    for j in (i - 1, i):
+        if 0 <= j < len(sorted_times):
+            best = min(best, abs(sorted_times[j] - t))
+    return best
+
+
+def measure_stabilization(
+    trace: Trace,
+    graph: LayeredGraph,
+    params: Parameters,
+    skew_bound: float,
+    fault_plan: Optional[FaultPlan] = None,
+    period_tolerance: Optional[float] = None,
+    observe_from: float = 0.0,
+    observe_until: Optional[float] = None,
+    settle_margin: float = 2.0,
+) -> StabilizationReport:
+    """Find when the execution becomes (and stays) clean.
+
+    A violation is either a per-node period error (consecutive pulse gap
+    deviating from ``Lambda`` by more than ``period_tolerance``) or an
+    adjacency error (a pulse of a correct node with no pulse of an adjacent
+    correct node within ``skew_bound``; the first and last ``settle_margin``
+    periods of each node's pulse train are exempt from the adjacency check
+    to avoid window-edge artifacts).
+    """
+    plan = fault_plan or FaultPlan.none()
+    if period_tolerance is None:
+        # Steady-state gaps are exactly Lambda with static delays/rates;
+        # allow the skew bound as slack for the final catch-up pulses.
+        period_tolerance = max(skew_bound, 4.0 * params.kappa)
+
+    pulses: Dict[NodeId, List[float]] = {}
+    for node in trace.nodes():
+        if plan.is_faulty(node):
+            continue
+        times = sorted(
+            t
+            for t in trace.pulses_of(node).values()
+            if t >= observe_from
+            and (observe_until is None or t <= observe_until)
+        )
+        pulses[node] = times
+
+    violations: List[Tuple[float, str]] = []
+
+    # (a) period regularity per node.
+    for node, times in pulses.items():
+        for t0, t1 in zip(times, times[1:]):
+            if abs((t1 - t0) - params.Lambda) > period_tolerance:
+                violations.append(
+                    (t1, f"period at {node}: gap {t1 - t0:.4g}")
+                )
+
+    # (b) adjacency: every pulse has a matching pulse at each neighbor.
+    margin = settle_margin * params.Lambda
+    for layer in range(graph.num_layers):
+        for v, w in graph.base.edges:
+            a, b = (v, layer), (w, layer)
+            if a not in pulses or b not in pulses:
+                continue
+            for x, y in ((a, b), (b, a)):
+                ys = pulses[y]
+                if not ys:
+                    continue
+                for t in pulses[x]:
+                    if t < ys[0] - margin or t > ys[-1] + margin:
+                        continue
+                    offset = _nearest_offset(ys, t)
+                    if offset > skew_bound:
+                        violations.append(
+                            (t, f"adjacency {x} vs {y}: offset {offset:.4g}")
+                        )
+
+    if not violations:
+        return StabilizationReport(True, -math.inf, 0, 0, None)
+    violations.sort(key=lambda item: item[0])
+    stable_from, last = violations[-1]
+    end = observe_until
+    if end is None:
+        end = max((ts[-1] for ts in pulses.values() if ts), default=stable_from)
+    stabilized = stable_from < end
+    pulses_to_stabilize = max(
+        0, math.ceil((stable_from - observe_from) / params.Lambda)
+    )
+    return StabilizationReport(
+        stabilized=stabilized,
+        stable_from=stable_from,
+        stabilization_pulses=pulses_to_stabilize,
+        violations=len(violations),
+        last_violation=last,
+    )

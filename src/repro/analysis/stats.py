@@ -1,0 +1,89 @@
+"""Tiny regression helpers for shape-checking measured scaling curves.
+
+The reproduction asserts *shapes*, not absolute values: local skew that is
+logarithmic in ``D`` for Gradient TRIX, linear in ``D`` for naive TRIX, and
+so on.  These helpers fit the three model families used by the benches and
+report goodness of fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Fit", "fit_linear", "fit_log2", "fit_power"]
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A least-squares fit ``y ~ intercept + slope * g(x)``.
+
+    ``r_squared`` is the coefficient of determination in the transformed
+    space; ``model`` names the family (``"linear"``, ``"log2"``,
+    ``"power"``).
+    """
+
+    model: str
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at ``x``."""
+        if self.model == "linear":
+            return self.intercept + self.slope * x
+        if self.model == "log2":
+            return self.intercept + self.slope * math.log2(x)
+        if self.model == "power":
+            return math.exp(self.intercept) * x**self.slope
+        raise ValueError(f"unknown model {self.model!r}")
+
+
+def _least_squares(gx: np.ndarray, y: np.ndarray) -> Tuple[float, float, float]:
+    if gx.size != y.size:
+        raise ValueError("x and y must have equal length")
+    if gx.size < 2:
+        raise ValueError("need at least two points to fit")
+    design = np.stack([np.ones_like(gx), gx], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    intercept, slope = float(coeffs[0]), float(coeffs[1])
+    predicted = intercept + slope * gx
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> Fit:
+    """Fit ``y ~ a + b * x``."""
+    gx = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    slope, intercept, r2 = _least_squares(gx, ys)
+    return Fit("linear", slope, intercept, r2)
+
+
+def fit_log2(x: Sequence[float], y: Sequence[float]) -> Fit:
+    """Fit ``y ~ a + b * log2(x)`` (the Theorem 1.1 shape)."""
+    gx = np.asarray(x, dtype=float)
+    if np.any(gx <= 0):
+        raise ValueError("log2 fit requires positive x")
+    ys = np.asarray(y, dtype=float)
+    slope, intercept, r2 = _least_squares(np.log2(gx), ys)
+    return Fit("log2", slope, intercept, r2)
+
+
+def fit_power(x: Sequence[float], y: Sequence[float]) -> Fit:
+    """Fit ``y ~ c * x**b`` via log-log least squares.
+
+    The fitted exponent ``slope`` discriminates linear (``~1``) from
+    logarithmic (``<< 1``) growth in the Table 1 comparison.
+    """
+    gx = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if np.any(gx <= 0) or np.any(ys <= 0):
+        raise ValueError("power fit requires positive x and y")
+    slope, intercept, r2 = _least_squares(np.log(gx), np.log(ys))
+    return Fit("power", slope, intercept, r2)

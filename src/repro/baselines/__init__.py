@@ -1,0 +1,18 @@
+"""Baseline clock distribution schemes the paper compares against.
+
+* :mod:`repro.baselines.trix` -- TRIX [LW20]: same minimal-degree grid as
+  Gradient TRIX, but with the naive rule "forward upon the *second* copy of
+  each pulse".  Tolerates one faulty predecessor, accumulates
+  ``Theta(u * D)`` local skew (Figure 1 left, Table 1).
+* :mod:`repro.baselines.hex` -- HEX [DFL+16]: honeycomb-style grid whose
+  nodes also listen to two same-layer in-neighbors; a crashed preceding-
+  layer neighbor costs an additive ``d`` of local skew (Figure 1 right).
+* :mod:`repro.baselines.clock_tree` -- an idealized fault-intolerant clock
+  tree, for context in the examples.
+"""
+
+from repro.baselines.trix import NaiveTrixSimulation
+from repro.baselines.hex import HexResult, HexSimulation
+from repro.baselines.clock_tree import ClockTree
+
+__all__ = ["ClockTree", "HexResult", "HexSimulation", "NaiveTrixSimulation"]

@@ -1,0 +1,79 @@
+"""Idealized clock tree baseline.
+
+A balanced binary clock tree distributes the source pulse to ``2**depth``
+leaves; each tree edge contributes an independent delay in ``[d - u, d]``.
+Leaves at distance 2 in the tree can diverge by up to ``2 * u`` per shared
+level -- and, crucially, a single broken edge silences an entire subtree:
+no fault tolerance at all.  The paper's introduction motivates grids
+precisely because trees do not scale in the presence of faults; this
+baseline provides the reference numbers for the example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+__all__ = ["ClockTree"]
+
+
+class ClockTree:
+    """Balanced binary tree with random edge delays.
+
+    ``broken_edges`` contains indices of *internal nodes* whose feeding
+    edge is broken; every leaf under such a node receives no clock at all.
+    Internal nodes are indexed heap-style: root 1, children ``2i``/``2i+1``;
+    leaves are nodes ``2**depth .. 2**(depth+1) - 1``.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        d: float,
+        u: float,
+        seed: int = 0,
+        broken_edges: Optional[Set[int]] = None,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if d <= 0 or not 0 <= u <= d:
+            raise ValueError("need d > 0 and 0 <= u <= d")
+        self.depth = depth
+        self.d = d
+        self.u = u
+        self.broken_edges = set(broken_edges or ())
+        rng = np.random.default_rng(seed)
+        # Edge i feeds heap node i (root has no feeding edge).
+        self._edge_delay = rng.uniform(d - u, d, size=2 ** (depth + 1))
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves, ``2**depth``."""
+        return 2**self.depth
+
+    def leaf_times(self, source_time: float = 0.0) -> List[float]:
+        """Arrival time of the pulse at each leaf (NaN below broken edges)."""
+        total = 2 ** (self.depth + 1)
+        arrival = np.full(total, np.nan)
+        arrival[1] = source_time
+        for node in range(2, total):
+            parent = node // 2
+            if node in self.broken_edges or np.isnan(arrival[parent]):
+                continue
+            arrival[node] = arrival[parent] + self._edge_delay[node]
+        return [float(t) for t in arrival[2**self.depth :]]
+
+    def local_skew(self, source_time: float = 0.0) -> float:
+        """Max offset between *adjacent* leaves (NaN pairs skipped)."""
+        times = self.leaf_times(source_time)
+        worst = 0.0
+        for a, b in zip(times, times[1:]):
+            if np.isnan(a) or np.isnan(b):
+                continue
+            worst = max(worst, abs(a - b))
+        return worst
+
+    def reachable_leaves(self) -> int:
+        """Number of leaves still receiving the clock."""
+        return sum(1 for t in self.leaf_times() if not np.isnan(t))

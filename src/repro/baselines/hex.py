@@ -1,0 +1,162 @@
+"""HEX clock distribution [DFL+16].
+
+A cylinder grid of width ``W`` (same-layer ring) and depth ``L``.  Node
+``(i, l)`` has four in-neighbors: ``(i-1, l-1)`` and ``(i, l-1)`` on the
+preceding layer, plus its ring neighbors ``(i-1, l)`` and ``(i+1, l)``.
+A node generates its pulse upon the *second* copy received (from distinct
+in-neighbors), after a fixed local wait.
+
+Two consequences the paper highlights (Figure 1 right, Table 1):
+
+* fault tolerance is cheap -- a crashed preceding-layer neighbor is covered
+  by the same-layer links;
+* but covering it costs a full hop: the victim fires roughly ``d`` after
+  its ring neighbors, so a single crash inflates local skew by an additive
+  ``d >> u`` (HEX's ``d + O(u^2 D / d)`` bound).
+
+Same-layer timing dependencies make fire times a fixed point; since they
+are monotone, a Dijkstra-style second-arrival percolation per layer
+computes them exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.layer0 import Layer0Schedule, PerfectLayer0
+from repro.delays.models import DelayModel, UniformDelayModel
+from repro.params import Parameters
+
+__all__ = ["HexSimulation", "HexResult"]
+
+HexNode = Tuple[int, int]  # (ring position, layer)
+
+
+class HexResult:
+    """Pulse-time matrices of a HEX run.
+
+    ``times[k, l, i]`` is the time node ``(i, l)`` generated pulse ``k``
+    (NaN for crashed nodes and nodes that never collected two copies).
+    """
+
+    def __init__(
+        self, width: int, num_layers: int, num_pulses: int, crashed: Set[HexNode]
+    ) -> None:
+        self.width = width
+        self.num_layers = num_layers
+        self.num_pulses = num_pulses
+        self.crashed = set(crashed)
+        self.times = np.full((num_pulses, num_layers, width), np.nan)
+
+    def local_skew_per_layer(self) -> np.ndarray:
+        """Max same-pulse offset between ring-adjacent correct nodes."""
+        skews = np.zeros(self.num_layers)
+        for layer in range(self.num_layers):
+            worst = 0.0
+            for i in range(self.width):
+                j = (i + 1) % self.width
+                if (i, layer) in self.crashed or (j, layer) in self.crashed:
+                    continue
+                diffs = np.abs(
+                    self.times[:, layer, i] - self.times[:, layer, j]
+                )
+                finite = diffs[np.isfinite(diffs)]
+                if finite.size:
+                    worst = max(worst, float(np.max(finite)))
+            skews[layer] = worst
+        return skews
+
+    def max_local_skew(self) -> float:
+        """``sup_l`` of :meth:`local_skew_per_layer`."""
+        return float(np.max(self.local_skew_per_layer()))
+
+
+class HexSimulation:
+    """Second-copy forwarding on the HEX cylinder (see module docstring).
+
+    ``crashed`` nodes never send anything.  ``forward_wait`` defaults to
+    ``Lambda - d`` so the pulse period matches the other schemes.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        num_layers: int,
+        params: Parameters,
+        delay_model: Optional[DelayModel] = None,
+        crashed: Iterable[HexNode] = (),
+        layer0: Optional[Layer0Schedule] = None,
+        forward_wait: Optional[float] = None,
+    ) -> None:
+        if width < 3:
+            raise ValueError(f"width must be >= 3, got {width}")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        self.width = width
+        self.num_layers = num_layers
+        self.params = params
+        self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
+        self.crashed: Set[HexNode] = set(crashed)
+        self.layer0 = layer0 or PerfectLayer0(params.Lambda)
+        if forward_wait is None:
+            forward_wait = params.Lambda - params.d
+        self.forward_wait = forward_wait
+
+    def _delay(self, src: HexNode, dst: HexNode, pulse: int) -> float:
+        return self.delay_model.delay((src, dst), pulse)
+
+    def run(self, num_pulses: int) -> HexResult:
+        """Simulate ``num_pulses`` pulses through all layers."""
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        result = HexResult(
+            self.width, self.num_layers, num_pulses, self.crashed
+        )
+        for k in range(num_pulses):
+            for i in range(self.width):
+                if (i, 0) not in self.crashed:
+                    result.times[k, 0, i] = self.layer0.pulse_time(i, k)
+            for layer in range(1, self.num_layers):
+                self._run_layer(result, k, layer)
+        return result
+
+    def _run_layer(self, result: HexResult, k: int, layer: int) -> None:
+        """Second-arrival percolation over one layer (monotone, Dijkstra)."""
+        heap: list = []
+        counts: Dict[int, int] = {i: 0 for i in range(self.width)}
+        fired: Dict[int, float] = {}
+
+        def push(src: HexNode, dst_i: int, send_time: float) -> None:
+            if (dst_i, layer) in self.crashed:
+                return
+            arrival = send_time + self._delay(src, (dst_i, layer), k)
+            heapq.heappush(heap, (arrival, dst_i))
+
+        # Seed with preceding-layer arrivals.
+        for i in range(self.width):
+            src = (i, layer - 1)
+            if src in self.crashed:
+                continue
+            send = result.times[k, layer - 1, i]
+            if math.isnan(send):
+                continue
+            push(src, i, send)
+            push(src, (i + 1) % self.width, send)
+
+        while heap:
+            arrival, i = heapq.heappop(heap)
+            if i in fired:
+                continue
+            counts[i] += 1
+            if counts[i] < 2:
+                continue
+            fire = arrival + self.forward_wait
+            fired[i] = fire
+            result.times[k, layer, i] = fire
+            # Ring propagation to both same-layer neighbors.
+            push((i, layer), (i - 1) % self.width, fire)
+            push((i, layer), (i + 1) % self.width, fire)

@@ -1,0 +1,132 @@
+"""Naive TRIX forwarding [LW20] on the Gradient TRIX grid.
+
+Each node of layer ``l >= 1`` waits for the *second* copy of the pulse from
+its (three or more) predecessors, then forwards after a fixed local wait of
+``Lambda - d``.  One faulty predecessor cannot speed the node up (the first
+copy is ignored) nor stall it (two correct copies always arrive).
+
+The scheme's weakness, and the reason the paper exists: the second-arrival
+rule does not couple a node to *both* of its flank neighbors, so delay
+asymmetry accumulates ``Theta(u)`` of skew per layer -- linear in the grid
+depth (Figure 1 left; Table 1's ``O(u * D)`` local skew row).
+
+The simulator reuses :class:`~repro.core.fast.FastResult`, so the analysis
+package applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.fast import BRANCH_CODES, FastResult, RateProvider
+from repro.core.layer0 import Layer0Schedule, PerfectLayer0
+from repro.delays.models import DelayModel, UniformDelayModel
+from repro.faults.injection import FaultPlan
+from repro.faults.model import FaultContext
+from repro.params import Parameters
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = ["NaiveTrixSimulation"]
+
+
+class NaiveTrixSimulation:
+    """Second-copy pulse forwarding on the layered grid.
+
+    Parameters mirror :class:`~repro.core.fast.FastSimulation`; the
+    correction machinery is absent because naive TRIX applies none.
+
+    ``forward_wait`` is the local waiting time between the second copy and
+    the forwarded pulse; ``Lambda - d`` (the default) aligns the pulse
+    period with Gradient TRIX so that results are directly comparable.
+    """
+
+    def __init__(
+        self,
+        graph: LayeredGraph,
+        params: Parameters,
+        delay_model: Optional[DelayModel] = None,
+        clock_rates: RateProvider = None,
+        fault_plan: Optional[FaultPlan] = None,
+        layer0: Optional[Layer0Schedule] = None,
+        forward_wait: Optional[float] = None,
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.layer0 = layer0 or PerfectLayer0(params.Lambda)
+        self._rates = clock_rates
+        if forward_wait is None:
+            forward_wait = params.Lambda - params.d
+        if forward_wait < 0:
+            raise ValueError(f"forward_wait must be >= 0, got {forward_wait}")
+        self.forward_wait = forward_wait
+
+    def rate(self, node: NodeId, pulse: int) -> float:
+        """Hardware clock rate of ``node`` during iteration ``pulse``."""
+        if self._rates is None:
+            return 1.0
+        if callable(self._rates):
+            return float(self._rates(node, pulse))
+        return float(self._rates.get(node, 1.0))
+
+    def run(self, num_pulses: int) -> FastResult:
+        """Simulate ``num_pulses`` pulses; same result type as FastSimulation."""
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
+        for k in range(num_pulses):
+            for v in self.graph.base.nodes():
+                t = self.layer0.pulse_time(v, k)
+                result.protocol_times[k, 0, v] = t
+                result.branches[k, 0, v] = BRANCH_CODES["layer0"]
+                node = (v, 0)
+                if self.fault_plan.is_faulty(node):
+                    self._record_fault_sends(result, node, k, t)
+                else:
+                    result.times[k, 0, v] = t
+            for layer in range(1, self.graph.num_layers):
+                for v in self.graph.base.nodes():
+                    node = (v, layer)
+                    t = self._forward_time(result, node, k)
+                    if t is None:
+                        continue
+                    result.protocol_times[k, layer, v] = t
+                    if self.fault_plan.is_faulty(node):
+                        self._record_fault_sends(result, node, k, t)
+                    else:
+                        result.times[k, layer, v] = t
+        return result
+
+    def _record_fault_sends(
+        self, result: FastResult, node: NodeId, k: int, correct_time: float
+    ) -> None:
+        behavior = self.fault_plan.behavior(node)
+        assert behavior is not None
+        context = FaultContext(
+            node=node, pulse=k, correct_time=correct_time, kappa=self.params.kappa
+        )
+        for successor in self.graph.successors(node):
+            send = behavior.send_time(context, successor)
+            result.fault_sends.setdefault((node, successor), {})[k] = send
+
+    def _forward_time(
+        self, result: FastResult, node: NodeId, k: int
+    ) -> Optional[float]:
+        arrivals: List[float] = []
+        for pred in self.graph.predecessors(node):
+            pv, pl = pred
+            if self.fault_plan.is_faulty(pred):
+                send = result.fault_sends.get((pred, node), {}).get(k)
+            else:
+                t = result.times[k, pl, pv]
+                send = None if math.isnan(t) else float(t)
+            if send is None:
+                continue
+            arrivals.append(send + self.delay_model.delay((pred, node), k))
+        if len(arrivals) < 2:
+            return None  # a node with two silent predecessors deadlocks
+        arrivals.sort()
+        second = arrivals[1]
+        return second + self.forward_wait / self.rate(node, k)

@@ -1,0 +1,23 @@
+"""Hardware clock models.
+
+Each node ``(v, l)`` owns a hardware clock ``H_{v,l} : R>=0 -> R>=0`` whose
+rate lies in ``[1, vartheta]`` (Section 2, "Local Clocks and Computations").
+The algorithm only measures elapsed local time, so clocks may have arbitrary
+offsets.
+"""
+
+from repro.clocks.hardware import AffineClock, HardwareClock, PiecewiseRateClock
+from repro.clocks.drift import (
+    constant_rates,
+    uniform_random_rates,
+    slowly_varying_clock,
+)
+
+__all__ = [
+    "AffineClock",
+    "HardwareClock",
+    "PiecewiseRateClock",
+    "constant_rates",
+    "uniform_random_rates",
+    "slowly_varying_clock",
+]

@@ -1,0 +1,81 @@
+"""Samplers for per-node hardware clock rates and offsets.
+
+All samplers are deterministic given a :class:`numpy.random.Generator` (or a
+seed), which keeps every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+import numpy as np
+
+from repro.clocks.hardware import AffineClock, PiecewiseRateClock
+
+__all__ = ["constant_rates", "uniform_random_rates", "slowly_varying_clock"]
+
+
+def _as_rng(rng_or_seed) -> np.random.Generator:
+    if isinstance(rng_or_seed, np.random.Generator):
+        return rng_or_seed
+    return np.random.default_rng(rng_or_seed)
+
+
+def constant_rates(
+    nodes: Iterable[Hashable], rate: float = 1.0
+) -> Dict[Hashable, AffineClock]:
+    """Identical drift-free clocks (useful as an idealized control)."""
+    return {node: AffineClock(rate=rate) for node in nodes}
+
+
+def uniform_random_rates(
+    nodes: Iterable[Hashable],
+    vartheta: float,
+    rng_or_seed=0,
+    offset_span: float = 0.0,
+) -> Dict[Hashable, AffineClock]:
+    """Independent rates uniform in ``[1, vartheta]``; optional random offsets.
+
+    The paper assumes no known phase relation between hardware clocks, so
+    ``offset_span > 0`` draws offsets uniformly from ``[0, offset_span]``.
+    """
+    if vartheta < 1:
+        raise ValueError(f"vartheta must be >= 1, got {vartheta}")
+    rng = _as_rng(rng_or_seed)
+    clocks: Dict[Hashable, AffineClock] = {}
+    for node in nodes:
+        rate = float(rng.uniform(1.0, vartheta))
+        offset = float(rng.uniform(0.0, offset_span)) if offset_span > 0 else 0.0
+        clocks[node] = AffineClock(rate=rate, offset=offset)
+    return clocks
+
+
+def slowly_varying_clock(
+    vartheta: float,
+    horizon: float,
+    segment_duration: float,
+    max_step_fraction: float,
+    rng_or_seed=0,
+) -> PiecewiseRateClock:
+    """A clock whose rate performs a bounded random walk in ``[1, vartheta]``.
+
+    Per segment of ``segment_duration`` real time, the rate moves by at most
+    ``max_step_fraction * (vartheta - 1)``.  This models Corollary 1.5(iii):
+    hardware clock speeds varying by ``n^{-1/2} (vartheta - 1) log D`` per
+    pulse.
+    """
+    if vartheta < 1:
+        raise ValueError(f"vartheta must be >= 1, got {vartheta}")
+    if horizon <= 0 or segment_duration <= 0:
+        raise ValueError("horizon and segment_duration must be positive")
+    rng = _as_rng(rng_or_seed)
+    spread = vartheta - 1.0
+    num_segments = max(1, int(np.ceil(horizon / segment_duration)))
+    breakpoints: List[float] = [i * segment_duration for i in range(num_segments)]
+    rate = float(rng.uniform(1.0, vartheta))
+    rates: List[float] = [rate]
+    for _ in range(num_segments - 1):
+        step = float(rng.uniform(-1.0, 1.0)) * max_step_fraction * spread
+        rate = min(max(rate + step, 1.0), vartheta)
+        rates.append(rate)
+    return PiecewiseRateClock(breakpoints, rates)

@@ -1,0 +1,120 @@
+"""Hardware clock implementations.
+
+A hardware clock maps real time ``t`` to local time ``H(t)`` and must satisfy
+
+    t' - t <= H(t') - H(t) <= vartheta * (t' - t)    for all t < t',
+
+i.e. rates in ``[1, vartheta]`` (the paper normalizes the minimum rate to 1).
+The algorithms need the inverse map as well, to schedule "wait until local
+time X" as a real-time event.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+__all__ = ["HardwareClock", "AffineClock", "PiecewiseRateClock"]
+
+
+class HardwareClock(ABC):
+    """Abstract hardware clock with a strictly increasing local-time map."""
+
+    @abstractmethod
+    def local_time(self, t: float) -> float:
+        """Local reading ``H(t)`` at real time ``t``."""
+
+    @abstractmethod
+    def real_time(self, h: float) -> float:
+        """Inverse map: the real time at which the clock reads ``h``."""
+
+    @abstractmethod
+    def rate_bounds(self) -> Tuple[float, float]:
+        """``(min_rate, max_rate)`` over the whole timeline."""
+
+    def elapsed_local(self, t_from: float, t_to: float) -> float:
+        """Local time elapsed between two real times."""
+        return self.local_time(t_to) - self.local_time(t_from)
+
+
+class AffineClock(HardwareClock):
+    """Clock with constant rate: ``H(t) = offset + rate * t``.
+
+    This is the paper's static-clock-speed model (rates change negligibly
+    over a pulse; Section 2).
+    """
+
+    def __init__(self, rate: float = 1.0, offset: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.offset = offset
+
+    def local_time(self, t: float) -> float:
+        return self.offset + self.rate * t
+
+    def real_time(self, h: float) -> float:
+        return (h - self.offset) / self.rate
+
+    def rate_bounds(self) -> Tuple[float, float]:
+        return (self.rate, self.rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AffineClock(rate={self.rate}, offset={self.offset})"
+
+
+class PiecewiseRateClock(HardwareClock):
+    """Clock whose rate is piecewise constant in real time.
+
+    Used for Corollary 1.5 experiments where hardware clock speeds vary
+    slowly between pulses.  The rate on ``[t_i, t_{i+1})`` is ``rates[i]``;
+    the final rate extends to infinity.  Breakpoints must be strictly
+    increasing and start at 0.
+    """
+
+    def __init__(
+        self,
+        breakpoints: Sequence[float],
+        rates: Sequence[float],
+        offset: float = 0.0,
+    ) -> None:
+        if len(breakpoints) != len(rates):
+            raise ValueError("breakpoints and rates must have equal length")
+        if not breakpoints or breakpoints[0] != 0.0:
+            raise ValueError("breakpoints must start at 0.0")
+        if any(b2 <= b1 for b1, b2 in zip(breakpoints, breakpoints[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        if any(r <= 0 for r in rates):
+            raise ValueError("all rates must be positive")
+        self._breaks: List[float] = list(breakpoints)
+        self._rates: List[float] = list(rates)
+        self.offset = offset
+        # Cumulative local time at each breakpoint.
+        self._local_at_break: List[float] = [offset]
+        for i in range(1, len(self._breaks)):
+            span = self._breaks[i] - self._breaks[i - 1]
+            self._local_at_break.append(
+                self._local_at_break[-1] + self._rates[i - 1] * span
+            )
+
+    def local_time(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"real time must be >= 0, got {t}")
+        i = bisect.bisect_right(self._breaks, t) - 1
+        return self._local_at_break[i] + self._rates[i] * (t - self._breaks[i])
+
+    def real_time(self, h: float) -> float:
+        if h < self.offset:
+            raise ValueError(f"local time {h} precedes clock start {self.offset}")
+        i = bisect.bisect_right(self._local_at_break, h) - 1
+        return self._breaks[i] + (h - self._local_at_break[i]) / self._rates[i]
+
+    def rate_bounds(self) -> Tuple[float, float]:
+        return (min(self._rates), max(self._rates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PiecewiseRateClock(segments={len(self._rates)}, "
+            f"rates=[{min(self._rates)}, {max(self._rates)}])"
+        )

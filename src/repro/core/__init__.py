@@ -1,0 +1,34 @@
+"""Gradient TRIX: the paper's core algorithms.
+
+* :mod:`repro.core.correction` -- the correction value ``C_{v,l}``
+  (the heart of Algorithms 1 and 3) with ablation knobs.
+* :mod:`repro.core.layer0` -- Algorithm 2 and scripted layer-0 sources.
+* :mod:`repro.core.fast` -- fast layer-recurrence simulator (Lemma B.1
+  closed form; delays/clock rates static per pulse).
+* :mod:`repro.core.algorithm` -- Algorithm 3 as an event-driven process.
+* :mod:`repro.core.selfstab` -- Algorithm 4 (self-stabilizing variant).
+* :mod:`repro.core.network_sim` -- event-driven grid simulation builder.
+* :mod:`repro.core.conditions` -- SC/FC/JC checkers (Definitions 4.3-4.5).
+"""
+
+from repro.core.correction import (
+    CorrectionPolicy,
+    CorrectionResult,
+    compute_correction,
+    raw_delta,
+)
+from repro.core.fast import FastResult, FastSimulation
+from repro.core.layer0 import ChainLayer0, JitteredLayer0, Layer0Schedule, PerfectLayer0
+
+__all__ = [
+    "ChainLayer0",
+    "CorrectionPolicy",
+    "CorrectionResult",
+    "FastResult",
+    "FastSimulation",
+    "JitteredLayer0",
+    "Layer0Schedule",
+    "PerfectLayer0",
+    "compute_correction",
+    "raw_delta",
+]

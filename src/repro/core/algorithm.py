@@ -1,0 +1,277 @@
+"""Algorithm 3 as an event-driven state machine.
+
+:class:`GradientTrixNode` runs the full pulse-forwarding algorithm on the
+discrete-event engine: it timestamps receptions with its hardware clock,
+replays the do-until loop via arrival handlers and a re-armed exit timer,
+and broadcasts its pulse at the computed local time.  Semantics match the
+fast simulator (:mod:`repro.core.fast`), which the cross-validation tests
+assert to float precision.
+
+:class:`ScriptedPulser` emits messages at predetermined times -- used for
+layer 0 and for replaying fault behaviours computed elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.clocks.hardware import HardwareClock
+from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
+from repro.engine.network import Network
+from repro.engine.process import Message, Process
+from repro.engine.scheduler import Simulator
+from repro.engine.trace import Trace
+from repro.params import Parameters
+from repro.topology.layered import NodeId
+
+__all__ = ["GradientTrixNode", "ScriptedPulser", "PULSE"]
+
+#: Payload tag of pulse messages.
+PULSE = "pulse"
+
+
+class GradientTrixNode(Process):
+    """A correct node ``(v, l)``, ``l > 0``, running Algorithm 3.
+
+    Parameters
+    ----------
+    sim, network, trace:
+        Engine plumbing.
+    address:
+        The node id ``(v, l)``.
+    clock:
+        Hardware clock (rates in ``[1, vartheta]``).
+    params, policy:
+        Timing parameters and correction-rule knobs.
+    own_pred:
+        Address of ``(v, l - 1)``.
+    neighbor_preds:
+        Addresses of the ``(w, l - 1)`` for H-neighbors ``w``.
+    successors:
+        Addresses on layer ``l + 1`` (may be empty on the last layer).
+    max_pulses:
+        Stop broadcasting after this many pulses (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        trace: Trace,
+        address: NodeId,
+        clock: HardwareClock,
+        params: Parameters,
+        own_pred: NodeId,
+        neighbor_preds: Sequence[NodeId],
+        successors: Sequence[NodeId],
+        policy: CorrectionPolicy = PAPER_POLICY,
+        max_pulses: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, address, clock)
+        self.network = network
+        self.trace = trace
+        self.params = params
+        self.policy = policy
+        self.own_pred = own_pred
+        self.neighbor_preds = list(neighbor_preds)
+        self.successors = list(successors)
+        self.max_pulses = max_pulses
+        self.pulse_index = 0
+        self._buffered: List[Message] = []
+        self._reset_iteration()
+
+    # ------------------------------------------------------------------
+    # Iteration state
+    # ------------------------------------------------------------------
+    def _reset_iteration(self) -> None:
+        self.h_own: float = math.inf
+        self.h_min: float = math.inf
+        self.h_max: float = math.inf
+        self._received: set = set()
+        self.committed = False
+        self.cancel_timer("exit")
+        self.cancel_timer("pulse")
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message.payload, dict) or PULSE not in message.payload:
+            return
+        if self.committed:
+            # The loop for this iteration has ended but the pulse is not out
+            # yet.  A first message from a predecessor still belongs to this
+            # iteration -- "C is already determined, regardless of how late
+            # the message would arrive" (Section 3) -- so latch it without
+            # recomputing.  Only duplicates (next pulse / Byzantine resend)
+            # carry over to the next iteration.
+            if self._is_fresh(message.sender):
+                self._register_reception(message.sender)
+            else:
+                self._buffered.append(message)
+            return
+        self._register_reception(message.sender)
+        self._rearm_exit_timer()
+
+    def _is_fresh(self, sender: Hashable) -> bool:
+        """Whether no message from ``sender`` was registered this iteration."""
+        if sender == self.own_pred:
+            return math.isinf(self.h_own)
+        return sender in self.neighbor_preds and sender not in self._received
+
+    def _register_reception(self, sender: Hashable) -> None:
+        now_local = self.local_now()
+        if sender == self.own_pred:
+            if math.isinf(self.h_own):
+                self.h_own = now_local
+            return
+        if sender in self.neighbor_preds and sender not in self._received:
+            if not self._received:
+                self.h_min = now_local
+            self._received.add(sender)
+            if len(self._received) == len(self.neighbor_preds):
+                self.h_max = now_local
+
+    # ------------------------------------------------------------------
+    # Loop exit (do-until semantics, cf. repro.core.fast)
+    # ------------------------------------------------------------------
+    def _exit_requirement(self, now_local: float) -> Optional[float]:
+        kappa = self.params.kappa
+        vartheta = self.params.vartheta
+        if math.isinf(self.h_min):
+            return None
+        required = now_local
+        if math.isinf(self.h_own):
+            if math.isinf(self.h_max):
+                return None
+            required = max(
+                required, self.h_max + kappa / 2.0 + vartheta * kappa
+            )
+        if math.isinf(self.h_max):
+            required = max(
+                required, 2.0 * self.h_own - self.h_min + 2.0 * kappa
+            )
+        return required
+
+    def _rearm_exit_timer(self) -> None:
+        required = self._exit_requirement(self.local_now())
+        if required is None:
+            self.cancel_timer("exit")
+            return
+        if required <= self.local_now():
+            self.cancel_timer("exit")
+            self._commit()
+        else:
+            self.set_timer_local("exit", required)
+
+    def on_timer(self, name: Hashable) -> None:
+        if name == "exit":
+            self._commit()
+        elif name == "pulse":
+            self._broadcast()
+
+    # ------------------------------------------------------------------
+    # Commit and broadcast
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        """The do-until loop exited; pick the pulse time (Algorithm 3)."""
+        if self.committed:
+            return
+        self.committed = True
+        params = self.params
+        kappa = params.kappa
+        if math.isinf(self.h_own):
+            # Own copy missing/late: anchor on the last neighbor reception.
+            target = self.h_max + 1.5 * kappa + params.Lambda - params.d
+            self.last_correction = math.nan
+        else:
+            outcome = compute_correction(
+                self.h_own,
+                self.h_min,
+                self.h_max,
+                kappa,
+                params.vartheta,
+                self.policy,
+            )
+            target = self.h_own + params.Lambda - params.d - outcome.correction
+            self.last_correction = outcome.correction
+        self.set_timer_local("pulse", max(target, self.local_now()))
+
+    def _broadcast(self) -> None:
+        self.trace.record_pulse(self.address, self.pulse_index, self.sim.now)
+        if self.max_pulses is None or self.pulse_index < self.max_pulses:
+            for successor in self.successors:
+                self.network.send(
+                    self.address,
+                    successor,
+                    payload={PULSE: self.pulse_index},
+                    pulse=self.pulse_index,
+                )
+        self.pulse_index += 1
+        self._reset_iteration()
+        buffered, self._buffered = self._buffered, []
+        for message in buffered:
+            self.on_message(message)
+
+
+class ScriptedPulser(Process):
+    """Emits predetermined messages; models layer 0 and scripted faults.
+
+    ``schedule`` maps each successor to a list of ``(send_time, pulse)``
+    pairs; each message is sent at its absolute real send time, then
+    travels for the edge delay (or ``delay_override`` when given, which
+    fault replay uses to keep the two simulators bit-identical).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        trace: Trace,
+        address: NodeId,
+        clock: HardwareClock,
+        schedule: Dict[NodeId, List[Tuple[float, int]]],
+        record: bool = True,
+    ) -> None:
+        super().__init__(sim, address, clock)
+        self.network = network
+        self.trace = trace
+        self.schedule = schedule
+        self.record = record
+
+    def start(self) -> None:
+        for successor, sends in self.schedule.items():
+            for send_time, pulse in sends:
+                self.sim.schedule_at(
+                    send_time,
+                    self._make_send(successor, pulse),
+                )
+        if self.record:
+            # Record the node's own pulse times once per pulse: the earliest
+            # send of that pulse (a correct layer-0 node broadcasts, so all
+            # sends of a pulse share one time).
+            by_pulse: Dict[int, float] = {}
+            for sends in self.schedule.values():
+                for send_time, pulse in sends:
+                    current = by_pulse.get(pulse)
+                    if current is None or send_time < current:
+                        by_pulse[pulse] = send_time
+            for pulse, send_time in sorted(by_pulse.items()):
+                self.sim.schedule_at(
+                    send_time,
+                    lambda p=pulse: self.trace.record_pulse(
+                        self.address, p, self.sim.now
+                    ),
+                )
+
+    def _make_send(self, successor: NodeId, pulse: int):
+        def action() -> None:
+            self.network.send(
+                self.address,
+                successor,
+                payload={PULSE: pulse},
+                pulse=pulse,
+            )
+
+        return action

@@ -1,0 +1,187 @@
+"""Checkers for the slow, fast, and jump conditions (Definitions 4.3-4.5).
+
+The analysis rests on three conditions the algorithm must implement
+(Lemmas D.4-D.6 prove it does).  For a correct node ``(v, l)`` with correct
+predecessors, writing ``C = C_{v,l}``, ``t = t_{v,l-1}``, ``t_max / t_min``
+the extreme neighbor pulse times on layer ``l-1``:
+
+Slow condition  ``SC(s) = SC-1(s) or SC-2(s) or SC-3``::
+
+    SC-1(s): C / vt <= t - t_max + 4*s*k
+    SC-2(s): C / vt <= t - t_min - 4*s*k
+    SC-3:    C <= 0
+
+Fast condition  ``FC(s) = FC-1(s) or FC-2(s) or FC-3`` (``s >= 1``)::
+
+    FC-1(s): C >= t - t_max + (4*s - 2)*k + k
+    FC-2(s): C >= t - t_min - (4*s - 2)*k + k
+    FC-3:    C >= k
+
+Jump condition  ``JC = JC-1 or JC-2 or JC-3``::
+
+    JC-1: k < C / vt <= t - t_max - k
+    JC-2: 0 > C >= t - t_min + k
+    JC-3: 0 <= C / vt <= k
+
+These checkers run over a :class:`~repro.core.fast.FastResult` and report
+every violation; the test suite asserts there are none, which is the
+empirical counterpart of Lemmas D.4-D.6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.fast import FastResult
+from repro.topology.layered import NodeId
+
+__all__ = [
+    "ConditionViolation",
+    "check_slow_condition",
+    "check_fast_condition",
+    "check_jump_condition",
+    "check_all_conditions",
+]
+
+#: Absolute tolerance for floating-point comparisons in the checkers.
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ConditionViolation:
+    """A condition that failed at a node/pulse, with diagnostic context."""
+
+    condition: str
+    node: NodeId
+    pulse: int
+    s: Optional[int]
+    correction: float
+    own_time: float
+    min_time: float
+    max_time: float
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{self.condition} violated at node={self.node} pulse={self.pulse}"
+            f" s={self.s}: C={self.correction:.6g},"
+            f" t_own={self.own_time:.6g},"
+            f" t_min={self.min_time:.6g}, t_max={self.max_time:.6g}"
+        )
+
+
+def _checkable_nodes(result: FastResult, pulse: int):
+    """Yield (node, C, t_own, t_min, t_max) where the conditions apply.
+
+    The conditions are stated for correct nodes on correct layers (all
+    predecessors correct); nodes whose effective correction is undefined
+    (own message never arrived) are skipped.
+    """
+    graph = result.graph
+    plan = result.fault_plan
+    for layer in range(1, graph.num_layers):
+        for v in graph.base.nodes():
+            node = (v, layer)
+            if plan.is_faulty(node):
+                continue
+            preds = graph.predecessors(node)
+            if any(plan.is_faulty(p) for p in preds):
+                continue
+            correction = result.effective_corrections[pulse, layer, v]
+            if math.isnan(correction):
+                continue
+            t_own = result.times[pulse, layer - 1, v]
+            neighbor_times = [
+                result.times[pulse, layer - 1, w]
+                for w in graph.base.neighbors(v)
+            ]
+            if math.isnan(t_own) or any(math.isnan(t) for t in neighbor_times):
+                continue
+            yield node, float(correction), float(t_own), float(
+                min(neighbor_times)
+            ), float(max(neighbor_times))
+
+
+def check_slow_condition(
+    result: FastResult, s_max: Optional[int] = None
+) -> List[ConditionViolation]:
+    """All SC(s) violations for ``s in 0..s_max`` over the whole run."""
+    kappa = result.params.kappa
+    vartheta = result.params.vartheta
+    if s_max is None:
+        s_max = 2 + math.ceil(math.log2(max(result.graph.diameter, 2)))
+    violations: List[ConditionViolation] = []
+    for pulse in range(result.num_pulses):
+        for node, c, t_own, t_min, t_max in _checkable_nodes(result, pulse):
+            if c <= _TOL:  # SC-3
+                continue
+            for s in range(s_max + 1):
+                sc1 = c / vartheta <= t_own - t_max + 4 * s * kappa + _TOL
+                sc2 = c / vartheta <= t_own - t_min - 4 * s * kappa + _TOL
+                if not (sc1 or sc2):
+                    violations.append(
+                        ConditionViolation(
+                            f"SC({s})", node, pulse, s, c, t_own, t_min, t_max
+                        )
+                    )
+    return violations
+
+
+def check_fast_condition(
+    result: FastResult, s_max: Optional[int] = None
+) -> List[ConditionViolation]:
+    """All FC(s) violations for ``s in 1..s_max`` over the whole run."""
+    kappa = result.params.kappa
+    if s_max is None:
+        s_max = 2 + math.ceil(math.log2(max(result.graph.diameter, 2)))
+    violations: List[ConditionViolation] = []
+    for pulse in range(result.num_pulses):
+        for node, c, t_own, t_min, t_max in _checkable_nodes(result, pulse):
+            if c >= kappa - _TOL:  # FC-3
+                continue
+            for s in range(1, s_max + 1):
+                fc1 = c >= t_own - t_max + (4 * s - 2) * kappa + kappa - _TOL
+                fc2 = c >= t_own - t_min - (4 * s - 2) * kappa + kappa - _TOL
+                if not (fc1 or fc2):
+                    violations.append(
+                        ConditionViolation(
+                            f"FC({s})", node, pulse, s, c, t_own, t_min, t_max
+                        )
+                    )
+    return violations
+
+
+def check_jump_condition(result: FastResult) -> List[ConditionViolation]:
+    """All JC violations over the whole run."""
+    kappa = result.params.kappa
+    vartheta = result.params.vartheta
+    violations: List[ConditionViolation] = []
+    for pulse in range(result.num_pulses):
+        for node, c, t_own, t_min, t_max in _checkable_nodes(result, pulse):
+            jc3 = -_TOL <= c / vartheta <= kappa + _TOL
+            jc1 = (
+                kappa - _TOL < c / vartheta
+                and c / vartheta <= t_own - t_max - kappa + _TOL
+            )
+            jc2 = _TOL > c and c >= t_own - t_min + kappa - _TOL
+            if not (jc1 or jc2 or jc3):
+                violations.append(
+                    ConditionViolation(
+                        "JC", node, pulse, None, c, t_own, t_min, t_max
+                    )
+                )
+    return violations
+
+
+def check_all_conditions(
+    result: FastResult, s_max: Optional[int] = None
+) -> List[ConditionViolation]:
+    """Concatenated SC/FC/JC violations (empty list = all conditions hold)."""
+    return (
+        check_slow_condition(result, s_max)
+        + check_fast_condition(result, s_max)
+        + check_jump_condition(result)
+    )

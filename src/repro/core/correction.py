@@ -1,0 +1,168 @@
+"""The correction value ``C_{v,l}`` of Algorithms 1 and 3.
+
+Both algorithms timestamp three receptions with the local hardware clock --
+
+* ``h_own``: the pulse from the node's own copy ``(v, l-1)``,
+* ``h_min``: the *first* pulse from a neighbor copy ``(w, l-1)``,
+* ``h_max``: the *last*  pulse from a neighbor copy,
+
+-- and derive the correction
+
+    delta = min_{s in N} max(h_own - h_max + 4*s*kappa,
+                             h_own - h_min - 4*s*kappa) - kappa/2,
+
+clamped by the stick-to-the-median rule:
+
+* ``delta`` in ``[0, vartheta*kappa]``  ->  ``C = delta``,
+* ``delta < 0``                 ->  ``C = min(h_own - h_min + 3*kappa/2, 0)``,
+* ``delta > vartheta*kappa``    ->  ``C = max(h_own - h_max - 3*kappa/2,
+  vartheta*kappa)``.
+
+The node then pulses at local time ``h_own + Lambda - d - C``.
+
+The discrete minimization over ``s`` has a closed form used here: the
+expression is convex piecewise-linear in ``s`` with minimizer
+``s* = (h_max - h_min) / (8*kappa)``, so only ``floor(s*)`` and ``ceil(s*)``
+(clipped to ``N``) need evaluating.
+
+A missing last-neighbor reception is modelled by ``h_max = +inf``; the
+``max`` then always selects the ``h_min`` branch and ``delta = -inf``,
+matching the paper's "allow an infinity to cancel out in subtraction"
+reading (Section 3, "Complete Algorithm").
+
+:class:`CorrectionPolicy` exposes the three design choices the paper calls
+out, as ablation knobs:
+
+* ``discretize`` -- minimize over ``s in N`` (the [KO09] ingredient) versus
+  the continuous midpoint rule;
+* ``jump_slack`` -- how far (in units of ``kappa``) an out-of-range jump
+  stops *short* of the earliest/latest neighbor.  ``+1`` is the paper's
+  jump condition JC (dampened oscillation); ``0`` removes the dampening;
+  ``-1`` overshoots past the neighbor by the full measurement slack, the
+  adversarial-but-SC/FC-compliant behaviour whose amplifying oscillation
+  Figure 5 depicts;
+* ``stick_to_median`` -- allow corrections outside ``[0, vartheta*kappa]``
+  at all; disabling reverts to the naive clamp of classic GCS and forfeits
+  fault containment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "CorrectionPolicy",
+    "CorrectionResult",
+    "compute_correction",
+    "raw_delta",
+]
+
+
+@dataclass(frozen=True)
+class CorrectionPolicy:
+    """Design-choice knobs for the correction rule (defaults = the paper)."""
+
+    discretize: bool = True
+    jump_slack: float = 1.0
+    stick_to_median: bool = True
+
+
+#: The policy used by the paper's algorithm.
+PAPER_POLICY = CorrectionPolicy()
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Correction outcome.
+
+    Attributes
+    ----------
+    delta:
+        The pre-clamp value ``Delta`` (possibly ``-inf`` when ``h_max`` is
+        missing).
+    correction:
+        The final ``C_{v,l}``.
+    branch:
+        Which rule produced ``correction``: ``"mid"`` (``delta`` in range),
+        ``"low"`` (``delta < 0``) or ``"high"`` (``delta > vartheta*kappa``).
+    """
+
+    delta: float
+    correction: float
+    branch: str
+
+
+def raw_delta(h_own: float, h_min: float, h_max: float, kappa: float) -> float:
+    """``min_{s in N} max(h_own - h_max + 4sk, h_own - h_min - 4sk) - k/2``.
+
+    ``h_max`` may be ``+inf`` (missing last neighbor), yielding ``-inf``.
+    Requires ``h_min <= h_max`` and finite ``h_own``, ``h_min``.
+    """
+    if not (math.isfinite(h_own) and math.isfinite(h_min)):
+        raise ValueError("h_own and h_min must be finite")
+    if h_max < h_min:
+        raise ValueError(f"h_max={h_max} < h_min={h_min}")
+    if kappa < 0:
+        raise ValueError(f"kappa must be >= 0, got {kappa}")
+    if math.isinf(h_max):
+        return -math.inf
+    a = h_own - h_max
+    b = h_own - h_min
+    if kappa == 0.0:
+        return b  # max(a + 0, b - 0) for every s; b >= a
+    s_star = (h_max - h_min) / (8.0 * kappa)
+    candidates = {max(0, math.floor(s_star)), max(0, math.ceil(s_star))}
+    best = min(
+        max(a + 4.0 * s * kappa, b - 4.0 * s * kappa) for s in candidates
+    )
+    return best - kappa / 2.0
+
+
+def _continuous_delta(h_own: float, h_min: float, h_max: float, kappa: float) -> float:
+    """Ablation AB1: the continuous midpoint rule (no 4sk grid)."""
+    if math.isinf(h_max):
+        return -math.inf
+    return h_own - (h_max + h_min) / 2.0 - kappa / 2.0
+
+
+def compute_correction(
+    h_own: float,
+    h_min: float,
+    h_max: float,
+    kappa: float,
+    vartheta: float,
+    policy: CorrectionPolicy = PAPER_POLICY,
+) -> CorrectionResult:
+    """Full correction rule of Algorithms 1 and 3 (with ablation knobs)."""
+    if policy.discretize:
+        delta = raw_delta(h_own, h_min, h_max, kappa)
+    else:
+        delta = _continuous_delta(h_own, h_min, h_max, kappa)
+
+    upper = vartheta * kappa
+    damp = policy.jump_slack * kappa
+
+    if delta < 0.0:
+        if policy.stick_to_median:
+            # Algorithm 3: C := min(h_own - h_min + 3k/2, 0); the +3k/2 is
+            # -k/2 (measurement slack) + 2k, of which k is the JC dampening
+            # (jump_slack = 1 reproduces it).
+            jump_target = h_own - h_min + kappa / 2.0 + damp
+            correction = min(jump_target, 0.0)
+        else:
+            correction = 0.0
+        return CorrectionResult(delta=delta, correction=correction, branch="low")
+
+    if delta > upper:
+        if policy.stick_to_median:
+            if math.isinf(h_max):
+                raise ValueError("high branch requires a finite h_max")
+            # Algorithm 3: C := max(h_own - h_max - 3k/2, vartheta*k).
+            jump_target = h_own - h_max - kappa / 2.0 - damp
+            correction = max(jump_target, upper)
+        else:
+            correction = upper
+        return CorrectionResult(delta=delta, correction=correction, branch="high")
+
+    return CorrectionResult(delta=delta, correction=delta, branch="mid")

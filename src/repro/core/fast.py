@@ -1,0 +1,480 @@
+"""Fast layer-recurrence simulator.
+
+Delays and hardware clock rates are static within a pulse (the paper's
+model), so the ``k``-th pulse of layer ``l`` is a deterministic function of
+the ``k``-th pulses of layer ``l - 1`` (Lemma B.1).  This module evaluates
+that recurrence directly -- pulse by pulse, layer by layer -- implementing
+the *full* Algorithm 3 semantics (missing messages, early exits, the
+via-``H_max`` branch) without an event queue.  The event-driven simulator
+(:mod:`repro.core.network_sim`) is cross-validated against this one in the
+test suite.
+
+The per-node, per-pulse logic mirrors Algorithm 3:
+
+1. Compute the reception time of each predecessor's pulse (send time plus
+   edge delay); faulty predecessors' send times come from their
+   :class:`~repro.faults.model.FaultBehavior` (``None`` = silent).
+2. Replay the do-until loop.  It exits at the first local time ``tau``
+   such that ``H_min`` is set and each still-missing reception has timed
+   out: a missing own-copy message times out at ``H_max + k/2 + vt*k``
+   (possible only once ``H_max`` is set), a missing last-neighbor message
+   at ``2*H_own - H_min + 2k``.  When everything has been received the
+   loop exits immediately at the final arrival.  This is the reading of
+   Algorithm 3's ``until`` clause under which Lemma B.2's equivalence
+   proof goes through: its case "terminated because ``H(t) = H_max + k/2
+   + vt*k``" is exactly "own message still missing at exit" (so Algorithm
+   1 would see ``H_own >= H_max + k/2 + vt*k``), and its other case is
+   "last neighbor still missing".
+3. If the own-copy message was missing at exit, pulse at local time
+   ``H_max + 3k/2 + Lambda - d`` (the "own copy is missing/late" branch);
+   otherwise compute the correction ``C`` (with ``H_max = +inf`` if the
+   last neighbor never showed) and pulse at ``H_own + Lambda - d - C``.
+
+Faulty nodes also run the protocol (their "correct time" anchors the fault
+behaviours, as in Lemma 4.30's coupled executions) but broadcast whatever
+their behaviour dictates, per successor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
+from repro.core.layer0 import Layer0Schedule, PerfectLayer0
+from repro.delays.models import DelayModel, UniformDelayModel
+from repro.faults.injection import FaultPlan
+from repro.faults.model import FaultContext
+from repro.params import Parameters
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = ["FastSimulation", "FastResult", "NodeOutcome", "BRANCH_CODES"]
+
+#: Encoding of the branch that produced each pulse (see :class:`FastResult`).
+BRANCH_CODES = {
+    "mid": 0,
+    "low": 1,
+    "high": 2,
+    "via_max": 3,
+    "none": 4,
+    "layer0": 5,
+}
+
+RateProvider = Union[None, Dict[NodeId, float], Callable[[NodeId, int], float]]
+
+
+@dataclass
+class NodeOutcome:
+    """Outcome of one node's loop iteration (used internally and by tests)."""
+
+    pulse_time: Optional[float]
+    correction: float
+    branch: str
+    exit_local: Optional[float]
+    h_own: float
+    h_min: float
+    h_max: float
+
+
+class FastResult:
+    """Pulse-time matrices produced by :class:`FastSimulation`.
+
+    Attributes
+    ----------
+    times:
+        Array of shape ``(K, L, W)``: actual broadcast time of pulse ``k``
+        at node ``(v, l)``.  ``NaN`` for faulty nodes (their messages are
+        per-successor; see ``fault_sends``) and for nodes that never pulse.
+    protocol_times:
+        Same shape: the time each node pulses *when following the protocol
+        on its actual inputs* -- equal to ``times`` for correct nodes, and
+        the Lemma 4.30 reference point for faulty ones.
+    corrections:
+        Correction ``C_{v,l}`` chosen at each iteration (``NaN`` on layer 0,
+        where no pulse happened, and in the via-``H_max`` branch, which does
+        not compute a correction).
+    effective_corrections:
+        ``H_own + Lambda - d - H(pulse)``: the correction *effectively*
+        applied relative to the own-copy reception, defined whenever the own
+        message eventually arrived.  Equals ``corrections`` on the normal
+        branch; in the via-``H_max`` branch it reconstructs the correction
+        Lemma B.2 attributes to Algorithm 1.  This is the quantity the
+        SC/FC/JC condition checkers consume.
+    branches:
+        ``int8`` codes per :data:`BRANCH_CODES`.
+    fault_sends:
+        ``{(faulty_node, successor): {pulse: send_time_or_None}}``.
+    """
+
+    def __init__(
+        self,
+        graph: LayeredGraph,
+        params: Parameters,
+        fault_plan: FaultPlan,
+        num_pulses: int,
+    ) -> None:
+        shape = (num_pulses, graph.num_layers, graph.width)
+        self.graph = graph
+        self.params = params
+        self.fault_plan = fault_plan
+        self.num_pulses = num_pulses
+        self.times = np.full(shape, np.nan)
+        self.protocol_times = np.full(shape, np.nan)
+        self.corrections = np.full(shape, np.nan)
+        self.effective_corrections = np.full(shape, np.nan)
+        self.branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
+        self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
+
+    @property
+    def faulty_mask(self) -> np.ndarray:
+        """Boolean array ``(L, W)``: True where the node is faulty."""
+        mask = np.zeros((self.graph.num_layers, self.graph.width), dtype=bool)
+        for v, layer in self.fault_plan.faulty_nodes():
+            mask[layer, v] = True
+        return mask
+
+    def pulse_time(self, node: NodeId, pulse: int) -> float:
+        """Broadcast time (NaN if none); convenience accessor."""
+        v, layer = node
+        return float(self.times[pulse, layer, v])
+
+    # Convenience delegates into the analysis package (lazy import to keep
+    # the dependency direction core <- analysis).
+    def local_skew(self, layer: int) -> float:
+        """Measured ``L_layer`` over all recorded pulses."""
+        from repro.analysis.skew import local_skew_per_layer
+
+        return local_skew_per_layer(self)[layer]
+
+    def max_local_skew(self) -> float:
+        """Measured ``sup_l L_l``."""
+        from repro.analysis.skew import max_local_skew
+
+        return max_local_skew(self)
+
+    def global_skew(self) -> float:
+        """Measured global skew ``max_l Psi^0``-style same-layer spread."""
+        from repro.analysis.skew import global_skew
+
+        return global_skew(self)
+
+
+class FastSimulation:
+    """Closed-form grid simulation (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The layered graph ``G``.
+    params:
+        Timing parameters.
+    delay_model:
+        Edge delays; default uniform midpoint ``d - u/2``.
+    clock_rates:
+        Per-node hardware clock rates in ``[1, vartheta]``: a dict keyed by
+        node, a callable ``(node, pulse) -> rate`` (rates may change between
+        pulses for Corollary 1.5 runs), or None for rate 1 everywhere.
+    fault_plan:
+        The faulty set and behaviours.
+    layer0:
+        Layer-0 pulse schedule; default :class:`PerfectLayer0`.
+    policy:
+        Correction-rule ablation knobs.
+    algorithm:
+        ``"full"`` (Algorithm 3) or ``"simplified"`` (Algorithm 1: waits for
+        all predecessors; deadlocks on crashed predecessors exactly as the
+        paper warns).
+    """
+
+    def __init__(
+        self,
+        graph: LayeredGraph,
+        params: Parameters,
+        delay_model: Optional[DelayModel] = None,
+        clock_rates: RateProvider = None,
+        fault_plan: Optional[FaultPlan] = None,
+        layer0: Optional[Layer0Schedule] = None,
+        policy: CorrectionPolicy = PAPER_POLICY,
+        algorithm: str = "full",
+    ) -> None:
+        if algorithm not in ("full", "simplified"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.graph = graph
+        self.params = params
+        self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.layer0 = layer0 or PerfectLayer0(params.Lambda)
+        self.policy = policy
+        self.algorithm = algorithm
+        self._rates = clock_rates
+
+    # ------------------------------------------------------------------
+    # Clock rates
+    # ------------------------------------------------------------------
+    def rate(self, node: NodeId, pulse: int) -> float:
+        """Hardware clock rate of ``node`` during iteration ``pulse``."""
+        if self._rates is None:
+            return 1.0
+        if callable(self._rates):
+            return float(self._rates(node, pulse))
+        return float(self._rates.get(node, 1.0))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, num_pulses: int) -> FastResult:
+        """Simulate ``num_pulses`` pulses through all layers."""
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
+        for k in range(num_pulses):
+            self._run_layer0(result, k)
+            for layer in range(1, self.graph.num_layers):
+                self._run_layer(result, k, layer)
+        return result
+
+    def _run_layer0(self, result: FastResult, k: int) -> None:
+        for v in self.graph.base.nodes():
+            node = (v, 0)
+            t = self.layer0.pulse_time(v, k)
+            result.protocol_times[k, 0, v] = t
+            result.branches[k, 0, v] = BRANCH_CODES["layer0"]
+            if self.fault_plan.is_faulty(node):
+                self._record_fault_sends(result, node, k, t)
+            else:
+                result.times[k, 0, v] = t
+
+    def _run_layer(self, result: FastResult, k: int, layer: int) -> None:
+        for v in self.graph.base.nodes():
+            node = (v, layer)
+            outcome = self._run_node(result, node, k)
+            result.corrections[k, layer, v] = outcome.correction
+            result.branches[k, layer, v] = BRANCH_CODES[outcome.branch]
+            if outcome.pulse_time is None:
+                continue
+            if math.isfinite(outcome.h_own):
+                rate = self.rate(node, k)
+                result.effective_corrections[k, layer, v] = (
+                    outcome.h_own
+                    + self.params.Lambda
+                    - self.params.d
+                    - rate * outcome.pulse_time
+                )
+            result.protocol_times[k, layer, v] = outcome.pulse_time
+            if self.fault_plan.is_faulty(node):
+                self._record_fault_sends(result, node, k, outcome.pulse_time)
+            else:
+                result.times[k, layer, v] = outcome.pulse_time
+
+    def _record_fault_sends(
+        self, result: FastResult, node: NodeId, k: int, correct_time: float
+    ) -> None:
+        behavior = self.fault_plan.behavior(node)
+        assert behavior is not None
+        context = FaultContext(
+            node=node, pulse=k, correct_time=correct_time, kappa=self.params.kappa
+        )
+        for successor in self.graph.successors(node):
+            send = behavior.send_time(context, successor)
+            result.fault_sends.setdefault((node, successor), {})[k] = send
+
+    # ------------------------------------------------------------------
+    # Reception times
+    # ------------------------------------------------------------------
+    def _send_time(
+        self, result: FastResult, pred: NodeId, node: NodeId, k: int
+    ) -> Optional[float]:
+        """Time ``pred``'s pulse-``k`` message toward ``node`` leaves."""
+        pv, pl = pred
+        if self.fault_plan.is_faulty(pred):
+            return result.fault_sends.get((pred, node), {}).get(k)
+        t = result.times[k, pl, pv]
+        if math.isnan(t):
+            return None
+        return float(t)
+
+    def _arrivals(
+        self, result: FastResult, node: NodeId, k: int
+    ) -> Tuple[Optional[float], List[float]]:
+        """Real reception times: (own arrival, sorted neighbor arrivals)."""
+        own_pred = (node[0], node[1] - 1)
+        own_send = self._send_time(result, own_pred, node, k)
+        own_arrival = None
+        if own_send is not None:
+            own_arrival = own_send + self.delay_model.delay((own_pred, node), k)
+        neighbor_arrivals = []
+        for pred in self.graph.neighbor_predecessors(node):
+            send = self._send_time(result, pred, node, k)
+            if send is None:
+                continue
+            neighbor_arrivals.append(
+                send + self.delay_model.delay((pred, node), k)
+            )
+        neighbor_arrivals.sort()
+        return own_arrival, neighbor_arrivals
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 loop replay
+    # ------------------------------------------------------------------
+    def _run_node(self, result: FastResult, node: NodeId, k: int) -> NodeOutcome:
+        own_arrival, neighbor_arrivals = self._arrivals(result, node, k)
+        rate = self.rate(node, k)
+        num_neighbors = len(self.graph.neighbor_predecessors(node))
+        if self.algorithm == "simplified":
+            return self._run_node_simplified(
+                own_arrival, neighbor_arrivals, num_neighbors, rate
+            )
+        return self._run_node_full(
+            own_arrival, neighbor_arrivals, num_neighbors, rate
+        )
+
+    def _run_node_simplified(
+        self,
+        own_arrival: Optional[float],
+        neighbor_arrivals: List[float],
+        num_neighbors: int,
+        rate: float,
+    ) -> NodeOutcome:
+        """Algorithm 1: wait for own + first + last neighbor, then correct."""
+        if own_arrival is None or len(neighbor_arrivals) < num_neighbors:
+            return NodeOutcome(None, math.nan, "none", None, math.inf, math.inf, math.inf)
+        h_own = rate * own_arrival
+        h_min = rate * neighbor_arrivals[0]
+        h_max = rate * neighbor_arrivals[-1]
+        outcome = compute_correction(
+            h_own,
+            h_min,
+            h_max,
+            self.params.kappa,
+            self.params.vartheta,
+            self.policy,
+        )
+        target = h_own + self.params.Lambda - self.params.d - outcome.correction
+        ready = max(h_own, h_max)
+        pulse_local = max(target, ready)
+        return NodeOutcome(
+            pulse_time=pulse_local / rate,
+            correction=outcome.correction,
+            branch=outcome.branch,
+            exit_local=ready,
+            h_own=h_own,
+            h_min=h_min,
+            h_max=h_max,
+        )
+
+    @staticmethod
+    def _exit_requirement(
+        h_own: float,
+        h_min: float,
+        h_max: float,
+        now: float,
+        kappa: float,
+        vartheta: float,
+    ) -> Optional[float]:
+        """Earliest local exit time given the receptions known at ``now``.
+
+        None when the loop cannot exit yet by waiting (no neighbor message,
+        or both the own copy and the last neighbor are missing).
+        """
+        if math.isinf(h_min):
+            return None
+        required = now
+        if math.isinf(h_own):
+            if math.isinf(h_max):
+                return None
+            required = max(required, h_max + kappa / 2.0 + vartheta * kappa)
+        if math.isinf(h_max):
+            required = max(required, 2.0 * h_own - h_min + 2.0 * kappa)
+        return required
+
+    def _run_node_full(
+        self,
+        own_arrival: Optional[float],
+        neighbor_arrivals: List[float],
+        num_neighbors: int,
+        rate: float,
+    ) -> NodeOutcome:
+        """Algorithm 3: replay the do-until loop and branch on exit cause."""
+        params = self.params
+        kappa = params.kappa
+        vartheta = params.vartheta
+
+        # Build the chronological arrival event list in *local* time.
+        events: List[Tuple[float, str]] = []
+        if own_arrival is not None:
+            events.append((rate * own_arrival, "own"))
+        for arrival in neighbor_arrivals:
+            events.append((rate * arrival, "neighbor"))
+        events.sort(key=lambda e: (e[0], e[1] != "neighbor"))
+        # Ties: neighbors before own, matching the pseudocode's statement
+        # order being irrelevant (any deterministic rule works; tests pin it).
+
+        h_own = math.inf
+        h_min = math.inf
+        h_max = math.inf
+        received = 0
+        exit_tau: Optional[float] = None
+        own_missing_at_exit = False
+
+        for i, (h_arrival, kind) in enumerate(events):
+            if kind == "own":
+                h_own = min(h_own, h_arrival)
+            else:
+                received += 1
+                if received == 1:
+                    h_min = h_arrival
+                if received == num_neighbors:
+                    h_max = h_arrival
+            required = self._exit_requirement(
+                h_own, h_min, h_max, h_arrival, kappa, vartheta
+            )
+            if required is None:
+                continue
+            next_arrival = events[i + 1][0] if i + 1 < len(events) else math.inf
+            if required < next_arrival:
+                exit_tau = required
+                own_missing_at_exit = math.isinf(h_own)
+                break
+
+        if exit_tau is None:
+            # No neighbor message, or own copy and last neighbor both
+            # missing: the loop never exits.  Only possible with >= 2
+            # silent predecessors (outside the fault model).
+            return NodeOutcome(
+                None, math.nan, "none", None, h_own, h_min, h_max
+            )
+
+        if own_missing_at_exit:
+            # Algorithm 3's "H(t) = H_max + k/2 + vt*k" branch: the own
+            # copy's message did not arrive in time; anchor on H_max.
+            pulse_local = h_max + 1.5 * kappa + params.Lambda - params.d
+            pulse_local = max(pulse_local, exit_tau)
+            return NodeOutcome(
+                pulse_time=pulse_local / rate,
+                correction=math.nan,
+                branch="via_max",
+                exit_local=exit_tau,
+                h_own=h_own,
+                h_min=h_min,
+                h_max=h_max,
+            )
+
+        # Else branch: H_own and H_min are finite here; H_max may be +inf
+        # (last neighbor missing), which drives the correction negative.
+        outcome = compute_correction(
+            h_own, h_min, h_max, kappa, vartheta, self.policy
+        )
+        target = h_own + params.Lambda - params.d - outcome.correction
+        pulse_local = max(target, exit_tau)
+        return NodeOutcome(
+            pulse_time=pulse_local / rate,
+            correction=outcome.correction,
+            branch=outcome.branch,
+            exit_local=exit_tau,
+            h_own=h_own,
+            h_min=h_min,
+            h_max=h_max,
+        )

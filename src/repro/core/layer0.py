@@ -1,0 +1,245 @@
+"""Layer-0 pulse generation (Appendix A).
+
+Layer 0 must provide well-synchronized input pulses: local skew
+``L_0 <= kappa`` suffices for the grid analysis (the chain scheme achieves
+``kappa / 2``, Lemma A.1).  Three schedules are provided:
+
+* :class:`PerfectLayer0` -- ideal source, pulse ``k`` at ``k * Lambda``
+  everywhere (control runs);
+* :class:`JitteredLayer0` -- per-node static jitter within a budget
+  (models an imperfect but bounded source);
+* :class:`ChainLayer0` -- Algorithm 2: the clock source feeds a simple
+  path through layer 0; each node forwards ``Lambda - d`` local time after
+  reception.  Pipelining shifts pulse indices along the chain (node at
+  chain position ``i`` emits its ``k``-th chain pulse around
+  ``(k + i - 1) * Lambda``), so grid pulse ``k`` of position ``i`` is chain
+  pulse ``k + P - i`` (``P`` = chain length); this makes all grid-``k``
+  pulses land around ``(k + P - 1) * Lambda`` with adjacent skew
+  ``<= kappa/2`` per hop, exactly Lemma A.1's guarantee.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clocks.hardware import AffineClock, HardwareClock
+from repro.delays.models import DelayModel, UniformDelayModel
+from repro.params import Parameters
+from repro.topology.base_graph import BaseGraph
+
+__all__ = [
+    "Layer0Schedule",
+    "PerfectLayer0",
+    "JitteredLayer0",
+    "AlternatingLayer0",
+    "ChainLayer0",
+]
+
+
+class Layer0Schedule(ABC):
+    """Pulse times of layer-0 nodes, indexed by grid pulse number ``k >= 0``."""
+
+    @abstractmethod
+    def pulse_time(self, base_vertex: int, pulse: int) -> float:
+        """Real time of grid pulse ``pulse`` at ``(base_vertex, 0)``."""
+
+    def layer_times(self, base: BaseGraph, pulse: int) -> List[float]:
+        """Pulse times across the whole layer."""
+        return [self.pulse_time(v, pulse) for v in base.nodes()]
+
+    def local_skew(self, base: BaseGraph, pulses: int) -> float:
+        """Measured ``L_0``: max adjacent same-pulse offset over ``pulses``."""
+        worst = 0.0
+        for k in range(pulses):
+            for v, w in base.edges:
+                offset = abs(self.pulse_time(v, k) - self.pulse_time(w, k))
+                worst = max(worst, offset)
+        return worst
+
+
+class PerfectLayer0(Layer0Schedule):
+    """Ideal layer 0: pulse ``k`` at ``k * Lambda`` at every node."""
+
+    def __init__(self, Lambda: float) -> None:
+        if Lambda <= 0:
+            raise ValueError(f"Lambda must be positive, got {Lambda}")
+        self.Lambda = Lambda
+
+    def pulse_time(self, base_vertex: int, pulse: int) -> float:
+        if pulse < 0:
+            raise ValueError(f"pulse must be >= 0, got {pulse}")
+        return pulse * self.Lambda
+
+
+class JitteredLayer0(Layer0Schedule):
+    """Per-node static jitter: pulse ``k`` at ``k * Lambda + jitter_v``.
+
+    Jitter is drawn uniformly from ``[-jitter_bound, jitter_bound]`` once per
+    node and reused for every pulse, so the schedule's frequency is exact and
+    only phases differ (the paper's model for imperfect input, with the
+    frequency error folded into ``vartheta``).
+    """
+
+    def __init__(
+        self,
+        Lambda: float,
+        num_vertices: int,
+        jitter_bound: float,
+        seed: int = 0,
+    ) -> None:
+        if Lambda <= 0:
+            raise ValueError(f"Lambda must be positive, got {Lambda}")
+        if jitter_bound < 0:
+            raise ValueError(f"jitter_bound must be >= 0, got {jitter_bound}")
+        self.Lambda = Lambda
+        rng = np.random.default_rng(seed)
+        self._jitter = rng.uniform(-jitter_bound, jitter_bound, size=num_vertices)
+        # Keep every pulse time nonnegative.
+        self._base_offset = jitter_bound
+
+    def pulse_time(self, base_vertex: int, pulse: int) -> float:
+        if pulse < 0:
+            raise ValueError(f"pulse must be >= 0, got {pulse}")
+        return (
+            pulse * self.Lambda
+            + self._base_offset
+            + float(self._jitter[base_vertex])
+        )
+
+
+class AlternatingLayer0(Layer0Schedule):
+    """Zigzag input: pulse ``k`` at ``k * Lambda + (-1)**v * amplitude``.
+
+    The worst-case input for oscillation experiments (Figure 5): adjacent
+    layer-0 nodes are maximally and oppositely offset, so downstream nodes
+    are pushed to jump in opposite directions every layer.
+    """
+
+    def __init__(self, Lambda: float, amplitude: float) -> None:
+        if Lambda <= 0:
+            raise ValueError(f"Lambda must be positive, got {Lambda}")
+        if amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+        self.Lambda = Lambda
+        self.amplitude = amplitude
+
+    def pulse_time(self, base_vertex: int, pulse: int) -> float:
+        if pulse < 0:
+            raise ValueError(f"pulse must be >= 0, got {pulse}")
+        sign = 1.0 if base_vertex % 2 == 0 else -1.0
+        return pulse * self.Lambda + self.amplitude + sign * self.amplitude
+
+
+class ChainLayer0(Layer0Schedule):
+    """Algorithm 2: source-fed chain forwarding through layer 0.
+
+    Parameters
+    ----------
+    params:
+        Timing parameters (``Lambda``, ``d``).
+    chain_order:
+        The base vertices in chain order; position 0 is fed directly by the
+        clock source.
+    delay_model:
+        Delays of chain edges ``((prev, 0), (next, 0))``; defaults to the
+        uniform midpoint.
+    clocks:
+        Optional per-base-vertex hardware clocks (only rates matter here);
+        defaults to rate-1 clocks.
+    source_period:
+        Period of the clock source; defaults to ``params.Lambda`` (the paper
+        matches the input frequency to the nominal layer latency).
+    """
+
+    def __init__(
+        self,
+        params: Parameters,
+        chain_order: Sequence[int],
+        delay_model: Optional[DelayModel] = None,
+        clocks: Optional[Dict[int, HardwareClock]] = None,
+        source_period: Optional[float] = None,
+    ) -> None:
+        if not chain_order:
+            raise ValueError("chain_order must be non-empty")
+        if len(set(chain_order)) != len(chain_order):
+            raise ValueError("chain_order must not repeat vertices")
+        self.params = params
+        self.chain_order = list(chain_order)
+        self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
+        self.clocks = clocks or {}
+        self.source_period = source_period or params.Lambda
+        self._position = {v: i for i, v in enumerate(self.chain_order)}
+        # _chain_times[i][j] = time of *chain* pulse j at chain position i.
+        self._chain_times: List[List[float]] = [[] for _ in self.chain_order]
+
+    def _rate(self, vertex: int) -> float:
+        clock = self.clocks.get(vertex)
+        if clock is None:
+            return 1.0
+        low, high = clock.rate_bounds()
+        if low != high:
+            raise ValueError(
+                "ChainLayer0 requires constant-rate clocks; "
+                f"vertex {vertex} has rates in [{low}, {high}]"
+            )
+        return low
+
+    def chain_pulse_time(self, position: int, chain_pulse: int) -> float:
+        """Time of *chain* pulse ``chain_pulse`` (0-based) at chain position.
+
+        Position 0 receives source pulse ``j`` at ``j * source_period`` and
+        runs the same forwarding rule as everyone else.
+        """
+        if not 0 <= position < len(self.chain_order):
+            raise ValueError(f"position {position} out of range")
+        if chain_pulse < 0:
+            raise ValueError(f"chain_pulse must be >= 0, got {chain_pulse}")
+        times = self._chain_times[position]
+        while len(times) <= chain_pulse:
+            j = len(times)
+            vertex = self.chain_order[position]
+            if position == 0:
+                received = j * self.source_period + self.delay_model.delay(
+                    (("source", -1), (vertex, 0)), j
+                )
+            else:
+                prev_vertex = self.chain_order[position - 1]
+                prev_time = self.chain_pulse_time(position - 1, j)
+                received = prev_time + self.delay_model.delay(
+                    ((prev_vertex, 0), (vertex, 0)), j
+                )
+            # Wait Lambda - d of *local* time after reception (Algorithm 2).
+            wait = (self.params.Lambda - self.params.d) / self._rate(vertex)
+            times.append(received + wait)
+        return times[chain_pulse]
+
+    def pulse_time(self, base_vertex: int, pulse: int) -> float:
+        """Grid pulse ``pulse``: chain pulse ``pulse + P - 1 - position``.
+
+        The re-indexing aligns pulses across the chain (see module
+        docstring); grid pulse ``k`` lands near ``(k + P) * Lambda``.
+        """
+        position = self._position.get(base_vertex)
+        if position is None:
+            raise ValueError(f"vertex {base_vertex} not on the chain")
+        if pulse < 0:
+            raise ValueError(f"pulse must be >= 0, got {pulse}")
+        chain_pulse = pulse + (len(self.chain_order) - 1 - position)
+        return self.chain_pulse_time(position, chain_pulse)
+
+    def lemma_a1_envelope(self, position: int, chain_pulse: int) -> tuple:
+        """Lemma A.1's envelope for chain pulse times.
+
+        Returns ``(lower, upper)`` where the lemma asserts
+        ``t in [(k + i - 1) * Lambda - i * kappa / 2, (k + i - 1) * Lambda]``
+        for 1-based pulse ``k`` and chain index ``i``.  Our indices are
+        0-based in both, so ``k + i - 1 = chain_pulse + position + 1``;
+        the source-to-position-0 hop adds one ``Lambda``-ish hop, hence the
+        ``position + 1`` hop count in the drift budget.
+        """
+        hops = position + 1
+        nominal = (chain_pulse + hops) * self.params.Lambda
+        return (nominal - hops * self.params.kappa / 2.0, nominal)

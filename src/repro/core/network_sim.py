@@ -1,0 +1,223 @@
+"""Event-driven grid simulation builder.
+
+:class:`GridSimulation` wires up the discrete-event engine for a layered
+graph: scripted layer-0 pulsers, :class:`~repro.core.algorithm.
+GradientTrixNode` (or the self-stabilizing variant) on layers ``>= 1``, and
+scripted replay of fault behaviours.  Fault send times are precomputed with
+the fast simulator so that both execution modes observe byte-identical
+message timing -- the cross-validation tests rely on this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.clocks.hardware import AffineClock, HardwareClock
+from repro.core.algorithm import GradientTrixNode, ScriptedPulser
+from repro.core.correction import CorrectionPolicy, PAPER_POLICY
+from repro.core.fast import FastResult, FastSimulation
+from repro.core.layer0 import Layer0Schedule, PerfectLayer0
+from repro.delays.models import DelayModel, UniformDelayModel
+from repro.engine.network import Network
+from repro.engine.scheduler import Simulator
+from repro.engine.trace import Trace
+from repro.faults.injection import FaultPlan
+from repro.params import Parameters
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = ["GridSimulation"]
+
+
+class GridSimulation:
+    """Builds and runs the event-driven counterpart of a fast simulation.
+
+    Parameters mirror :class:`~repro.core.fast.FastSimulation`; ``clocks``
+    maps nodes to :class:`HardwareClock` objects (default: rate-1 affine).
+    ``node_class`` selects the state machine for layers ``>= 1``.
+    """
+
+    def __init__(
+        self,
+        graph: LayeredGraph,
+        params: Parameters,
+        delay_model: Optional[DelayModel] = None,
+        clocks: Optional[Dict[NodeId, HardwareClock]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        layer0: Optional[Layer0Schedule] = None,
+        policy: CorrectionPolicy = PAPER_POLICY,
+        node_class: Type[GradientTrixNode] = GradientTrixNode,
+        node_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
+        self.clocks = clocks or {}
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.layer0 = layer0 or PerfectLayer0(params.Lambda)
+        self.policy = policy
+        self.node_class = node_class
+        self.node_kwargs = node_kwargs or {}
+
+        self.sim = Simulator()
+        self.network = Network(self.sim, self.delay_model)
+        self.trace = Trace()
+        self.nodes: Dict[NodeId, GradientTrixNode] = {}
+        self._built = False
+
+    def clock_for(self, node: NodeId) -> HardwareClock:
+        """The node's hardware clock (rate-1 affine if unspecified)."""
+        clock = self.clocks.get(node)
+        if clock is None:
+            clock = AffineClock()
+            self.clocks[node] = clock
+        return clock
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fault_reference(self, num_pulses: int) -> FastResult:
+        """Fast-mode run used to script fault behaviours and layer 0."""
+        fast = FastSimulation(
+            self.graph,
+            self.params,
+            delay_model=self.delay_model,
+            clock_rates=self._fast_rates(),
+            fault_plan=self.fault_plan,
+            layer0=self.layer0,
+            policy=self.policy,
+        )
+        return fast.run(num_pulses)
+
+    def _fast_rates(self):
+        rates: Dict[NodeId, float] = {}
+        for node, clock in self.clocks.items():
+            low, high = clock.rate_bounds()
+            if low != high:
+                raise ValueError(
+                    "event/fast coupling requires constant-rate clocks; "
+                    f"{node} has rates in [{low}, {high}]"
+                )
+            rates[node] = low
+        return rates
+
+    def build(self, num_pulses: int) -> None:
+        """Instantiate all processes for a ``num_pulses``-pulse run."""
+        if self._built:
+            raise RuntimeError("GridSimulation.build may only be called once")
+        self._built = True
+        reference = (
+            self._fault_reference(num_pulses) if len(self.fault_plan) else None
+        )
+
+        for v in self.graph.base.nodes():
+            node = (v, 0)
+            self._build_layer0_node(node, num_pulses, reference)
+
+        for layer in range(1, self.graph.num_layers):
+            for v in self.graph.base.nodes():
+                node = (v, layer)
+                if self.fault_plan.is_faulty(node):
+                    self._build_faulty_node(node, num_pulses, reference)
+                else:
+                    self._build_correct_node(node, num_pulses)
+
+        for process in self.network._processes.values():
+            process.start()
+
+    def _build_layer0_node(
+        self, node: NodeId, num_pulses: int, reference: Optional[FastResult]
+    ) -> None:
+        v, _ = node
+        successors = self.graph.successors(node)
+        if self.fault_plan.is_faulty(node):
+            assert reference is not None
+            schedule = self._fault_schedule(node, num_pulses, reference)
+            record = False
+        else:
+            sends = [
+                (self.layer0.pulse_time(v, k), k) for k in range(num_pulses)
+            ]
+            schedule = {succ: list(sends) for succ in successors}
+            record = True
+        pulser = ScriptedPulser(
+            self.sim,
+            self.network,
+            self.trace,
+            node,
+            self.clock_for(node),
+            schedule,
+            record=record,
+        )
+        self.network.register(pulser)
+        self.nodes[node] = pulser  # type: ignore[assignment]
+
+    def _build_correct_node(self, node: NodeId, num_pulses: int) -> None:
+        v, layer = node
+        kwargs = dict(policy=self.policy, max_pulses=num_pulses)
+        kwargs.update(self.node_kwargs)
+        process = self.node_class(
+            self.sim,
+            self.network,
+            self.trace,
+            node,
+            self.clock_for(node),
+            self.params,
+            own_pred=(v, layer - 1),
+            neighbor_preds=self.graph.neighbor_predecessors(node),
+            successors=self.graph.successors(node),
+            **kwargs,
+        )
+        self.network.register(process)
+        self.nodes[node] = process
+
+    def _fault_schedule(
+        self, node: NodeId, num_pulses: int, reference: FastResult
+    ) -> Dict[NodeId, List[Tuple[float, int]]]:
+        schedule: Dict[NodeId, List[Tuple[float, int]]] = {}
+        for successor in self.graph.successors(node):
+            sends = reference.fault_sends.get((node, successor), {})
+            entries = [
+                (send_time, pulse)
+                for pulse, send_time in sorted(sends.items())
+                if send_time is not None and pulse < num_pulses
+            ]
+            if entries:
+                schedule[successor] = entries
+        return schedule
+
+    def _build_faulty_node(
+        self, node: NodeId, num_pulses: int, reference: FastResult
+    ) -> None:
+        schedule = self._fault_schedule(node, num_pulses, reference)
+        pulser = ScriptedPulser(
+            self.sim,
+            self.network,
+            self.trace,
+            node,
+            self.clock_for(node),
+            schedule,
+            record=False,
+        )
+        self.network.register(pulser)
+        self.nodes[node] = pulser  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, num_pulses: int, slack_periods: float = 5.0) -> Trace:
+        """Build (if needed) and run until all pulses propagated.
+
+        The horizon is ``(num_pulses + num_layers + slack_periods) * Lambda``
+        plus the layer-0 offset -- ample for every pulse to cross the grid.
+        """
+        if not self._built:
+            self.build(num_pulses)
+        first = min(
+            self.layer0.pulse_time(v, 0) for v in self.graph.base.nodes()
+        )
+        horizon = first + (
+            num_pulses + self.graph.num_layers + slack_periods
+        ) * self.params.Lambda
+        self.sim.run_until(horizon)
+        return self.trace

@@ -1,0 +1,235 @@
+"""Algorithm 4: the self-stabilizing pulse forwarding variant (Appendix C).
+
+Two additions turn Algorithm 3 into Algorithm 4:
+
+* **Reception watchdog** (the ``Wait()`` thread): once the first neighbor
+  pulse of an iteration is registered, correct neighbors' pulses all arrive
+  within ``vartheta * (2*L + u)`` local time.  If after that grace period
+  *both* the own-copy and the last-neighbor receptions are still missing,
+  the registered receptions cannot all belong to one pulse -- the node
+  forgets them and waits for the next pulse, cleanly re-aligning iterations.
+* **Wait escapes**: state corrupted by transient faults can place stored
+  reception timestamps in the local future or produce wait targets that
+  already passed; the waits then end immediately instead of stalling.
+
+:class:`ChainForwardNode` is the event-driven Algorithm 2 (layer-0 chain),
+self-stabilizing by design because its only state is overwritten on every
+reception.
+
+:func:`corrupt_node` scrambles a node's volatile state -- the transient
+faults of Theorem 1.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clocks.hardware import HardwareClock
+from repro.core.algorithm import PULSE, GradientTrixNode
+from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
+from repro.engine.network import Network
+from repro.engine.process import Message, Process
+from repro.engine.scheduler import Simulator
+from repro.engine.trace import Trace
+from repro.params import Parameters
+from repro.topology.layered import NodeId
+
+__all__ = ["SelfStabilizingNode", "ChainForwardNode", "corrupt_node"]
+
+
+class SelfStabilizingNode(GradientTrixNode):
+    """Algorithm 4: Algorithm 3 plus watchdog and wait escapes.
+
+    ``skew_estimate`` is the bound ``L`` used in the watchdog grace period
+    ``vartheta * (2*L + u)``; any upper bound on the stabilized local skew
+    works (larger values only slow stabilization down).
+    """
+
+    def __init__(self, *args, skew_estimate: float = 0.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if skew_estimate <= 0.0:
+            skew_estimate = self.params.local_skew_bound(
+                max(2, 2 ** max(1, len(self.neighbor_preds)))
+            )
+        self.skew_estimate = skew_estimate
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _grace(self) -> float:
+        params = self.params
+        return params.vartheta * (2.0 * self.skew_estimate + params.u)
+
+    def _register_reception(self, sender: Hashable) -> None:
+        had_min = not math.isinf(self.h_min)
+        super()._register_reception(sender)
+        if not had_min and not math.isinf(self.h_min) and not self.committed:
+            self.set_timer_local("watchdog", self.h_min + self._grace())
+
+    def on_timer(self, name: Hashable) -> None:
+        if name == "watchdog":
+            self._watchdog_fired()
+        else:
+            super().on_timer(name)
+
+    def _watchdog_fired(self) -> None:
+        if self.committed:
+            return
+        if math.isinf(self.h_own) and math.isinf(self.h_max):
+            # The registered receptions cannot complete a pulse; forget them
+            # (Algorithm 4's Wait() clears H_min, the flags and H_w).
+            self.h_min = math.inf
+            self._received.clear()
+            self.cancel_timer("exit")
+
+    def _reset_iteration(self) -> None:
+        super()._reset_iteration()
+        self.cancel_timer("watchdog")
+
+    # ------------------------------------------------------------------
+    # Wait escapes
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        if self.committed:
+            return
+        self.committed = True
+        self.cancel_timer("watchdog")
+        params = self.params
+        kappa = params.kappa
+        now_local = self.local_now()
+        if math.isinf(self.h_own):
+            target = self.h_max + 1.5 * kappa + params.Lambda - params.d
+            self.last_correction = math.nan
+            # Escape: a corrupt H_max lying in the local future.
+            if now_local < self.h_max:
+                self._broadcast()
+                return
+        else:
+            # Corrupt registers may be mutually inconsistent (H_max below
+            # H_min); compute with the sorted pair -- any deterministic
+            # choice is fine, directional propagation cleans it up.
+            h_lo = min(self.h_min, self.h_max)
+            h_hi = max(self.h_min, self.h_max)
+            outcome = compute_correction(
+                self.h_own,
+                h_lo,
+                h_hi,
+                kappa,
+                params.vartheta,
+                self.policy,
+            )
+            correction = outcome.correction
+            self.last_correction = correction
+            target = self.h_own + params.Lambda - params.d - correction
+            # Escapes: corrupt H_own / H_min lying in the local future.
+            if now_local < self.h_own or (
+                correction < 0.0 and now_local < self.h_min
+            ):
+                self._broadcast()
+                return
+        self.set_timer_local("pulse", max(target, now_local))
+
+
+class ChainForwardNode(Process):
+    """Algorithm 2: layer-0 chain forwarding, event-driven.
+
+    On each pulse from its chain predecessor the node stores the local
+    reception time and re-arms a single timer ``Lambda - d`` local time
+    later; the timer broadcasts to the chain successor and the node's
+    layer-1 successors.  Spurious state is overwritten by the next
+    reception, which is the whole self-stabilization argument of Lemma A.1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        trace: Trace,
+        address: NodeId,
+        clock: HardwareClock,
+        params: Parameters,
+        chain_pred: Optional[NodeId],
+        chain_succ: Optional[NodeId],
+        layer1_successors: Sequence[NodeId],
+        record: bool = True,
+    ) -> None:
+        super().__init__(sim, address, clock)
+        self.network = network
+        self.trace = trace
+        self.params = params
+        self.chain_pred = chain_pred
+        self.chain_succ = chain_succ
+        self.layer1_successors = list(layer1_successors)
+        self.record = record
+        self.pulse_index = 0
+
+    def on_message(self, message: Message) -> None:
+        if not isinstance(message.payload, dict) or PULSE not in message.payload:
+            return
+        if self.chain_pred is not None and message.sender != self.chain_pred:
+            return
+        # H := H(t); overwrite any previous pending forward (self-stab).
+        wait_target = self.local_now() + self.params.Lambda - self.params.d
+        self._pending_pulse = message.payload[PULSE]
+        self.set_timer_local("forward", wait_target)
+
+    def on_timer(self, name: Hashable) -> None:
+        if name != "forward":
+            return
+        pulse = getattr(self, "_pending_pulse", self.pulse_index)
+        if self.record:
+            self.trace.record_pulse(self.address, self.pulse_index, self.sim.now)
+        targets: List[NodeId] = list(self.layer1_successors)
+        if self.chain_succ is not None:
+            targets.append(self.chain_succ)
+        for target in targets:
+            self.network.send(
+                self.address, target, payload={PULSE: pulse}, pulse=pulse
+            )
+        self.pulse_index += 1
+
+
+def corrupt_node(
+    node: GradientTrixNode,
+    rng: np.random.Generator,
+    time_scale: float,
+) -> None:
+    """Scramble a node's volatile state (a transient fault of Theorem 1.6).
+
+    Randomizes the reception registers (possibly placing timestamps in the
+    local *future*, the worst case for the wait escapes), the received-flag
+    set, the committed flag, the pulse counter, and any pending timers.
+    ``time_scale`` sets the magnitude of the garbage timestamps relative to
+    the current local time.
+    """
+    now_local = node.local_now()
+
+    def garbage() -> float:
+        return now_local + float(rng.uniform(-time_scale, time_scale))
+
+    node.cancel_timer("exit")
+    node.cancel_timer("pulse")
+    node.cancel_timer("watchdog")
+    node.h_own = garbage() if rng.random() < 0.7 else math.inf
+    flags = [p for p in node.neighbor_preds if rng.random() < 0.6]
+    node._received = set(flags)
+    if flags:
+        node.h_min = garbage()
+        if len(flags) == len(node.neighbor_preds):
+            node.h_max = node.h_min + abs(float(rng.uniform(0, time_scale)))
+        else:
+            node.h_max = math.inf
+    else:
+        node.h_min = math.inf
+        node.h_max = math.inf
+    node.committed = bool(rng.random() < 0.3)
+    node.pulse_index = int(rng.integers(0, 5))
+    if node.committed:
+        # A bogus pending pulse somewhere within the next period.
+        node.set_timer_local(
+            "pulse", now_local + float(rng.uniform(0, node.params.Lambda))
+        )
+    node._buffered.clear()

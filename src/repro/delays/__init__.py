@@ -1,0 +1,23 @@
+"""Link delay models.
+
+Every edge of the layered graph carries an unknown but fixed delay in
+``[d - u, d]`` (Section 2, "Communication").  Corollary 1.5 additionally
+allows per-pulse variation of up to ``n^{-1/2} u log D``; that is modelled
+by :class:`~repro.delays.models.VaryingDelayModel`.
+"""
+
+from repro.delays.models import (
+    AdversarialSplitDelays,
+    DelayModel,
+    StaticDelayModel,
+    UniformDelayModel,
+    VaryingDelayModel,
+)
+
+__all__ = [
+    "AdversarialSplitDelays",
+    "DelayModel",
+    "StaticDelayModel",
+    "UniformDelayModel",
+    "VaryingDelayModel",
+]

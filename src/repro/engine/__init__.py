@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal but complete event-driven substrate: an event heap with
+deterministic tie-breaking, message channels with caller-supplied delays,
+cancellable timers, and execution traces.  The Gradient TRIX node state
+machines (:mod:`repro.core.algorithm`) run on top of it; so do the baselines.
+"""
+
+from repro.engine.scheduler import EventHandle, Simulator
+from repro.engine.process import Message, Process
+from repro.engine.trace import PulseRecord, Trace
+
+__all__ = [
+    "EventHandle",
+    "Message",
+    "Process",
+    "PulseRecord",
+    "Simulator",
+    "Trace",
+]

@@ -1,0 +1,80 @@
+"""Message channels with per-edge delays.
+
+The :class:`Network` routes messages between registered processes, looking
+delays up in a :class:`~repro.delays.models.DelayModel`.  It also supports
+injecting spurious in-flight messages, which the self-stabilization
+experiments use to model arbitrary transient corruption (Appendix C: "any
+spurious messages are delivered and processed within at most d time").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.delays.models import DelayModel
+from repro.engine.process import Message, Process
+from repro.engine.scheduler import Simulator
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Delivers messages between processes via delayed events."""
+
+    def __init__(self, sim: Simulator, delay_model: DelayModel) -> None:
+        self.sim = sim
+        self.delay_model = delay_model
+        self._processes: Dict[Hashable, Process] = {}
+        self.messages_sent = 0
+
+    def register(self, process: Process) -> None:
+        """Register a process under its address."""
+        if process.address in self._processes:
+            raise ValueError(f"address {process.address} already registered")
+        self._processes[process.address] = process
+
+    def process_at(self, address: Hashable) -> Process:
+        """Look up the process registered at ``address``."""
+        return self._processes[address]
+
+    def has_process(self, address: Hashable) -> bool:
+        """Whether a process is registered at ``address``."""
+        return address in self._processes
+
+    def send(
+        self,
+        sender: Hashable,
+        receiver: Hashable,
+        payload: Any = None,
+        pulse: int = 0,
+        delay_override: Optional[float] = None,
+    ) -> None:
+        """Send a message; delivery is scheduled after the edge delay.
+
+        ``delay_override`` bypasses the delay model (used by fault
+        behaviours, which control *when the message arrives* arbitrarily --
+        the model's faulty nodes may time their pulses at will).
+        """
+        target = self._processes.get(receiver)
+        if target is None:
+            return  # edge into a non-simulated region (e.g. beyond last layer)
+        if delay_override is not None:
+            delay = delay_override
+        else:
+            delay = self.delay_model.delay((sender, receiver), pulse)
+        message = Message(sender=sender, payload=payload)
+        self.messages_sent += 1
+        self.sim.schedule_after(delay, lambda: target.deliver(message))
+
+    def inject_at(
+        self, receiver: Hashable, payload: Any, sender: Hashable, time: float
+    ) -> None:
+        """Inject a spurious message delivered at absolute ``time``.
+
+        Used to corrupt initial states in self-stabilization experiments.
+        """
+        target = self._processes.get(receiver)
+        if target is None:
+            raise ValueError(f"no process at {receiver}")
+        message = Message(sender=sender, payload=payload)
+        self.sim.schedule_at(time, lambda: target.deliver(message))

@@ -1,0 +1,105 @@
+"""Process abstraction: message- and timer-driven state machines.
+
+A :class:`Process` owns a hardware clock and reacts to message deliveries
+and local-time timers.  Timers are specified in *local* clock time -- the
+only notion of time the algorithms may use -- and converted to real time via
+the clock's inverse map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+from repro.clocks.hardware import HardwareClock
+from repro.engine.scheduler import EventHandle, Simulator
+
+__all__ = ["Message", "Process"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight.
+
+    Attributes
+    ----------
+    sender:
+        Address of the sending process (a ``NodeId`` for grid nodes).
+    payload:
+        Arbitrary content; pulse messages carry the pulse index (which
+        real hardware would not transmit -- the algorithms never read it,
+        only traces and assertions do).
+    """
+
+    sender: Hashable
+    payload: Any = None
+
+
+class Process:
+    """Base class for event-driven nodes.
+
+    Subclasses implement :meth:`on_message` and :meth:`on_timer`.  The
+    helpers :meth:`set_timer_local` / :meth:`cancel_timer` manage named,
+    cancellable timers in local clock time.
+    """
+
+    def __init__(
+        self, sim: Simulator, address: Hashable, clock: HardwareClock
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.clock = clock
+        self._timers: Dict[Hashable, EventHandle] = {}
+
+    # ------------------------------------------------------------------
+    # Clock helpers
+    # ------------------------------------------------------------------
+    def local_now(self) -> float:
+        """Current hardware clock reading."""
+        return self.clock.local_time(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer_local(self, name: Hashable, local_time: float) -> None:
+        """(Re)arm timer ``name`` to fire when the local clock reads
+        ``local_time``; firing in the past fires immediately (next event).
+        """
+        self.cancel_timer(name)
+        real = self.clock.real_time(local_time)
+        real = max(real, self.sim.now)
+        handle = self.sim.schedule_at(real, lambda: self._fire_timer(name))
+        self._timers[name] = handle
+
+    def cancel_timer(self, name: Hashable) -> None:
+        """Cancel timer ``name`` if armed."""
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def has_timer(self, name: Hashable) -> bool:
+        """Whether timer ``name`` is currently armed."""
+        return name in self._timers
+
+    def _fire_timer(self, name: Hashable) -> None:
+        self._timers.pop(name, None)
+        self.on_timer(name)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        """Entry point used by channels to hand a message to this process."""
+        self.on_message(message)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:  # pragma: no cover
+        """React to a message delivery; default ignores it."""
+
+    def on_timer(self, name: Hashable) -> None:  # pragma: no cover
+        """React to a timer firing; default ignores it."""
+
+    def start(self) -> None:  # pragma: no cover
+        """Called once before the simulation starts; default does nothing."""

@@ -1,0 +1,135 @@
+"""Event heap and simulation loop.
+
+Events are ordered by ``(time, sequence_number)``; the sequence number makes
+tie-breaking deterministic, so two runs with identical inputs produce
+identical executions -- a property the cross-validation tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "action", "cancelled")
+
+    def __init__(self, time: float, action: Callable[[], None]) -> None:
+        self.time = time
+        self.action: Optional[Callable[[], None]] = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self.cancelled = True
+        self.action = None
+
+
+class Simulator:
+    """Discrete-event simulator with a monotone clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: ...)
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled stubs)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}: simulation time is {self._now}"
+            )
+        handle = EventHandle(time, action)
+        heapq.heappush(self._heap, (time, next(self._counter), handle))
+        return handle
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            action = handle.action
+            handle.action = None
+            self._events_processed += 1
+            assert action is not None
+            action()
+            return True
+        return False
+
+    def run_until(self, t_max: float, max_events: int | None = None) -> None:
+        """Run events with time ``<= t_max`` (stops *before* later events).
+
+        ``max_events`` guards against runaway executions (e.g. a buggy state
+        machine rescheduling itself forever).
+        """
+        executed = 0
+        while self._heap:
+            time, _, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if time > t_max:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"run_until executed {executed} events without reaching "
+                    f"t_max={t_max}; runaway execution?"
+                )
+        self._now = max(self._now, t_max)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains; bounded by ``max_events``."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"run_until_idle executed {executed} events; "
+                    "runaway execution?"
+                )

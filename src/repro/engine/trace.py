@@ -1,0 +1,73 @@
+"""Execution traces: who pulsed when.
+
+A :class:`Trace` records every pulse broadcast by every node and converts
+the record into the pulse-time arrays the analysis package consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.layered import NodeId
+
+__all__ = ["PulseRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class PulseRecord:
+    """A single pulse broadcast: node, pulse index, real time."""
+
+    node: NodeId
+    pulse: int
+    time: float
+
+
+class Trace:
+    """Append-only record of pulse broadcasts."""
+
+    def __init__(self) -> None:
+        self._records: List[PulseRecord] = []
+        self._by_node: Dict[NodeId, Dict[int, float]] = {}
+
+    def record_pulse(self, node: NodeId, pulse: int, time: float) -> None:
+        """Record that ``node`` broadcast pulse ``pulse`` at ``time``."""
+        self._records.append(PulseRecord(node, pulse, time))
+        self._by_node.setdefault(node, {})[pulse] = time
+
+    @property
+    def records(self) -> List[PulseRecord]:
+        """All records in broadcast order."""
+        return list(self._records)
+
+    def pulse_time(self, node: NodeId, pulse: int) -> Optional[float]:
+        """Time of pulse ``pulse`` at ``node`` or None if never broadcast."""
+        return self._by_node.get(node, {}).get(pulse)
+
+    def pulses_of(self, node: NodeId) -> Dict[int, float]:
+        """All pulses of a node as ``{pulse: time}``."""
+        return dict(self._by_node.get(node, {}))
+
+    def num_pulses(self, node: NodeId) -> int:
+        """Number of pulses recorded for ``node``."""
+        return len(self._by_node.get(node, {}))
+
+    def pulse_count_range(self) -> Tuple[int, int]:
+        """(min, max) pulse count over nodes that pulsed at all."""
+        counts = [len(p) for p in self._by_node.values()]
+        if not counts:
+            return (0, 0)
+        return (min(counts), max(counts))
+
+    def layer_pulse_times(
+        self, layer: int, pulse: int, width: int
+    ) -> List[Optional[float]]:
+        """Pulse times of all base vertices of ``layer``; None where missing."""
+        return [self.pulse_time((v, layer), pulse) for v in range(width)]
+
+    def nodes(self) -> List[NodeId]:
+        """All nodes that broadcast at least one pulse."""
+        return sorted(self._by_node, key=lambda n: (n[1], n[0]))
+
+    def __len__(self) -> int:
+        return len(self._records)

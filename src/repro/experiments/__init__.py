@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table, figure, and theorem.
+
+Each module exposes a ``run_*`` function returning a result object with a
+``rows()``/``table()`` rendering, shared by the benchmark harness
+(``benchmarks/``) and by ``EXPERIMENTS.md``.  All drivers are deterministic
+given their seeds.
+
+Index (see DESIGN.md for the full mapping):
+
+========  =====================================================
+T1        Table 1 -- method comparison and growth exponents
+F1        Figure 1 -- TRIX ``Theta(u*D)`` pile-up; HEX crash cost
+F2/F3     Figures 2-3 -- base-graph / layered-graph structure
+F5        Figure 5 -- oscillation without the jump condition
+TH1       Theorem 1.1 -- fault-free local skew ``<= 4k(2+log D)``
+TH2       Theorem 1.2 -- worst-case stacked faults (``5^f`` growth)
+TH3       Theorem 1.3 -- random sparse faults stay ``O(k log D)``
+TH4       Theorem 1.4 -- static faults: overall ``L`` bounded
+C15       Corollary 1.5 -- sustained delay/clock/fault variation
+TH6       Theorem 1.6 -- self-stabilization within ``O(sqrt n)``
+LA1       Lemma A.1 -- layer-0 chain skew ``<= kappa/2``
+P1        Lemma 4.22 / Thm 4.26 -- potential decay and recovery
+AB1/AB2   ablations -- discretization, stick-to-median
+========  =====================================================
+"""
+
+from repro.experiments.common import ExperimentConfig, standard_config
+
+__all__ = ["ExperimentConfig", "standard_config"]

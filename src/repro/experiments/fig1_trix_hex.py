@@ -1,0 +1,131 @@
+"""F1 -- Figure 1 reproduction: why naive TRIX and HEX fall short.
+
+Left panel: under the adversarial delay split (one flank of the grid at
+maximum delay ``d``, the other at minimum ``d - u``), naive TRIX's
+second-copy rule lets skew pile up by ``Theta(u)`` per layer -- local skew
+``Theta(u * D)`` at depth ``D``.  Gradient TRIX run on the *same* delays
+absorbs the gradient.
+
+Right panel: in HEX, a single crashed node on layer ``l`` forces its
+successors to fall back on same-layer links, adding an additive ``~d`` to
+the local skew from layer ``l + 1`` on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.skew import local_skew_per_layer
+from repro.baselines.hex import HexSimulation
+from repro.baselines.trix import NaiveTrixSimulation
+from repro.core.fast import FastSimulation
+from repro.delays.models import AdversarialSplitDelays, StaticDelayModel
+from repro.experiments.common import standard_config
+from repro.params import Parameters
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+@dataclass
+class Fig1Result:
+    """Per-layer skew series for both panels."""
+
+    diameter: int
+    params: Parameters
+    trix_skew_by_layer: List[float]
+    gradient_skew_by_layer: List[float]
+    hex_skew_before_crash: float
+    hex_skew_after_crash: float
+    crash_layer: int
+
+    @property
+    def trix_final_skew(self) -> float:
+        """Naive TRIX skew on the deepest layer."""
+        return self.trix_skew_by_layer[-1]
+
+    @property
+    def hex_crash_penalty(self) -> float:
+        """Additive skew cost of the single crash in HEX."""
+        return self.hex_skew_after_crash - self.hex_skew_before_crash
+
+    def table(self) -> str:
+        """ASCII rendering of both panels."""
+        step = max(1, len(self.trix_skew_by_layer) // 8)
+        rows = [
+            (
+                layer,
+                self.trix_skew_by_layer[layer],
+                self.gradient_skew_by_layer[layer],
+                self.params.u * layer,
+            )
+            for layer in range(0, len(self.trix_skew_by_layer), step)
+        ]
+        left = format_table(
+            ["layer", "naive TRIX skew", "gradient TRIX skew", "u*layer"],
+            rows,
+            title=(
+                f"Figure 1 left (D={self.diameter}): adversarial delay split"
+            ),
+        )
+        right = format_table(
+            ["quantity", "value"],
+            [
+                ("HEX local skew, no crash", self.hex_skew_before_crash),
+                ("HEX local skew, one crash", self.hex_skew_after_crash),
+                ("crash penalty", self.hex_crash_penalty),
+                ("d (for comparison)", self.params.d),
+            ],
+            title="Figure 1 right: HEX crash cost",
+        )
+        return left + "\n\n" + right
+
+
+def run_fig1(
+    diameter: int = 32, num_pulses: int = 3, seed: int = 0
+) -> Fig1Result:
+    """Reproduce both Figure 1 phenomena."""
+    config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
+    params = config.params
+
+    def slow_edge(edge) -> bool:
+        (v1, _), (v2, _) = edge
+        return v2 >= v1  # rightward/straight edges slow, leftward fast
+
+    adversarial = AdversarialSplitDelays(params.d, params.u, slow_edge)
+    trix = NaiveTrixSimulation(
+        config.graph, params, delay_model=adversarial
+    ).run(num_pulses)
+    gradient = FastSimulation(
+        config.graph, params, delay_model=adversarial
+    ).run(num_pulses)
+
+    width = config.graph.width
+    layers = config.graph.num_layers
+    crash_layer = max(1, layers // 2)
+    hex_delays = StaticDelayModel(params.d, params.u, seed=seed + 17)
+    hex_ok = HexSimulation(
+        width, layers, params, delay_model=hex_delays
+    ).run(num_pulses)
+    hex_crash = HexSimulation(
+        width,
+        layers,
+        params,
+        delay_model=hex_delays,
+        crashed={(width // 2, crash_layer)},
+    ).run(num_pulses)
+
+    return Fig1Result(
+        diameter=diameter,
+        params=params,
+        trix_skew_by_layer=[float(x) for x in local_skew_per_layer(trix)],
+        gradient_skew_by_layer=[
+            float(x) for x in local_skew_per_layer(gradient)
+        ],
+        hex_skew_before_crash=hex_ok.max_local_skew(),
+        hex_skew_after_crash=hex_crash.max_local_skew(),
+        crash_layer=crash_layer,
+    )

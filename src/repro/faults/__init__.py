@@ -1,0 +1,40 @@
+"""Fault models and fault injection.
+
+The paper's fault model (Section 2): an unknown set ``F`` of nodes is faulty
+and behaves arbitrarily, subject to (a) 1-locality -- no node of a layer has
+more than one fault in its closed ``H``-neighborhood on that layer, which
+holds with probability ``1 - o(1)`` when nodes fail independently with
+probability ``p in o(n^{-1/2})`` -- and (b) only a constant number of faulty
+nodes change their timing behaviour between consecutive pulses.
+"""
+
+from repro.faults.model import (
+    AdversarialEarlyFault,
+    AdversarialLateFault,
+    ByzantineRandomFault,
+    CrashFault,
+    FaultBehavior,
+    FaultContext,
+    FixedOffsetFault,
+    MutableFault,
+    PerSuccessorOffsetFault,
+    SilentFromFault,
+)
+from repro.faults.injection import FaultPlan
+from repro.faults.locality import distance_delta_k_faulty, max_k_faulty_over_layer
+
+__all__ = [
+    "AdversarialEarlyFault",
+    "AdversarialLateFault",
+    "ByzantineRandomFault",
+    "CrashFault",
+    "FaultBehavior",
+    "FaultContext",
+    "FaultPlan",
+    "FixedOffsetFault",
+    "MutableFault",
+    "PerSuccessorOffsetFault",
+    "SilentFromFault",
+    "distance_delta_k_faulty",
+    "max_k_faulty_over_layer",
+]

@@ -1,0 +1,206 @@
+"""Fault plans: which nodes are faulty and how.
+
+A :class:`FaultPlan` is an immutable map from nodes of the layered graph to
+:class:`~repro.faults.model.FaultBehavior` instances, plus constructors for
+the two fault distributions the paper analyzes:
+
+* independent failures with probability ``p`` (Theorems 1.3/1.4), and
+* adversarially stacked faults along a column (Theorem 1.2's worst case).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.model import CrashFault, FaultBehavior
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = ["FaultPlan"]
+
+BehaviorFactory = Callable[[NodeId, np.random.Generator], FaultBehavior]
+
+
+def _default_behavior_factory(
+    node: NodeId, rng: np.random.Generator
+) -> FaultBehavior:
+    return CrashFault()
+
+
+class FaultPlan:
+    """Immutable assignment of fault behaviours to nodes."""
+
+    def __init__(self, behaviors: Dict[NodeId, FaultBehavior] | None = None) -> None:
+        self._behaviors: Dict[NodeId, FaultBehavior] = dict(behaviors or {})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_faulty(self, node: NodeId) -> bool:
+        """Whether ``node`` is in the faulty set ``F``."""
+        return node in self._behaviors
+
+    def behavior(self, node: NodeId) -> Optional[FaultBehavior]:
+        """Behaviour of ``node`` or None when it is correct."""
+        return self._behaviors.get(node)
+
+    def faulty_nodes(self) -> List[NodeId]:
+        """Sorted list of faulty nodes."""
+        return sorted(self._behaviors, key=lambda n: (n[1], n[0]))
+
+    def __len__(self) -> int:
+        return len(self._behaviors)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.faulty_nodes())
+
+    def faults_in_layer(self, layer: int) -> List[NodeId]:
+        """Faulty nodes on a given layer."""
+        return [n for n in self.faulty_nodes() if n[1] == layer]
+
+    def with_fault(self, node: NodeId, behavior: FaultBehavior) -> "FaultPlan":
+        """Copy of this plan with one additional fault."""
+        updated = dict(self._behaviors)
+        updated[node] = behavior
+        return FaultPlan(updated)
+
+    # ------------------------------------------------------------------
+    # Model-conformance audits
+    # ------------------------------------------------------------------
+    def is_one_local(self, graph: LayeredGraph) -> bool:
+        """Check the paper's 1-locality constraint.
+
+        For every layer ``l`` and base vertex ``v``, the closed neighborhood
+        ``{(v, l)} u {(w, l) : {v, w} in E}`` contains at most one fault.
+        This implies every node has at most one faulty predecessor.
+        """
+        return not self.one_locality_violations(graph)
+
+    def one_locality_violations(
+        self, graph: LayeredGraph
+    ) -> List[Tuple[NodeId, List[NodeId]]]:
+        """Closed neighborhoods containing two or more faults."""
+        violations: List[Tuple[NodeId, List[NodeId]]] = []
+        faulty_by_layer: Dict[int, set] = {}
+        for v, layer in self._behaviors:
+            faulty_by_layer.setdefault(layer, set()).add(v)
+        for layer, faulty in faulty_by_layer.items():
+            for v in graph.base.nodes():
+                closed = [v, *graph.base.neighbors(v)]
+                hits = [(w, layer) for w in closed if w in faulty]
+                if len(hits) >= 2:
+                    violations.append(((v, layer), hits))
+        return violations
+
+    def count_behavior_changes(self, pulse: int) -> int:
+        """Faulty nodes that switch behaviour exactly at ``pulse``.
+
+        Only :class:`~repro.faults.model.MutableFault` can switch; the
+        paper's Corollary 1.5(i) allows a constant number per pulse.
+        """
+        total = 0
+        for behavior in self._behaviors.values():
+            changes_at = getattr(behavior, "changes_at", None)
+            if changes_at is not None and changes_at(pulse):
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan."""
+        return cls({})
+
+    @classmethod
+    def from_nodes(
+        cls,
+        nodes_and_behaviors: Dict[NodeId, FaultBehavior],
+    ) -> "FaultPlan":
+        """Explicit plan from a node -> behaviour mapping."""
+        return cls(nodes_and_behaviors)
+
+    @classmethod
+    def random(
+        cls,
+        graph: LayeredGraph,
+        probability: float,
+        rng_or_seed=0,
+        behavior_factory: BehaviorFactory = _default_behavior_factory,
+        protect_layer0: bool = True,
+        enforce_one_local: bool = False,
+        max_resamples: int = 1000,
+    ) -> "FaultPlan":
+        """Independent faults with probability ``probability`` per node.
+
+        ``protect_layer0`` skips layer 0 (the paper argues faults there occur
+        with probability ``o(1)`` and handles them separately).  With
+        ``enforce_one_local`` the sample is redrawn until the 1-locality
+        constraint holds, conditioning on the high-probability event the
+        analysis assumes throughout.
+        """
+        if not 0 <= probability <= 1:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        rng = (
+            rng_or_seed
+            if isinstance(rng_or_seed, np.random.Generator)
+            else np.random.default_rng(rng_or_seed)
+        )
+        first_layer = 1 if protect_layer0 else 0
+        candidates = [
+            (v, layer)
+            for layer in range(first_layer, graph.num_layers)
+            for v in graph.base.nodes()
+        ]
+        for _ in range(max_resamples):
+            draws = rng.random(len(candidates))
+            behaviors = {
+                node: behavior_factory(node, rng)
+                for node, draw in zip(candidates, draws)
+                if draw < probability
+            }
+            plan = cls(behaviors)
+            if not enforce_one_local or plan.is_one_local(graph):
+                return plan
+        raise RuntimeError(
+            "could not sample a 1-local fault plan in "
+            f"{max_resamples} attempts (p={probability} too high?)"
+        )
+
+    @classmethod
+    def column_stack(
+        cls,
+        graph: LayeredGraph,
+        num_faults: int,
+        base_vertex: int,
+        first_layer: int,
+        layer_spacing: int,
+        behavior_factory: Callable[[NodeId], FaultBehavior],
+    ) -> "FaultPlan":
+        """Worst-case clustering for Theorem 1.2: faults stacked in a column.
+
+        Places ``num_faults`` faults at ``(base_vertex, first_layer + i *
+        layer_spacing)``.  With small spacing the skew contributions compound
+        before the self-stabilization of the simulated GCS algorithm can
+        absorb them -- the regime in which the ``O(5^f kappa log D)`` bound
+        of Theorem 1.2 binds.
+        """
+        if num_faults < 0:
+            raise ValueError(f"num_faults must be >= 0, got {num_faults}")
+        if layer_spacing < 1:
+            raise ValueError(f"layer_spacing must be >= 1, got {layer_spacing}")
+        if first_layer < 1:
+            raise ValueError("first_layer must be >= 1 (layer 0 is fault-free)")
+        behaviors: Dict[NodeId, FaultBehavior] = {}
+        for i in range(num_faults):
+            layer = first_layer + i * layer_spacing
+            if layer >= graph.num_layers:
+                raise ValueError(
+                    f"fault {i} lands on layer {layer} beyond the grid "
+                    f"({graph.num_layers} layers)"
+                )
+            node = (base_vertex, layer)
+            behaviors[node] = behavior_factory(node)
+        return cls(behaviors)

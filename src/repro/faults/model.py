@@ -1,0 +1,236 @@
+"""Fault behaviour implementations.
+
+A :class:`FaultBehavior` decides, per pulse and per successor edge, when (or
+whether) a faulty node's pulse message is sent.  Behaviours receive a
+:class:`FaultContext` carrying the time at which the node *would* have pulsed
+had it been correct -- the same reference point Lemma 4.30 uses when it
+compares the faulty execution to the corresponding correct one.
+
+``None`` means "no message" (a crash/omission on that edge for that pulse).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.layered import NodeId
+
+__all__ = [
+    "FaultContext",
+    "FaultBehavior",
+    "CrashFault",
+    "SilentFromFault",
+    "FixedOffsetFault",
+    "PerSuccessorOffsetFault",
+    "ByzantineRandomFault",
+    "AdversarialEarlyFault",
+    "AdversarialLateFault",
+    "MutableFault",
+]
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """Inputs available to a fault behaviour when it picks a send time.
+
+    Attributes
+    ----------
+    node:
+        The faulty node ``(v, l)``.
+    pulse:
+        Pulse index ``k`` (0-based).
+    correct_time:
+        The time at which this node broadcasts pulse ``k`` in the execution
+        where it follows the protocol on its actual inputs.
+    kappa:
+        The discretization unit, handy for scaling adversarial offsets.
+    """
+
+    node: NodeId
+    pulse: int
+    correct_time: float
+    kappa: float
+
+
+class FaultBehavior(ABC):
+    """Per-(pulse, successor) send-time policy of a faulty node."""
+
+    @abstractmethod
+    def send_time(
+        self, context: FaultContext, successor: NodeId
+    ) -> Optional[float]:
+        """Time the pulse message leaves toward ``successor``; None = silent."""
+
+    def is_static(self) -> bool:
+        """Whether the timing profile is identical across pulses.
+
+        Static behaviours (Theorem 1.4's model: static faults and delay
+        faults with a static timing profile) shift every pulse by the same
+        per-successor offset relative to the correct schedule.
+        """
+        return False
+
+
+class CrashFault(FaultBehavior):
+    """Never sends anything."""
+
+    def send_time(self, context: FaultContext, successor: NodeId) -> None:
+        return None
+
+    def is_static(self) -> bool:
+        return True
+
+
+class SilentFromFault(FaultBehavior):
+    """Behaves correctly before pulse ``start_pulse``, then crashes.
+
+    Models the common "worked correctly, then a benign fault occurred"
+    scenario discussed below Theorem 1.4.
+    """
+
+    def __init__(self, start_pulse: int) -> None:
+        if start_pulse < 0:
+            raise ValueError(f"start_pulse must be >= 0, got {start_pulse}")
+        self.start_pulse = start_pulse
+
+    def send_time(
+        self, context: FaultContext, successor: NodeId
+    ) -> Optional[float]:
+        if context.pulse >= self.start_pulse:
+            return None
+        return context.correct_time
+
+
+class FixedOffsetFault(FaultBehavior):
+    """Sends every pulse ``offset`` time away from the correct schedule.
+
+    This is the "delay fault with a static timing profile" of Section 1:
+    successors see a uniformly early (``offset < 0``) or late
+    (``offset > 0``) pulse, with no change between pulses.
+    """
+
+    def __init__(self, offset: float) -> None:
+        self.offset = offset
+
+    def send_time(self, context: FaultContext, successor: NodeId) -> float:
+        return context.correct_time + self.offset
+
+    def is_static(self) -> bool:
+        return True
+
+
+class PerSuccessorOffsetFault(FaultBehavior):
+    """Static but successor-dependent offsets (models faulty *edges*).
+
+    The paper maps edge faults to node faults; a node whose outgoing edges
+    have distinct static delay errors looks exactly like this behaviour.
+    Successors not listed get the correct time (offset 0); ``None`` as an
+    offset silences that edge.
+    """
+
+    def __init__(self, offsets: Dict[NodeId, Optional[float]]) -> None:
+        self.offsets = dict(offsets)
+
+    def send_time(
+        self, context: FaultContext, successor: NodeId
+    ) -> Optional[float]:
+        offset = self.offsets.get(successor, 0.0)
+        if offset is None:
+            return None
+        return context.correct_time + offset
+
+    def is_static(self) -> bool:
+        return True
+
+
+class ByzantineRandomFault(FaultBehavior):
+    """Fresh random offset per pulse and per successor.
+
+    The strongest behaviour inside the model when used sparingly: timing
+    changes every pulse, so only a constant number of such nodes may be
+    active per pulse (Corollary 1.5(i)).
+    """
+
+    def __init__(self, span: float, seed: int = 0) -> None:
+        if span < 0:
+            raise ValueError(f"span must be >= 0, got {span}")
+        self.span = span
+        self.seed = seed
+
+    def send_time(self, context: FaultContext, successor: NodeId) -> float:
+        v, layer = context.node
+        sv, sl = successor
+        entropy = [self.seed & 0xFFFFFFFF, v, layer, sv, sl, context.pulse]
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        return context.correct_time + float(rng.uniform(-self.span, self.span))
+
+
+class AdversarialEarlyFault(FaultBehavior):
+    """Sends ``lead * kappa`` before the correct schedule, every pulse."""
+
+    def __init__(self, lead_kappas: float) -> None:
+        if lead_kappas < 0:
+            raise ValueError(f"lead_kappas must be >= 0, got {lead_kappas}")
+        self.lead_kappas = lead_kappas
+
+    def send_time(self, context: FaultContext, successor: NodeId) -> float:
+        return context.correct_time - self.lead_kappas * context.kappa
+
+    def is_static(self) -> bool:
+        return True
+
+
+class AdversarialLateFault(FaultBehavior):
+    """Sends ``lag * kappa`` after the correct schedule, every pulse."""
+
+    def __init__(self, lag_kappas: float) -> None:
+        if lag_kappas < 0:
+            raise ValueError(f"lag_kappas must be >= 0, got {lag_kappas}")
+        self.lag_kappas = lag_kappas
+
+    def send_time(self, context: FaultContext, successor: NodeId) -> float:
+        return context.correct_time + self.lag_kappas * context.kappa
+
+    def is_static(self) -> bool:
+        return True
+
+
+class MutableFault(FaultBehavior):
+    """Switches between behaviours on a pulse schedule.
+
+    ``phases`` is a sequence of ``(start_pulse, behavior)`` with strictly
+    increasing start pulses beginning at 0.  Used to exercise the
+    "faulty nodes change their behaviour" budget of Corollary 1.5(i).
+    """
+
+    def __init__(self, phases: Sequence[Tuple[int, FaultBehavior]]) -> None:
+        if not phases:
+            raise ValueError("phases must be non-empty")
+        starts = [start for start, _ in phases]
+        if starts[0] != 0:
+            raise ValueError("first phase must start at pulse 0")
+        if any(s2 <= s1 for s1, s2 in zip(starts, starts[1:])):
+            raise ValueError("phase start pulses must be strictly increasing")
+        self.phases = list(phases)
+
+    def _active(self, pulse: int) -> FaultBehavior:
+        current = self.phases[0][1]
+        for start, behavior in self.phases:
+            if pulse >= start:
+                current = behavior
+            else:
+                break
+        return current
+
+    def send_time(
+        self, context: FaultContext, successor: NodeId
+    ) -> Optional[float]:
+        return self._active(context.pulse).send_time(context, successor)
+
+    def changes_at(self, pulse: int) -> bool:
+        """Whether this fault switches behaviour exactly at ``pulse``."""
+        return any(start == pulse for start, _ in self.phases[1:])

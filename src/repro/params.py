@@ -1,0 +1,162 @@
+"""Timing parameters of the Gradient TRIX system.
+
+The paper (Section 3, Equations (1)-(3)) fixes three physical parameters --
+the maximum end-to-end message delay ``d``, the delay uncertainty ``u``, and
+the maximum hardware clock rate ``vartheta`` (clock rates lie in
+``[1, vartheta]``) -- plus the nominal layer-to-layer propagation time
+``Lambda`` (the inverse of the input clock frequency).  From these it derives
+the discretization unit
+
+    kappa = 2 * (u + (1 - 1/vartheta) * (Lambda - d))        (Equation (1))
+
+which is both the measurement-error budget per layer and the step of the
+``4*s*kappa`` correction grid.
+
+Equations (2) and (3) are feasibility constraints tying ``Lambda`` and ``d``
+to the worst-case local skew; :meth:`Parameters.validate` checks them for a
+caller-supplied skew bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Parameters", "DEFAULT_FEASIBILITY_MARGIN"]
+
+#: Multiplicative margin used for the feasibility checks of Equations (2)-(3).
+#: The paper only requires "a sufficiently large constant C"; 1.0 is the
+#: weakest self-consistent choice and suits the simulated parameter ranges.
+DEFAULT_FEASIBILITY_MARGIN = 1.0
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """Physical and algorithmic timing parameters.
+
+    Parameters
+    ----------
+    d:
+        Maximum end-to-end communication delay (includes computation).
+        Must be positive.
+    u:
+        Delay uncertainty; every link delay lies in ``[d - u, d]``.
+        Must satisfy ``0 <= u <= d``.
+    vartheta:
+        Maximum hardware clock rate.  Rates lie in ``[1, vartheta]`` and
+        ``vartheta > 1`` is required by the model (``vartheta == 1`` is
+        accepted for idealized tests).
+    Lambda:
+        Nominal time for a pulse to propagate from one layer to the next;
+        the input pulse period.  Defaults to ``2 * d``, the choice the paper
+        singles out after Equation (3).
+    """
+
+    d: float
+    u: float
+    vartheta: float = 1.001
+    Lambda: float = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.d <= 0:
+            raise ValueError(f"d must be positive, got {self.d}")
+        if not 0 <= self.u <= self.d:
+            raise ValueError(f"u must lie in [0, d]=[0, {self.d}], got {self.u}")
+        if self.vartheta < 1:
+            raise ValueError(f"vartheta must be >= 1, got {self.vartheta}")
+        if self.Lambda is None:
+            object.__setattr__(self, "Lambda", 2.0 * self.d)
+        if self.Lambda < self.d:
+            raise ValueError(
+                f"Lambda must be at least d={self.d}, got {self.Lambda}"
+            )
+
+    @property
+    def kappa(self) -> float:
+        """Discretization unit ``kappa`` of Equation (1)."""
+        return 2.0 * (self.u + (1.0 - 1.0 / self.vartheta) * (self.Lambda - self.d))
+
+    @property
+    def min_delay(self) -> float:
+        """Minimum end-to-end delay ``d - u``."""
+        return self.d - self.u
+
+    def local_skew_bound(self, diameter: int) -> float:
+        """Fault-free local skew bound of Theorem 1.1: ``4*kappa*(2 + log2 D)``.
+
+        ``diameter`` is the diameter ``D`` of the base graph.  For ``D == 1``
+        the logarithm vanishes and the bound is ``8 * kappa``.
+        """
+        if diameter < 1:
+            raise ValueError(f"diameter must be >= 1, got {diameter}")
+        return 4.0 * self.kappa * (2.0 + math.log2(diameter))
+
+    def worst_case_fault_bound(self, diameter: int, num_faults: int) -> float:
+        """Worst-case skew bound of Theorem 1.2: ``B_f = 4k(2+log D) 5^f sum 5^-j``.
+
+        This is the explicit constant tracked in the paper's induction:
+        ``B_i = 4*kappa*(2 + log2 D) * 5**i * sum_{j<=i} 5**-j``.
+        """
+        if num_faults < 0:
+            raise ValueError(f"num_faults must be >= 0, got {num_faults}")
+        base = self.local_skew_bound(diameter)
+        return base * 5.0**num_faults * sum(5.0**-j for j in range(num_faults + 1))
+
+    def global_skew_bound(self, diameter: int) -> float:
+        """Global skew bound of Corollary 4.24: ``6 * kappa * D``."""
+        if diameter < 1:
+            raise ValueError(f"diameter must be >= 1, got {diameter}")
+        return 6.0 * self.kappa * diameter
+
+    def validate(
+        self,
+        skew_bound: float,
+        margin: float = DEFAULT_FEASIBILITY_MARGIN,
+    ) -> None:
+        """Check the feasibility constraints of Equations (2) and (3).
+
+        ``skew_bound`` plays the role of ``sup_l L_l``.  Raises
+        :class:`ValueError` naming the violated constraint; returns silently
+        when both hold.
+        """
+        lhs2 = self.Lambda
+        rhs2 = margin * self.vartheta * (skew_bound + self.u) + self.d
+        if lhs2 < rhs2:
+            raise ValueError(
+                "Equation (2) violated: Lambda="
+                f"{lhs2:.6g} < C*vartheta*(L+u)+d={rhs2:.6g}"
+            )
+        lhs3 = self.d
+        rhs3 = margin * (self.vartheta * (skew_bound + self.u) + self.kappa)
+        if lhs3 < rhs3:
+            raise ValueError(
+                "Equation (3) violated: d="
+                f"{lhs3:.6g} < C*(vartheta*(L+u)+kappa)={rhs3:.6g}"
+            )
+
+    def is_feasible(
+        self,
+        skew_bound: float,
+        margin: float = DEFAULT_FEASIBILITY_MARGIN,
+    ) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(skew_bound, margin)
+        except ValueError:
+            return False
+        return True
+
+    def with_lambda(self, Lambda: float) -> "Parameters":
+        """Return a copy with a different nominal period ``Lambda``."""
+        return Parameters(d=self.d, u=self.u, vartheta=self.vartheta, Lambda=Lambda)
+
+    @classmethod
+    def vlsi_defaults(cls) -> "Parameters":
+        """Parameters representative of a large SoC clock grid.
+
+        Units are nanoseconds: ``d = 1 ns`` hop delay, ``u = 10 ps``
+        uncertainty, clock drift of 100 ppm, ``Lambda = 2 ns`` (500 MHz
+        grid input).  These follow the regime the paper motivates
+        (``d >> u + (vartheta-1)d``).
+        """
+        return cls(d=1.0, u=0.01, vartheta=1.0001, Lambda=2.0)

@@ -1,0 +1,30 @@
+"""Graph substrates: base graphs ``H`` and the layered DAG ``G``.
+
+The paper synchronizes a layered directed graph ``G`` built from copies of a
+connected base graph ``H`` of minimum degree 2 (Section 2, Figures 2-3).
+:class:`~repro.topology.base_graph.BaseGraph` models ``H`` and
+:class:`~repro.topology.layered.LayeredGraph` models ``G``.
+"""
+
+from repro.topology.base_graph import (
+    BaseGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    replicated_line,
+    star_graph,
+    torus_graph,
+)
+from repro.topology.layered import LayeredGraph, NodeId
+
+__all__ = [
+    "BaseGraph",
+    "LayeredGraph",
+    "NodeId",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "replicated_line",
+    "star_graph",
+    "torus_graph",
+]

@@ -1,0 +1,265 @@
+"""Base graphs ``H`` for the synchronization network.
+
+The paper requires ``H`` to be simple, connected, and of minimum degree 2
+(Section 2).  The graph it actually deploys on a square chip is a line with
+replicated endpoints (Figure 2), built here by :func:`replicated_line`.
+Alternative base graphs (cycle, complete, torus) are provided because the
+analysis is stated for arbitrary minimum-degree-2 base graphs.
+
+Nodes are integers ``0 .. n-1``; the adjacency structure is immutable after
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "BaseGraph",
+    "replicated_line",
+    "cycle_graph",
+    "complete_graph",
+    "path_graph",
+    "star_graph",
+    "torus_graph",
+]
+
+
+class BaseGraph:
+    """An undirected simple graph with precomputed BFS distances on demand.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of vertices; vertices are ``0 .. num_nodes - 1``.
+    edges:
+        Iterable of undirected edges ``(v, w)``.  Self-loops and duplicate
+        edges are rejected.
+    require_min_degree_2:
+        When true (default), enforce the paper's minimum-degree-2 model
+        assumption.  Tests may disable it to study degenerate graphs.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        require_min_degree_2: bool = True,
+        name: str = "custom",
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        seen = set()
+        for v, w in edges:
+            if not (0 <= v < num_nodes and 0 <= w < num_nodes):
+                raise ValueError(f"edge ({v}, {w}) out of range for n={num_nodes}")
+            if v == w:
+                raise ValueError(f"self-loop at node {v} is not allowed")
+            key = (min(v, w), max(v, w))
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            adjacency[v].append(w)
+            adjacency[w].append(v)
+        self._num_nodes = num_nodes
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adjacency
+        )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(sorted(seen))
+        self.name = name
+        self._distances: Dict[int, List[int]] = {}
+        self._diameter: int | None = None
+        if not self._is_connected():
+            raise ValueError("base graph must be connected")
+        if require_min_degree_2 and num_nodes > 1:
+            bad = [v for v in range(num_nodes) if len(self._adjacency[v]) < 2]
+            if bad:
+                raise ValueError(
+                    f"base graph must have minimum degree 2; nodes {bad} do not"
+                )
+
+    def _is_connected(self) -> bool:
+        reached = [False] * self._num_nodes
+        reached[0] = True
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for w in self._adjacency[v]:
+                if not reached[w]:
+                    reached[w] = True
+                    stack.append(w)
+        return all(reached)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices of ``H``."""
+        return self._num_nodes
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted tuple of undirected edges ``(v, w)`` with ``v < w``."""
+        return self._edges
+
+    def nodes(self) -> range:
+        """Iterable over vertices."""
+        return range(self._num_nodes)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adjacency[v])
+
+    def min_degree(self) -> int:
+        """Minimum degree over all vertices."""
+        return min(len(nbrs) for nbrs in self._adjacency)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices."""
+        return max(len(nbrs) for nbrs in self._adjacency)
+
+    def has_edge(self, v: int, w: int) -> bool:
+        """Whether ``{v, w}`` is an edge of ``H``."""
+        return w in self._adjacency[v]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def distances_from(self, source: int) -> Sequence[int]:
+        """BFS distances from ``source`` to every vertex (cached)."""
+        cached = self._distances.get(source)
+        if cached is not None:
+            return cached
+        dist = [-1] * self._num_nodes
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            for w in self._adjacency[v]:
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        self._distances[source] = dist
+        return dist
+
+    def distance(self, v: int, w: int) -> int:
+        """Hop distance ``d(v, w)`` in ``H``."""
+        return self.distances_from(v)[w]
+
+    @property
+    def diameter(self) -> int:
+        """Diameter ``D`` of ``H`` (1 for the single-node graph)."""
+        if self._diameter is None:
+            worst = max(
+                max(self.distances_from(v)) for v in range(self._num_nodes)
+            )
+            self._diameter = max(worst, 1)
+        return self._diameter
+
+    def ball(self, center: int, radius: int) -> List[int]:
+        """Vertices within hop distance ``radius`` of ``center``."""
+        dist = self.distances_from(center)
+        return [v for v in range(self._num_nodes) if 0 <= dist[v] <= radius]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"BaseGraph(name={self.name!r}, n={self._num_nodes}, "
+            f"m={len(self._edges)}, D={self.diameter})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def replicated_line(length: int) -> BaseGraph:
+    """The paper's base graph (Figure 2): a line with replicated endpoints.
+
+    ``length`` is the number of interior path nodes (``>= 2``).  Nodes
+    ``0 .. length-1`` form the path; node ``length`` replicates node ``0``
+    (adjacent to ``0`` and ``1``) and node ``length + 1`` replicates node
+    ``length - 1`` (adjacent to ``length - 1`` and ``length - 2``).
+
+    Every node has degree at least 2, nodes ``1`` and ``length - 2`` have
+    degree 3 (hence in-degree 4 in the layered graph -- the "some 4" of
+    Figure 3).
+    """
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    edges = [(i, i + 1) for i in range(length - 1)]
+    left_twin = length
+    right_twin = length + 1
+    edges.append((left_twin, 0))
+    edges.append((left_twin, 1))
+    edges.append((right_twin, length - 1))
+    if length >= 3:
+        edges.append((right_twin, length - 2))
+    else:
+        # For length == 2 the twins attach to both path nodes; avoid the
+        # duplicate (right_twin, 0) that the generic rule would create.
+        edges.append((right_twin, 0))
+    return BaseGraph(length + 2, edges, name=f"replicated_line({length})")
+
+
+def cycle_graph(num_nodes: int) -> BaseGraph:
+    """Cycle on ``num_nodes >= 3`` vertices (the theoretically cleanest H)."""
+    if num_nodes < 3:
+        raise ValueError(f"cycle needs >= 3 nodes, got {num_nodes}")
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return BaseGraph(num_nodes, edges, name=f"cycle({num_nodes})")
+
+
+def complete_graph(num_nodes: int) -> BaseGraph:
+    """Complete graph (diameter 1); the degenerate ``D = 1`` regime."""
+    if num_nodes < 3:
+        raise ValueError(f"complete graph needs >= 3 nodes, got {num_nodes}")
+    edges = [
+        (v, w) for v in range(num_nodes) for w in range(v + 1, num_nodes)
+    ]
+    return BaseGraph(num_nodes, edges, name=f"complete({num_nodes})")
+
+
+def path_graph(num_nodes: int) -> BaseGraph:
+    """Plain path; violates minimum degree 2 and is only for degenerate tests."""
+    if num_nodes < 2:
+        raise ValueError(f"path needs >= 2 nodes, got {num_nodes}")
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return BaseGraph(
+        num_nodes, edges, require_min_degree_2=False, name=f"path({num_nodes})"
+    )
+
+
+def star_graph(num_leaves: int) -> BaseGraph:
+    """Star graph; violates minimum degree 2 and is only for degenerate tests."""
+    if num_leaves < 2:
+        raise ValueError(f"star needs >= 2 leaves, got {num_leaves}")
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return BaseGraph(
+        num_leaves + 1,
+        edges,
+        require_min_degree_2=False,
+        name=f"star({num_leaves})",
+    )
+
+
+def torus_graph(rows: int, cols: int) -> BaseGraph:
+    """2D torus grid; an alternative minimum-degree-4 base graph."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows >= 3 and cols >= 3")
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.add((min(v, right), max(v, right)))
+            edges.add((min(v, down), max(v, down)))
+    return BaseGraph(rows * cols, sorted(edges), name=f"torus({rows}x{cols})")

@@ -1,0 +1,242 @@
+"""Tests for repro.analysis: skew measures, potentials, fits, reports."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Psi,
+    Xi,
+    fit_linear,
+    fit_log2,
+    fit_power,
+    format_table,
+    global_skew,
+    inter_layer_skew,
+    local_skew_per_layer,
+    max_local_skew,
+    overall_skew,
+    psi,
+    times_from_trace,
+    xi,
+)
+from repro.analysis.potentials import local_skew_bound_from_potential
+from repro.analysis.report import format_value
+from repro.core.fast import FastResult
+from repro.core.layer0 import AlternatingLayer0
+from repro.engine.trace import Trace
+from repro.faults import FaultPlan
+from repro.params import Parameters
+from repro.topology import LayeredGraph, replicated_line
+from tests.test_fast_sim import PARAMS, noisy_sim
+
+
+def synthetic_result(times):
+    """FastResult with hand-written pulse times (K, L, W)."""
+    times = np.asarray(times, dtype=float)
+    k, layers, width = times.shape
+    base = replicated_line(width - 2)
+    assert base.num_nodes == width
+    graph = LayeredGraph(base, layers)
+    result = FastResult(graph, PARAMS, FaultPlan.none(), k)
+    result.times[:] = times
+    return result
+
+
+class TestSkewMeasures:
+    def test_zero_for_identical_times(self):
+        result = synthetic_result(np.zeros((2, 3, 6)))
+        assert max_local_skew(result) == 0.0
+        assert global_skew(result) == 0.0
+
+    def test_local_skew_simple(self):
+        times = np.zeros((1, 2, 6))
+        times[0, 1, 2] = 0.5  # one node late on layer 1
+        result = synthetic_result(times)
+        skews = local_skew_per_layer(result)
+        assert skews[0] == 0.0
+        assert skews[1] == 0.5
+
+    def test_local_skew_uses_adjacent_pairs_only(self):
+        # A gradient of 0.1 per hop: local skew 0.1, global skew larger.
+        times = np.zeros((1, 1, 6))
+        times[0, 0, :] = [0.0, 0.1, 0.2, 0.3, 0.05, 0.25]
+        result = synthetic_result(times)
+        assert local_skew_per_layer(result)[0] <= 0.2
+        assert global_skew(result) == pytest.approx(0.3)
+
+    def test_nan_entries_skipped(self):
+        times = np.zeros((1, 2, 6))
+        times[0, 1, 2] = np.nan
+        result = synthetic_result(times)
+        assert max_local_skew(result) == 0.0
+
+    def test_all_nan_layer_gives_zero(self):
+        times = np.full((1, 2, 6), np.nan)
+        result = synthetic_result(times)
+        assert max_local_skew(result) == 0.0
+        assert global_skew(result) == 0.0
+
+    def test_inter_layer_skew_perfect_pipeline(self):
+        # Layer l pulses k at (k + l) * Lambda: inter-layer skew 0.
+        k_count, layers, width = 3, 4, 6
+        times = np.zeros((k_count, layers, width))
+        for k in range(k_count):
+            for layer in range(layers):
+                times[k, layer, :] = (k + layer) * 2.0
+        result = synthetic_result(times)
+        assert np.all(inter_layer_skew(result) == 0.0)
+        assert overall_skew(result) == 0.0
+
+    def test_inter_layer_skew_detects_offset(self):
+        k_count, layers, width = 2, 2, 6
+        times = np.zeros((k_count, layers, width))
+        times[0, 0, :] = 0.0
+        times[1, 0, :] = 2.0
+        times[0, 1, :] = 2.3  # layer 1 late vs layer 0's next pulse
+        times[1, 1, :] = 4.3
+        result = synthetic_result(times)
+        assert inter_layer_skew(result)[0] == pytest.approx(0.3)
+
+    def test_single_pulse_has_no_inter_layer_skew(self):
+        result = synthetic_result(np.zeros((1, 3, 6)))
+        assert np.all(inter_layer_skew(result) == 0.0)
+
+    def test_pulse_subset(self):
+        times = np.zeros((3, 1, 6))
+        times[2, 0, 0] = 5.0
+        result = synthetic_result(times)
+        assert max_local_skew(result, pulses=[0, 1]) == 0.0
+        assert max_local_skew(result) == 5.0
+
+    def test_times_from_trace(self):
+        graph = LayeredGraph(replicated_line(4), 2)
+        trace = Trace()
+        trace.record_pulse((0, 0), 0, 1.0)
+        trace.record_pulse((0, 1), 0, 3.0)
+        trace.record_pulse((0, 0), 5, 99.0)  # beyond num_pulses: dropped
+        times = times_from_trace(trace, graph, num_pulses=2)
+        assert times[0, 0, 0] == 1.0
+        assert times[0, 1, 0] == 3.0
+        assert math.isnan(times[1, 0, 0])
+
+
+class TestPotentials:
+    def test_psi_definition(self):
+        result = noisy_sim(diameter=6).run(1)
+        kappa = PARAMS.kappa
+        t = result.times
+        v, w, layer, s = 2, 5, 3, 1
+        d = result.graph.base.distance(v, w)
+        expected = t[0, layer, v] - t[0, layer, w] - 4 * s * kappa * d
+        assert psi(result, s, v, w, layer, 0) == pytest.approx(expected)
+
+    def test_xi_definition(self):
+        result = noisy_sim(diameter=6).run(1)
+        kappa = PARAMS.kappa
+        t = result.times
+        v, w, layer, s = 1, 4, 2, 2
+        d = result.graph.base.distance(v, w)
+        expected = t[0, layer, v] - t[0, layer, w] - (4 * s - 2) * kappa * d
+        assert xi(result, s, v, w, layer, 0) == pytest.approx(expected)
+
+    def test_psi_at_most_xi(self):
+        # psi subtracts more per hop: psi <= xi pairwise, so Psi <= Xi.
+        result = noisy_sim(diameter=6).run(1)
+        for layer in (0, 2, 5):
+            assert Psi(result, 1, layer, 0) <= Xi(result, 1, layer, 0) + 1e-12
+
+    def test_Psi_nonnegative(self):
+        # Psi maxes over ordered pairs incl. (v, v): always >= 0.
+        result = noisy_sim(diameter=6).run(1)
+        assert Psi(result, 1, 3, 0) >= 0.0
+
+    def test_observation_4_2(self):
+        """Psi^s(l) <= B implies L_l <= B + 4 s kappa."""
+        result = noisy_sim(diameter=6).run(2)
+        s = 1
+        for layer in range(result.graph.num_layers):
+            for pulse in range(2):
+                bound = local_skew_bound_from_potential(
+                    result, s, Psi(result, s, layer, pulse)
+                )
+                measured = local_skew_per_layer(result, pulses=[pulse])[layer]
+                assert measured <= bound + 1e-9
+
+    def test_potential_decays_down_the_grid(self):
+        """Lemma 4.22 empirically: injected Psi^1 shrinks layer by layer."""
+        sim = noisy_sim(diameter=6, layers=24)
+        sim.layer0 = AlternatingLayer0(PARAMS.Lambda, 6 * PARAMS.kappa)
+        result = sim.run(1)
+        first = Psi(result, 1, 0, 0)
+        last = Psi(result, 1, 23, 0)
+        assert last < first / 2
+
+
+class TestFits:
+    def test_linear_exact(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_log2_exact(self):
+        xs = [2, 4, 8, 16]
+        ys = [1 + 3 * math.log2(x) for x in xs]
+        fit = fit_log2(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.predict(32) == pytest.approx(16.0)
+
+    def test_power_exact(self):
+        xs = [1, 2, 4, 8]
+        ys = [5 * x**1.5 for x in xs]
+        fit = fit_power(xs, ys)
+        assert fit.slope == pytest.approx(1.5)
+        assert fit.predict(16) == pytest.approx(5 * 16**1.5, rel=1e-6)
+
+    def test_power_discriminates_linear_from_log(self):
+        xs = [4, 8, 16, 32, 64]
+        linear = fit_power(xs, [0.01 * x for x in xs])
+        logish = fit_power(xs, [0.01 * math.log2(x) for x in xs])
+        assert linear.slope > 0.9
+        assert logish.slope < 0.5
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+        with pytest.raises(ValueError):
+            fit_log2([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1, 2, 3])
+
+    def test_constant_data_r_squared_one(self):
+        fit = fit_linear([1, 2, 3], [4, 4, 4])
+        assert fit.r_squared == 1.0
+        assert fit.slope == pytest.approx(0.0)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(3) == "3"
+        assert "e" in format_value(1.23e-7)
+        assert format_value(0.1234) == "0.1234"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["a", "bb"], [(1, 2.5), (10, 0.125)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])

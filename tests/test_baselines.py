@@ -1,0 +1,174 @@
+"""Tests for repro.baselines: naive TRIX, HEX, and the clock tree."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.skew import local_skew_per_layer
+from repro.baselines import ClockTree, HexSimulation, NaiveTrixSimulation
+from repro.core.fast import FastSimulation
+from repro.delays import AdversarialSplitDelays, StaticDelayModel
+from repro.faults import AdversarialLateFault, CrashFault, FaultPlan
+from repro.params import Parameters
+from repro.topology import LayeredGraph, replicated_line
+
+PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+
+
+def trix_grid(diameter):
+    return LayeredGraph(replicated_line(diameter + 1), diameter + 1)
+
+
+def adversarial():
+    return AdversarialSplitDelays(
+        PARAMS.d, PARAMS.u, lambda e: e[1][0] >= e[0][0]
+    )
+
+
+class TestNaiveTrix:
+    def test_uniform_setup_zero_skew(self):
+        result = NaiveTrixSimulation(trix_grid(6), PARAMS).run(2)
+        assert result.max_local_skew() == 0.0
+        assert not np.isnan(result.times).any()
+
+    def test_skew_grows_linearly_under_adversarial_delays(self):
+        """Figure 1 left / Table 1: Theta(u * D) local skew."""
+        skews = {}
+        for diameter in (8, 16, 32):
+            result = NaiveTrixSimulation(
+                trix_grid(diameter), PARAMS, delay_model=adversarial()
+            ).run(2)
+            skews[diameter] = result.max_local_skew()
+        # Roughly doubles with D and scales with u.
+        assert skews[16] > 1.7 * skews[8]
+        assert skews[32] > 1.7 * skews[16]
+        assert skews[32] >= 0.2 * PARAMS.u * 32
+
+    def test_gradient_trix_beats_naive_on_same_delays(self):
+        graph = trix_grid(32)
+        naive = NaiveTrixSimulation(
+            graph, PARAMS, delay_model=adversarial()
+        ).run(2)
+        gradient = FastSimulation(
+            graph, PARAMS, delay_model=adversarial()
+        ).run(2)
+        assert gradient.max_local_skew() < naive.max_local_skew()
+
+    def test_tolerates_one_crash(self):
+        plan = FaultPlan.from_nodes({(4, 2): CrashFault()})
+        result = NaiveTrixSimulation(
+            trix_grid(8),
+            PARAMS,
+            delay_model=StaticDelayModel(PARAMS.d, PARAMS.u, seed=0),
+            fault_plan=plan,
+        ).run(2)
+        mask = result.faulty_mask
+        assert not np.isnan(result.times[:, ~mask]).any()
+
+    def test_second_copy_rule_ignores_early_byzantine(self):
+        # A fault that sends extremely early cannot speed its successors
+        # up: they wait for the second copy.
+        plan_early = FaultPlan.from_nodes(
+            {(4, 2): AdversarialLateFault(0.0)}
+        )  # on time
+        base = NaiveTrixSimulation(
+            trix_grid(8), PARAMS, fault_plan=plan_early
+        ).run(2)
+        from repro.faults import AdversarialEarlyFault
+
+        plan = FaultPlan.from_nodes({(4, 2): AdversarialEarlyFault(100.0)})
+        early = NaiveTrixSimulation(
+            trix_grid(8), PARAMS, fault_plan=plan
+        ).run(2)
+        correct_mask = ~early.faulty_mask
+        diff = np.abs(
+            early.times[:, correct_mask] - base.times[:, correct_mask]
+        )
+        assert np.nanmax(diff) <= 1e-9
+
+    def test_two_silent_preds_deadlock(self):
+        plan = FaultPlan.from_nodes(
+            {(3, 2): CrashFault(), (5, 2): CrashFault()}
+        )
+        result = NaiveTrixSimulation(
+            trix_grid(8), PARAMS, fault_plan=plan
+        ).run(1)
+        assert math.isnan(result.times[0, 3, 4])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            NaiveTrixSimulation(trix_grid(4), PARAMS, forward_wait=-1.0)
+        with pytest.raises(ValueError):
+            NaiveTrixSimulation(trix_grid(4), PARAMS).run(0)
+
+
+class TestHex:
+    def test_no_crash_small_skew(self):
+        sim = HexSimulation(
+            12, 10, PARAMS,
+            delay_model=StaticDelayModel(PARAMS.d, PARAMS.u, seed=0),
+        )
+        result = sim.run(2)
+        assert result.max_local_skew() <= 3 * PARAMS.u
+
+    def test_crash_costs_about_d(self):
+        """Figure 1 right: one crash inflates local skew by ~d (>> u)."""
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+        clean = HexSimulation(12, 10, PARAMS, delay_model=delays).run(2)
+        crashed = HexSimulation(
+            12, 10, PARAMS, delay_model=delays, crashed={(6, 4)}
+        ).run(2)
+        penalty = crashed.max_local_skew() - clean.max_local_skew()
+        assert PARAMS.d * 0.5 <= penalty <= 3 * PARAMS.d
+
+    def test_crashed_node_never_fires(self):
+        result = HexSimulation(8, 6, PARAMS, crashed={(3, 2)}).run(2)
+        assert np.isnan(result.times[:, 2, 3]).all()
+
+    def test_all_correct_nodes_fire_despite_crash(self):
+        result = HexSimulation(8, 6, PARAMS, crashed={(3, 2)}).run(2)
+        mask = np.zeros((6, 8), dtype=bool)
+        mask[2, 3] = True
+        assert not np.isnan(result.times[:, ~mask]).any()
+
+    def test_skew_per_layer_shape(self):
+        result = HexSimulation(8, 6, PARAMS).run(1)
+        assert result.local_skew_per_layer().shape == (6,)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            HexSimulation(2, 5, PARAMS)
+        with pytest.raises(ValueError):
+            HexSimulation(8, 0, PARAMS)
+        with pytest.raises(ValueError):
+            HexSimulation(8, 5, PARAMS).run(0)
+
+
+class TestClockTree:
+    def test_leaf_count(self):
+        assert ClockTree(depth=4, d=1.0, u=0.1).num_leaves == 16
+
+    def test_leaf_times_in_envelope(self):
+        tree = ClockTree(depth=5, d=1.0, u=0.1, seed=1)
+        for t in tree.leaf_times():
+            assert 5 * 0.9 <= t <= 5 * 1.0
+
+    def test_local_skew_bounded_by_depth(self):
+        tree = ClockTree(depth=5, d=1.0, u=0.1, seed=1)
+        assert tree.local_skew() <= 2 * 5 * 0.1
+
+    def test_broken_edge_silences_subtree(self):
+        # Breaking the root's left child silences half the leaves.
+        tree = ClockTree(depth=4, d=1.0, u=0.1, broken_edges={2})
+        assert tree.reachable_leaves() == 8
+
+    def test_intact_tree_fully_reachable(self):
+        tree = ClockTree(depth=4, d=1.0, u=0.1)
+        assert tree.reachable_leaves() == 16
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClockTree(depth=0, d=1.0, u=0.1)
+        with pytest.raises(ValueError):
+            ClockTree(depth=3, d=1.0, u=2.0)

@@ -1,0 +1,182 @@
+"""Tests for repro.core.correction: the correction value C_{v,l}."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.correction import (
+    CorrectionPolicy,
+    compute_correction,
+    raw_delta,
+)
+
+KAPPA = 0.02
+VT = 1.001
+
+
+def brute_force_delta(h_own, h_min, h_max, kappa, s_max=1000):
+    """Literal min over s in N of the Algorithm 1 expression."""
+    best = math.inf
+    for s in range(s_max):
+        value = max(
+            h_own - h_max + 4 * s * kappa, h_own - h_min - 4 * s * kappa
+        )
+        best = min(best, value)
+    return best - kappa / 2.0
+
+
+class TestRawDelta:
+    def test_all_equal_receptions(self):
+        # h_own = h_min = h_max: delta = -kappa/2 (s = 0 is optimal).
+        assert raw_delta(1.0, 1.0, 1.0, KAPPA) == pytest.approx(-KAPPA / 2)
+
+    def test_own_late(self):
+        delta = raw_delta(1.5, 1.0, 1.0, KAPPA)
+        assert delta == pytest.approx(0.5 - KAPPA / 2)
+
+    def test_own_early(self):
+        delta = raw_delta(0.5, 1.0, 1.0, KAPPA)
+        assert delta == pytest.approx(-0.5 - KAPPA / 2)
+
+    def test_infinite_h_max(self):
+        assert raw_delta(1.0, 0.5, math.inf, KAPPA) == -math.inf
+
+    def test_kappa_zero(self):
+        assert raw_delta(1.2, 1.0, 1.1, 0.0) == pytest.approx(0.2)
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ValueError):
+            raw_delta(1.0, 2.0, 1.0, KAPPA)
+
+    def test_rejects_infinite_own(self):
+        with pytest.raises(ValueError):
+            raw_delta(math.inf, 1.0, 2.0, KAPPA)
+
+    def test_rejects_negative_kappa(self):
+        with pytest.raises(ValueError):
+            raw_delta(1.0, 1.0, 1.0, -0.1)
+
+    @given(
+        h_own=st.floats(min_value=-5, max_value=5),
+        h_min=st.floats(min_value=-5, max_value=5),
+        spread=st.floats(min_value=0, max_value=3),
+        kappa=st.floats(min_value=1e-4, max_value=0.5),
+    )
+    def test_closed_form_matches_brute_force(self, h_own, h_min, spread, kappa):
+        h_max = h_min + spread
+        expected = brute_force_delta(h_own, h_min, h_max, kappa, s_max=5000)
+        got = raw_delta(h_own, h_min, h_max, kappa)
+        assert got == pytest.approx(expected, abs=1e-9)
+
+
+class TestComputeCorrection:
+    def test_mid_branch(self):
+        # Own moderately late: delta in [0, vt*kappa] -> C = delta.
+        h_own = 1.0 + KAPPA  # delta = kappa - kappa/2 = kappa/2
+        r = compute_correction(h_own, 1.0, 1.0, KAPPA, VT)
+        assert r.branch == "mid"
+        assert r.correction == pytest.approx(KAPPA / 2)
+
+    def test_low_branch_clamps_to_zero_when_aligned(self):
+        r = compute_correction(1.0, 1.0, 1.0, KAPPA, VT)
+        assert r.branch == "low"
+        assert r.correction == 0.0
+
+    def test_low_branch_negative_jump(self):
+        # Own far earlier than all neighbors: C goes negative (wait).
+        r = compute_correction(0.0, 1.0, 1.0, KAPPA, VT)
+        assert r.branch == "low"
+        assert r.correction == pytest.approx(-1.0 + 1.5 * KAPPA)
+
+    def test_high_branch_large_jump(self):
+        # Own far later than all neighbors: C exceeds vt*kappa (catch up).
+        r = compute_correction(2.0, 1.0, 1.0, KAPPA, VT)
+        assert r.branch == "high"
+        assert r.correction == pytest.approx(1.0 - 1.5 * KAPPA)
+
+    def test_high_branch_clamps_to_vt_kappa(self):
+        # Own just past the range: jump target below vt*kappa -> clamp.
+        h_own = 1.0 + 2.2 * KAPPA
+        r = compute_correction(h_own, 1.0, 1.0, KAPPA, VT)
+        assert r.branch == "high"
+        assert r.correction >= VT * KAPPA - 1e-12
+
+    def test_infinite_h_max_goes_low(self):
+        r = compute_correction(1.0, 0.9, math.inf, KAPPA, VT)
+        assert r.branch == "low"
+        # C = min(h_own - h_min + 3k/2, 0) = 0 since own is later.
+        assert r.correction == 0.0
+
+    def test_infinite_h_max_with_early_own(self):
+        r = compute_correction(0.0, 1.0, math.inf, KAPPA, VT)
+        assert r.correction == pytest.approx(-1.0 + 1.5 * KAPPA)
+
+    def test_pulse_time_sticks_to_median(self):
+        # Whatever the inputs, h_own - C stays within ~2k of the median
+        # reception (Lemmas 4.27/4.28's engine).  Median of three values.
+        cases = [
+            (0.0, 1.0, 1.2),  # own earliest
+            (1.1, 1.0, 1.2),  # own in the middle
+            (3.0, 1.0, 1.2),  # own latest
+        ]
+        for h_own, h_min, h_max in cases:
+            r = compute_correction(h_own, h_min, h_max, KAPPA, VT)
+            median = sorted([h_own, h_min, h_max])[1]
+            anchor = h_own - r.correction
+            assert abs(anchor - median) <= 2 * KAPPA + 1e-12
+
+    def test_stick_to_median_disabled_clamps(self):
+        policy = CorrectionPolicy(stick_to_median=False)
+        low = compute_correction(0.0, 1.0, 1.0, KAPPA, VT, policy)
+        high = compute_correction(2.0, 1.0, 1.0, KAPPA, VT, policy)
+        assert low.correction == 0.0
+        assert high.correction == pytest.approx(VT * KAPPA)
+
+    def test_continuous_policy_midpoint(self):
+        policy = CorrectionPolicy(discretize=False)
+        r = compute_correction(1.0 + KAPPA, 1.0, 1.0 + KAPPA, KAPPA, VT, policy)
+        expected = (1.0 + KAPPA) - (2.0 + KAPPA) / 2.0 - KAPPA / 2.0
+        assert r.delta == pytest.approx(expected)
+
+    def test_jump_slack_shifts_targets(self):
+        damped = compute_correction(0.0, 1.0, 1.0, KAPPA, VT)
+        neutral = compute_correction(
+            0.0, 1.0, 1.0, KAPPA, VT, CorrectionPolicy(jump_slack=0.0)
+        )
+        overshoot = compute_correction(
+            0.0, 1.0, 1.0, KAPPA, VT, CorrectionPolicy(jump_slack=-1.0)
+        )
+        # Less slack -> more negative correction -> later pulse.
+        assert damped.correction > neutral.correction > overshoot.correction
+        assert damped.correction - neutral.correction == pytest.approx(KAPPA)
+
+    @given(
+        h_own=st.floats(min_value=-3, max_value=3),
+        h_min=st.floats(min_value=-3, max_value=3),
+        spread=st.floats(min_value=0, max_value=2),
+    )
+    def test_branches_partition_delta_range(self, h_own, h_min, spread):
+        r = compute_correction(h_own, h_min, h_min + spread, KAPPA, VT)
+        if r.branch == "mid":
+            assert 0.0 <= r.delta <= VT * KAPPA
+            assert r.correction == r.delta
+        elif r.branch == "low":
+            assert r.delta < 0.0
+            assert r.correction <= 0.0
+        else:
+            assert r.delta > VT * KAPPA
+            assert r.correction >= VT * KAPPA - 1e-12
+
+    @given(
+        h_own=st.floats(min_value=-3, max_value=3),
+        h_min=st.floats(min_value=-3, max_value=3),
+        spread=st.floats(min_value=0, max_value=2),
+    )
+    def test_median_anchor_property(self, h_own, h_min, spread):
+        """Property: the pulse anchor h_own - C never strays more than
+        2*kappa from the median reception time (fault containment)."""
+        h_max = h_min + spread
+        r = compute_correction(h_own, h_min, h_max, KAPPA, VT)
+        median = sorted([h_own, h_min, h_max])[1]
+        assert abs((h_own - r.correction) - median) <= 2 * KAPPA + 1e-9

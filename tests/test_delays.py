@@ -1,0 +1,133 @@
+"""Tests for repro.delays: delay model implementations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delays import (
+    AdversarialSplitDelays,
+    StaticDelayModel,
+    UniformDelayModel,
+    VaryingDelayModel,
+)
+
+EDGE = ((0, 0), (1, 1))
+OTHER = ((1, 0), (0, 1))
+
+
+class TestUniform:
+    def test_default_midpoint(self):
+        m = UniformDelayModel(d=1.0, u=0.2)
+        assert m.delay(EDGE) == pytest.approx(0.9)
+
+    def test_explicit_value(self):
+        m = UniformDelayModel(d=1.0, u=0.2, value=0.85)
+        assert m.delay(EDGE) == 0.85
+
+    def test_rejects_value_outside_range(self):
+        with pytest.raises(ValueError):
+            UniformDelayModel(d=1.0, u=0.1, value=0.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            UniformDelayModel(d=0.0, u=0.0)
+        with pytest.raises(ValueError):
+            UniformDelayModel(d=1.0, u=2.0)
+
+
+class TestStatic:
+    def test_within_bounds(self):
+        m = StaticDelayModel(d=1.0, u=0.1, seed=0)
+        for v in range(20):
+            delay = m.delay(((v, 0), (v, 1)))
+            assert 0.9 <= delay <= 1.0
+
+    def test_static_across_pulses(self):
+        m = StaticDelayModel(d=1.0, u=0.1, seed=0)
+        assert m.delay(EDGE, 0) == m.delay(EDGE, 7)
+
+    def test_query_order_independent(self):
+        a = StaticDelayModel(d=1.0, u=0.1, seed=3)
+        b = StaticDelayModel(d=1.0, u=0.1, seed=3)
+        a.delay(EDGE)
+        a.delay(OTHER)
+        b.delay(OTHER)  # reversed order
+        b.delay(EDGE)
+        assert a.delay(EDGE) == b.delay(EDGE)
+        assert a.delay(OTHER) == b.delay(OTHER)
+
+    def test_seed_changes_delays(self):
+        a = StaticDelayModel(d=1.0, u=0.1, seed=0)
+        b = StaticDelayModel(d=1.0, u=0.1, seed=1)
+        assert a.delay(EDGE) != b.delay(EDGE)
+
+    def test_string_node_parts_supported(self):
+        # Layer-0 chains key the source edge with a string vertex.
+        m = StaticDelayModel(d=1.0, u=0.1, seed=0)
+        delay = m.delay((("source", -1), (0, 0)))
+        assert 0.9 <= delay <= 1.0
+
+
+class TestAdversarial:
+    def test_split(self):
+        m = AdversarialSplitDelays(
+            d=1.0, u=0.1, slow_edge=lambda e: e[0][0] == 0
+        )
+        assert m.delay(EDGE) == 1.0
+        assert m.delay(OTHER) == 0.9
+
+
+class TestVarying:
+    def test_within_bounds_always(self):
+        m = VaryingDelayModel(d=1.0, u=0.1, max_step=0.05, seed=0)
+        for pulse in range(50):
+            assert 0.9 <= m.delay(EDGE, pulse) <= 1.0
+
+    def test_step_bound(self):
+        m = VaryingDelayModel(d=1.0, u=0.2, max_step=0.01, seed=1)
+        values = [m.delay(EDGE, k) for k in range(40)]
+        for a, b in zip(values, values[1:]):
+            assert abs(b - a) <= 0.01 + 1e-12
+
+    def test_zero_step_is_static(self):
+        m = VaryingDelayModel(d=1.0, u=0.1, max_step=0.0, seed=2)
+        values = {m.delay(EDGE, k) for k in range(10)}
+        assert len(values) == 1
+
+    def test_deterministic_given_seed(self):
+        a = VaryingDelayModel(d=1.0, u=0.1, max_step=0.02, seed=9)
+        b = VaryingDelayModel(d=1.0, u=0.1, max_step=0.02, seed=9)
+        assert [a.delay(EDGE, k) for k in range(10)] == [
+            b.delay(EDGE, k) for k in range(10)
+        ]
+
+    def test_out_of_order_queries_consistent(self):
+        a = VaryingDelayModel(d=1.0, u=0.1, max_step=0.02, seed=4)
+        late_first = a.delay(EDGE, 9)
+        b = VaryingDelayModel(d=1.0, u=0.1, max_step=0.02, seed=4)
+        for k in range(10):
+            b.delay(EDGE, k)
+        assert late_first == b.delay(EDGE, 9)
+
+    def test_rejects_negative_pulse(self):
+        m = VaryingDelayModel(d=1.0, u=0.1, max_step=0.01)
+        with pytest.raises(ValueError):
+            m.delay(EDGE, -1)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            VaryingDelayModel(d=1.0, u=0.1, max_step=-0.1)
+
+
+@given(
+    d=st.floats(min_value=0.1, max_value=10.0),
+    u_frac=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    v=st.integers(min_value=0, max_value=1000),
+    layer=st.integers(min_value=0, max_value=1000),
+)
+def test_static_delays_always_in_range(d, u_frac, seed, v, layer):
+    """Property: every sampled delay lies in [d - u, d]."""
+    u = d * u_frac
+    m = StaticDelayModel(d=d, u=u, seed=seed)
+    delay = m.delay(((v, layer), (v + 1, layer + 1)))
+    assert d - u - 1e-12 <= delay <= d + 1e-12

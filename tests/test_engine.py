@@ -1,0 +1,272 @@
+"""Tests for repro.engine: scheduler, processes, network, traces."""
+
+import pytest
+
+from repro.clocks import AffineClock
+from repro.delays import UniformDelayModel
+from repro.engine import Message, Process, Simulator, Trace
+from repro.engine.network import Network
+
+
+class TestSimulator:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(3.0, lambda: log.append(3))
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(2.0, lambda: log.append(2))
+        sim.run_until_idle()
+        assert log == [1, 2, 3]
+
+    def test_ties_broken_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append("a"))
+        sim.schedule_at(1.0, lambda: log.append("b"))
+        sim.run_until_idle()
+        assert log == ["a", "b"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(2.0, lambda: sim.schedule_after(3.0, lambda: log.append(sim.now)))
+        sim.run_until_idle()
+        assert log == [5.0]
+
+    def test_schedule_after_rejects_negative(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule_at(1.0, lambda: log.append("fired"))
+        handle.cancel()
+        sim.run_until_idle()
+        assert log == []
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_at(1.0, lambda: log.append(1))
+        sim.schedule_at(5.0, lambda: log.append(5))
+        sim.run_until(3.0)
+        assert log == [1]
+        assert sim.now == 3.0
+        sim.run_until(10.0)
+        assert log == [1, 5]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(depth):
+            log.append(depth)
+            if depth < 3:
+                sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+        sim.schedule_at(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert log == [0, 1, 2, 3]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(0.0, forever)
+
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run_until_idle(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 5
+
+    def test_determinism(self):
+        def run():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule_at((i * 7) % 13 * 1.0, lambda i=i: log.append(i))
+            sim.run_until_idle()
+            return log
+
+        assert run() == run()
+
+
+class _Recorder(Process):
+    def __init__(self, sim, address, clock):
+        super().__init__(sim, address, clock)
+        self.messages = []
+        self.timers = []
+
+    def on_message(self, message):
+        self.messages.append((self.sim.now, message.sender, message.payload))
+
+    def on_timer(self, name):
+        self.timers.append((self.sim.now, name))
+
+
+class TestProcess:
+    def test_local_now_uses_clock(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock(rate=2.0, offset=1.0))
+        sim.schedule_at(3.0, lambda: None)
+        sim.run_until_idle()
+        assert p.local_now() == pytest.approx(7.0)
+
+    def test_timer_fires_at_local_time(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock(rate=2.0))
+        p.set_timer_local("t", 10.0)  # local 10 = real 5
+        sim.run_until_idle()
+        assert p.timers == [(5.0, "t")]
+
+    def test_timer_rearm_replaces(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock())
+        p.set_timer_local("t", 5.0)
+        p.set_timer_local("t", 2.0)
+        sim.run_until_idle()
+        assert p.timers == [(2.0, "t")]
+
+    def test_timer_cancel(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock())
+        p.set_timer_local("t", 1.0)
+        p.cancel_timer("t")
+        sim.run_until_idle()
+        assert p.timers == []
+
+    def test_timer_in_past_fires_immediately(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock())
+        sim.schedule_at(5.0, lambda: p.set_timer_local("t", 1.0))
+        sim.run_until_idle()
+        assert p.timers == [(5.0, "t")]
+
+    def test_has_timer(self):
+        sim = Simulator()
+        p = _Recorder(sim, "a", AffineClock())
+        assert not p.has_timer("t")
+        p.set_timer_local("t", 1.0)
+        assert p.has_timer("t")
+        sim.run_until_idle()
+        assert not p.has_timer("t")
+
+
+class TestNetwork:
+    def _build(self, d=1.0, u=0.0):
+        sim = Simulator()
+        net = Network(sim, UniformDelayModel(d=d, u=u))
+        a = _Recorder(sim, "a", AffineClock())
+        b = _Recorder(sim, "b", AffineClock())
+        net.register(a)
+        net.register(b)
+        return sim, net, a, b
+
+    def test_delivery_after_delay(self):
+        sim, net, a, b = self._build(d=1.0, u=0.0)
+        net.send("a", "b", payload="hello")
+        sim.run_until_idle()
+        assert b.messages == [(1.0, "a", "hello")]
+
+    def test_delay_override(self):
+        sim, net, a, b = self._build()
+        net.send("a", "b", payload="x", delay_override=0.25)
+        sim.run_until_idle()
+        assert b.messages[0][0] == 0.25
+
+    def test_unknown_receiver_dropped(self):
+        sim, net, a, b = self._build()
+        net.send("a", "nope", payload="x")
+        sim.run_until_idle()  # no exception, nothing delivered
+        assert not a.messages and not b.messages
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, a, b = self._build()
+        with pytest.raises(ValueError):
+            net.register(_Recorder(sim, "a", AffineClock()))
+
+    def test_inject_at(self):
+        sim, net, a, b = self._build()
+        net.inject_at("b", payload="spurious", sender="ghost", time=2.5)
+        sim.run_until_idle()
+        assert b.messages == [(2.5, "ghost", "spurious")]
+
+    def test_inject_unknown_target_rejected(self):
+        sim, net, a, b = self._build()
+        with pytest.raises(ValueError):
+            net.inject_at("nope", "x", "ghost", 1.0)
+
+    def test_messages_sent_counter(self):
+        sim, net, a, b = self._build()
+        net.send("a", "b")
+        net.send("b", "a")
+        assert net.messages_sent == 2
+
+
+class TestTrace:
+    def test_record_and_lookup(self):
+        t = Trace()
+        t.record_pulse((0, 1), 0, 2.5)
+        t.record_pulse((0, 1), 1, 4.5)
+        assert t.pulse_time((0, 1), 0) == 2.5
+        assert t.pulse_time((0, 1), 1) == 4.5
+        assert t.pulse_time((0, 1), 2) is None
+        assert t.pulse_time((9, 9), 0) is None
+
+    def test_records_order(self):
+        t = Trace()
+        t.record_pulse((0, 0), 0, 1.0)
+        t.record_pulse((1, 0), 0, 0.5)
+        assert [r.node for r in t.records] == [(0, 0), (1, 0)]
+        assert len(t) == 2
+
+    def test_pulses_of_and_counts(self):
+        t = Trace()
+        for k in range(3):
+            t.record_pulse((2, 1), k, float(k))
+        assert t.pulses_of((2, 1)) == {0: 0.0, 1: 1.0, 2: 2.0}
+        assert t.num_pulses((2, 1)) == 3
+        assert t.num_pulses((0, 0)) == 0
+
+    def test_pulse_count_range(self):
+        t = Trace()
+        assert t.pulse_count_range() == (0, 0)
+        t.record_pulse((0, 0), 0, 1.0)
+        t.record_pulse((1, 0), 0, 1.0)
+        t.record_pulse((1, 0), 1, 2.0)
+        assert t.pulse_count_range() == (1, 2)
+
+    def test_layer_pulse_times(self):
+        t = Trace()
+        t.record_pulse((0, 2), 0, 1.0)
+        t.record_pulse((2, 2), 0, 1.5)
+        assert t.layer_pulse_times(2, 0, width=3) == [1.0, None, 1.5]
+
+    def test_nodes_sorted(self):
+        t = Trace()
+        t.record_pulse((3, 1), 0, 1.0)
+        t.record_pulse((0, 0), 0, 1.0)
+        t.record_pulse((1, 1), 0, 1.0)
+        assert t.nodes() == [(0, 0), (1, 1), (3, 1)]

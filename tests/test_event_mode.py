@@ -1,0 +1,126 @@
+"""Cross-validation: the event-driven simulator against the fast one.
+
+Lemma B.1 guarantees the pulse/iteration alignment both modes assume; with
+static delays and constant clock rates the two must produce identical pulse
+times, which these tests assert to float precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.skew import times_from_trace
+from repro.clocks import uniform_random_rates
+from repro.core.fast import FastSimulation
+from repro.core.layer0 import JitteredLayer0
+from repro.core.network_sim import GridSimulation
+from repro.delays import StaticDelayModel
+from repro.faults import (
+    AdversarialLateFault,
+    CrashFault,
+    FaultPlan,
+    FixedOffsetFault,
+)
+from repro.params import Parameters
+from repro.topology import LayeredGraph, replicated_line
+
+PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+
+
+def build_pair(diameter=6, seed=0, plan=None, layer0=None, num_pulses=4):
+    base = replicated_line(diameter + 1)
+    graph = LayeredGraph(base, diameter + 1)
+    delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=seed)
+    clocks = uniform_random_rates(
+        graph.nodes(), PARAMS.vartheta, rng_or_seed=seed + 1
+    )
+    rates = {node: clock.rate for node, clock in clocks.items()}
+    fast = FastSimulation(
+        graph,
+        PARAMS,
+        delay_model=delays,
+        clock_rates=rates,
+        fault_plan=plan,
+        layer0=layer0,
+    ).run(num_pulses)
+    grid = GridSimulation(
+        graph,
+        PARAMS,
+        delay_model=delays,
+        clocks=dict(clocks),
+        fault_plan=plan,
+        layer0=layer0,
+    )
+    trace = grid.run(num_pulses)
+    event = times_from_trace(trace, graph, num_pulses)
+    return fast, event, grid
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fault_free_exact_agreement(self, seed):
+        fast, event, _ = build_pair(seed=seed)
+        assert np.array_equal(np.isnan(event), np.isnan(fast.times))
+        assert np.nanmax(np.abs(event - fast.times)) == 0.0
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan.from_nodes({(3, 2): CrashFault()}),
+            FaultPlan.from_nodes({(3, 2): AdversarialLateFault(10.0)}),
+            FaultPlan.from_nodes({(3, 2): FixedOffsetFault(0.3)}),
+            FaultPlan.from_nodes(
+                {(1, 1): CrashFault(), (5, 4): AdversarialLateFault(4.0)}
+            ),
+        ],
+    )
+    def test_faulty_exact_agreement(self, plan):
+        fast, event, _ = build_pair(plan=plan)
+        assert np.array_equal(np.isnan(event), np.isnan(fast.times))
+        diffs = np.abs(event - fast.times)
+        assert np.nanmax(diffs) == 0.0
+
+    def test_jittered_layer0_agreement(self):
+        layer0 = JitteredLayer0(PARAMS.Lambda, 9, jitter_bound=0.05, seed=4)
+        fast, event, _ = build_pair(diameter=6, layer0=layer0)
+        assert np.nanmax(np.abs(event - fast.times)) == 0.0
+
+    def test_event_mode_deterministic(self):
+        _, event_a, _ = build_pair(seed=7)
+        _, event_b, _ = build_pair(seed=7)
+        assert np.array_equal(event_a, event_b)
+
+    def test_trace_pulse_indices_aligned(self):
+        # Lemma B.1: iteration k consumes pulse-k messages, so every node
+        # records exactly num_pulses pulses, in order.
+        _, _, grid = build_pair()
+        low, high = grid.trace.pulse_count_range()
+        assert low == high == 4
+
+    def test_messages_sent_count(self):
+        _, _, grid = build_pair(num_pulses=2)
+        graph = grid.graph
+        expected = 2 * sum(
+            graph.out_degree((v, layer))
+            for layer in range(graph.num_layers)
+            for v in graph.base.nodes()
+        )
+        assert grid.network.messages_sent == expected
+
+
+class TestGridSimulationGuards:
+    def test_build_twice_rejected(self):
+        graph = LayeredGraph(replicated_line(4), 4)
+        grid = GridSimulation(graph, PARAMS)
+        grid.build(2)
+        with pytest.raises(RuntimeError):
+            grid.build(2)
+
+    def test_varying_rate_clock_rejected_with_faults(self):
+        from repro.clocks import PiecewiseRateClock
+
+        graph = LayeredGraph(replicated_line(4), 4)
+        plan = FaultPlan.from_nodes({(1, 1): CrashFault()})
+        clocks = {(0, 1): PiecewiseRateClock([0.0, 1.0], [1.0, 1.001])}
+        grid = GridSimulation(graph, PARAMS, clocks=clocks, fault_plan=plan)
+        with pytest.raises(ValueError, match="constant-rate"):
+            grid.build(2)

@@ -1,0 +1,198 @@
+"""Tests for repro.core.fast: the layer-recurrence simulator, fault-free."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.skew import max_inter_layer_skew
+from repro.clocks import uniform_random_rates
+from repro.core.correction import CorrectionPolicy
+from repro.core.fast import BRANCH_CODES, FastSimulation
+from repro.core.layer0 import JitteredLayer0, PerfectLayer0
+from repro.delays import StaticDelayModel, UniformDelayModel
+from repro.params import Parameters
+from repro.topology import LayeredGraph, cycle_graph, replicated_line
+
+PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+
+
+def noisy_sim(diameter=8, layers=None, seed=0, **kwargs):
+    base = replicated_line(diameter + 1)
+    graph = LayeredGraph(base, layers or diameter + 1)
+    delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=seed)
+    rates = {
+        node: clock.rate
+        for node, clock in uniform_random_rates(
+            graph.nodes(), PARAMS.vartheta, rng_or_seed=seed + 1
+        ).items()
+    }
+    return FastSimulation(
+        graph, PARAMS, delay_model=delays, clock_rates=rates, **kwargs
+    )
+
+
+class TestIdealExecution:
+    def test_uniform_setup_has_zero_skew(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        sim = FastSimulation(graph, PARAMS)
+        result = sim.run(3)
+        assert result.max_local_skew() == 0.0
+        assert result.global_skew() == 0.0
+
+    def test_every_node_pulses(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        result = FastSimulation(graph, PARAMS).run(3)
+        assert not np.isnan(result.times).any()
+
+    def test_layer_latency_about_lambda(self):
+        # Each layer forwards about Lambda - u/2 after the previous.
+        graph = LayeredGraph(replicated_line(6), 6)
+        result = FastSimulation(graph, PARAMS).run(2)
+        gaps = result.times[0, 1:, 0] - result.times[0, :-1, 0]
+        assert np.all(np.abs(gaps - PARAMS.Lambda) < 3 * PARAMS.kappa + PARAMS.u)
+
+    def test_period_is_lambda(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        result = FastSimulation(graph, PARAMS).run(3)
+        periods = np.diff(result.times, axis=0)
+        assert np.allclose(periods, PARAMS.Lambda)
+
+    def test_rejects_zero_pulses(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        with pytest.raises(ValueError):
+            FastSimulation(graph, PARAMS).run(0)
+
+    def test_rejects_unknown_algorithm(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        with pytest.raises(ValueError):
+            FastSimulation(graph, PARAMS, algorithm="bogus")
+
+
+class TestNoisyExecution:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_local_skew_within_theorem_11_bound(self, seed):
+        sim = noisy_sim(diameter=8, seed=seed)
+        result = sim.run(4)
+        assert result.max_local_skew() <= PARAMS.local_skew_bound(8)
+
+    def test_global_skew_within_bound(self):
+        result = noisy_sim(diameter=8).run(4)
+        assert result.global_skew() <= PARAMS.global_skew_bound(8)
+
+    def test_inter_layer_skew_bounded(self):
+        result = noisy_sim(diameter=8).run(4)
+        assert max_inter_layer_skew(result) <= PARAMS.local_skew_bound(8)
+
+    def test_lemma_d3_step_bounds(self):
+        """Lemma D.3: d - u + (Lambda - d - C)/vt <= t_{v,l} - t_{v,l-1}
+        <= Lambda - C for correct nodes."""
+        result = noisy_sim(diameter=6).run(3)
+        graph = result.graph
+        for k in range(3):
+            for layer in range(1, graph.num_layers):
+                for v in graph.base.nodes():
+                    c = result.effective_corrections[k, layer, v]
+                    if math.isnan(c):
+                        continue
+                    step = (
+                        result.times[k, layer, v]
+                        - result.times[k, layer - 1, v]
+                    )
+                    upper = PARAMS.Lambda - c + 1e-9
+                    lower = (
+                        PARAMS.d
+                        - PARAMS.u
+                        + (PARAMS.Lambda - PARAMS.d - c) / PARAMS.vartheta
+                        - 1e-9
+                    )
+                    assert lower <= step <= upper
+
+    def test_lemma_d2_correction_bound(self):
+        """Lemma D.2: C_{v,l} <= Lambda - d."""
+        result = noisy_sim(diameter=8).run(3)
+        finite = result.corrections[np.isfinite(result.corrections)]
+        assert np.all(finite <= PARAMS.Lambda - PARAMS.d + 1e-9)
+
+    def test_jittered_input_converges(self):
+        # Moderate input jitter is absorbed within a few layers.
+        graph = LayeredGraph(replicated_line(8), 20)
+        layer0 = JitteredLayer0(
+            PARAMS.Lambda, graph.width, jitter_bound=3 * PARAMS.kappa, seed=3
+        )
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+        result = FastSimulation(
+            graph, PARAMS, delay_model=delays, layer0=layer0
+        ).run(2)
+        from repro.analysis.skew import local_skew_per_layer
+
+        skews = local_skew_per_layer(result)
+        assert skews[-1] < skews[0]
+        assert skews[-1] <= PARAMS.local_skew_bound(graph.diameter)
+
+    def test_branch_codes_cover_run(self):
+        result = noisy_sim(diameter=8).run(3)
+        seen = set(np.unique(result.branches))
+        assert BRANCH_CODES["layer0"] in seen
+        # Correction branches dominate in fault-free noisy runs.
+        assert (
+            BRANCH_CODES["mid"] in seen
+            or BRANCH_CODES["low"] in seen
+            or BRANCH_CODES["high"] in seen
+        )
+        assert BRANCH_CODES["none"] not in seen
+
+    def test_deterministic(self):
+        a = noisy_sim(diameter=6, seed=4).run(3)
+        b = noisy_sim(diameter=6, seed=4).run(3)
+        assert np.array_equal(a.times, b.times)
+
+    def test_cycle_base_graph(self):
+        graph = LayeredGraph(cycle_graph(10), 10)
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+        result = FastSimulation(graph, PARAMS, delay_model=delays).run(3)
+        assert result.max_local_skew() <= PARAMS.local_skew_bound(5)
+
+
+class TestSimplifiedEquivalence:
+    """Lemma B.2: without faults, Algorithms 1 and 3 behave alike.
+
+    The pseudocode equivalence is exact except in a ~kappa-wide regime of
+    very late own-copies (see the discussion in repro.core.fast); the test
+    asserts agreement within one kappa.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agreement_within_kappa(self, seed):
+        full = noisy_sim(diameter=8, seed=seed, algorithm="full").run(3)
+        simple = noisy_sim(diameter=8, seed=seed, algorithm="simplified").run(3)
+        diff = np.abs(full.times - simple.times)
+        assert np.nanmax(diff) <= PARAMS.kappa + 1e-9
+
+    def test_exact_agreement_in_ideal_setup(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        full = FastSimulation(graph, PARAMS, algorithm="full").run(3)
+        simple = FastSimulation(graph, PARAMS, algorithm="simplified").run(3)
+        assert np.array_equal(full.times, simple.times)
+
+
+class TestPolicies:
+    def test_continuous_policy_still_bounded(self):
+        result = noisy_sim(
+            diameter=8, policy=CorrectionPolicy(discretize=False)
+        ).run(3)
+        assert result.max_local_skew() <= PARAMS.local_skew_bound(8)
+
+    def test_rate_provider_callable(self):
+        graph = LayeredGraph(replicated_line(6), 6)
+        sim = FastSimulation(
+            graph, PARAMS, clock_rates=lambda node, pulse: 1.0005
+        )
+        result = sim.run(2)
+        assert not np.isnan(result.times).any()
+
+    def test_result_accessors(self):
+        result = noisy_sim(diameter=6).run(2)
+        node = (2, 3)
+        assert result.pulse_time(node, 1) == result.times[1, 3, 2]
+        assert result.faulty_mask.sum() == 0

@@ -1,0 +1,136 @@
+"""End-to-end integration tests combining all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChainLayer0,
+    FastSimulation,
+    LayeredGraph,
+    Parameters,
+    StaticDelayModel,
+    replicated_line,
+)
+from repro.analysis import overall_skew, times_from_trace
+from repro.analysis.skew import max_inter_layer_skew
+from repro.clocks import uniform_random_rates
+from repro.core.conditions import check_all_conditions
+from repro.core.network_sim import GridSimulation
+from repro.faults import AdversarialLateFault, CrashFault, FaultPlan
+
+
+class TestFullPipeline:
+    """Chain layer 0 -> grid forwarding -> faults -> analysis, end to end."""
+
+    def setup_method(self):
+        self.params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+        self.base = replicated_line(10)
+        self.graph = LayeredGraph(self.base, 10)
+        self.delays = StaticDelayModel(self.params.d, self.params.u, seed=21)
+        clocks = uniform_random_rates(
+            self.graph.nodes(), self.params.vartheta, rng_or_seed=22
+        )
+        self.rates = {n: c.rate for n, c in clocks.items()}
+        self.clocks = clocks
+
+    def _chain_layer0(self):
+        # Feed layer 0 through the Algorithm 2 chain: twins at the ends,
+        # path nodes in order (a Hamiltonian-ish walk of the base graph).
+        order = [10, *range(10), 11]
+        chain_clocks = {
+            v: self.clocks[(v, 0)] for v in order if (v, 0) in self.clocks
+        }
+        return ChainLayer0(
+            self.params, order, delay_model=self.delays, clocks=chain_clocks
+        )
+
+    def test_chain_fed_grid_respects_bounds(self):
+        layer0 = self._chain_layer0()
+        sim = FastSimulation(
+            self.graph,
+            self.params,
+            delay_model=self.delays,
+            clock_rates=self.rates,
+            layer0=layer0,
+        )
+        result = sim.run(4)
+        bound = self.params.local_skew_bound(self.base.diameter)
+        # Chain-adjacent layer-0 nodes are within kappa/2 per hop; the grid
+        # absorbs the linear phase ramp into a bounded local skew.
+        assert result.max_local_skew() <= bound
+        assert max_inter_layer_skew(result) <= bound
+        assert check_all_conditions(result) == []
+
+    def test_chain_fed_grid_with_faults(self):
+        layer0 = self._chain_layer0()
+        plan = FaultPlan.from_nodes(
+            {(3, 3): CrashFault(), (7, 6): AdversarialLateFault(20.0)}
+        )
+        assert plan.is_one_local(self.graph)
+        sim = FastSimulation(
+            self.graph,
+            self.params,
+            delay_model=self.delays,
+            clock_rates=self.rates,
+            layer0=layer0,
+            fault_plan=plan,
+        )
+        result = sim.run(4)
+        assert overall_skew(result) <= self.params.worst_case_fault_bound(
+            self.base.diameter, 2
+        )
+
+    def test_event_mode_full_pipeline(self):
+        layer0 = self._chain_layer0()
+        plan = FaultPlan.from_nodes({(3, 3): CrashFault()})
+        fast = FastSimulation(
+            self.graph,
+            self.params,
+            delay_model=self.delays,
+            clock_rates=self.rates,
+            layer0=layer0,
+            fault_plan=plan,
+        ).run(3)
+        grid = GridSimulation(
+            self.graph,
+            self.params,
+            delay_model=self.delays,
+            clocks=dict(self.clocks),
+            layer0=layer0,
+            fault_plan=plan,
+        )
+        trace = grid.run(3)
+        event = times_from_trace(trace, self.graph, 3)
+        assert np.array_equal(np.isnan(event), np.isnan(fast.times))
+        assert np.nanmax(np.abs(event - fast.times)) == 0.0
+
+
+class TestParameterRegimes:
+    @pytest.mark.parametrize(
+        "d,u,vartheta",
+        [
+            (1.0, 0.001, 1.0001),  # precise VLSI
+            (1.0, 0.05, 1.01),     # sloppy links and clocks
+            (10.0, 0.1, 1.001),    # long wires
+        ],
+    )
+    def test_bound_holds_across_regimes(self, d, u, vartheta):
+        params = Parameters(d=d, u=u, vartheta=vartheta, Lambda=2 * d)
+        graph = LayeredGraph(replicated_line(8), 8)
+        delays = StaticDelayModel(d, u, seed=1)
+        rates = {
+            node: clock.rate
+            for node, clock in uniform_random_rates(
+                graph.nodes(), vartheta, rng_or_seed=2
+            ).items()
+        }
+        result = FastSimulation(
+            graph, params, delay_model=delays, clock_rates=rates
+        ).run(3)
+        assert result.max_local_skew() <= params.local_skew_bound(7)
+
+    def test_zero_uncertainty_zero_drift_gives_tiny_skew(self):
+        params = Parameters(d=1.0, u=0.0, vartheta=1.0, Lambda=2.0)
+        graph = LayeredGraph(replicated_line(8), 8)
+        result = FastSimulation(graph, params).run(2)
+        assert result.max_local_skew() == pytest.approx(0.0, abs=1e-12)

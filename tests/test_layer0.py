@@ -1,0 +1,142 @@
+"""Tests for repro.core.layer0: input pulse generation (Appendix A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import AffineClock, PiecewiseRateClock, uniform_random_rates
+from repro.core.layer0 import (
+    AlternatingLayer0,
+    ChainLayer0,
+    JitteredLayer0,
+    PerfectLayer0,
+)
+from repro.delays import StaticDelayModel, UniformDelayModel
+from repro.params import Parameters
+from repro.topology import replicated_line
+
+PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+
+
+class TestPerfect:
+    def test_pulse_times(self):
+        s = PerfectLayer0(Lambda=2.0)
+        assert s.pulse_time(0, 0) == 0.0
+        assert s.pulse_time(5, 3) == 6.0
+
+    def test_zero_local_skew(self):
+        s = PerfectLayer0(Lambda=2.0)
+        assert s.local_skew(replicated_line(4), pulses=3) == 0.0
+
+    def test_rejects_negative_pulse(self):
+        with pytest.raises(ValueError):
+            PerfectLayer0(2.0).pulse_time(0, -1)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            PerfectLayer0(0.0)
+
+
+class TestJittered:
+    def test_jitter_bounded(self):
+        s = JitteredLayer0(Lambda=2.0, num_vertices=20, jitter_bound=0.05, seed=1)
+        for v in range(20):
+            offset = s.pulse_time(v, 0)
+            assert 0.0 <= offset <= 0.1  # base offset keeps times >= 0
+
+    def test_static_across_pulses(self):
+        s = JitteredLayer0(Lambda=2.0, num_vertices=5, jitter_bound=0.05, seed=1)
+        j0 = s.pulse_time(3, 0)
+        assert s.pulse_time(3, 4) == pytest.approx(j0 + 8.0)
+
+    def test_local_skew_within_twice_bound(self):
+        base = replicated_line(8)
+        s = JitteredLayer0(2.0, base.num_nodes, jitter_bound=0.03, seed=2)
+        assert s.local_skew(base, pulses=2) <= 0.06 + 1e-12
+
+
+class TestAlternating:
+    def test_zigzag_pattern(self):
+        s = AlternatingLayer0(Lambda=2.0, amplitude=0.1)
+        assert s.pulse_time(0, 0) == pytest.approx(0.2)
+        assert s.pulse_time(1, 0) == pytest.approx(0.0)
+        assert s.pulse_time(2, 1) == pytest.approx(2.2)
+
+    def test_adjacent_offset_is_twice_amplitude(self):
+        s = AlternatingLayer0(Lambda=2.0, amplitude=0.1)
+        assert abs(s.pulse_time(0, 0) - s.pulse_time(1, 0)) == pytest.approx(0.2)
+
+
+class TestChain:
+    def _chain(self, length=8, seed=0, rates=True):
+        order = list(range(length))
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=seed)
+        clocks = (
+            uniform_random_rates(order, PARAMS.vartheta, rng_or_seed=seed + 1)
+            if rates
+            else None
+        )
+        return ChainLayer0(PARAMS, order, delay_model=delays, clocks=clocks)
+
+    def test_lemma_a1_envelope(self):
+        chain = self._chain()
+        for pos in range(8):
+            for k in range(5):
+                t = chain.chain_pulse_time(pos, k)
+                low, high = chain.lemma_a1_envelope(pos, k)
+                assert low - 1e-9 <= t <= high + 1e-9
+
+    def test_adjacent_chain_skew_at_most_half_kappa(self):
+        # Lemma A.1: pipelined-adjacent offsets bounded by kappa / 2.
+        chain = self._chain(length=16, seed=3)
+        for k in range(4):
+            for pos in range(1, 16):
+                a = chain.chain_pulse_time(pos - 1, k + 1)
+                b = chain.chain_pulse_time(pos, k)
+                assert abs(a - b) <= PARAMS.kappa / 2 + 1e-12
+
+    def test_grid_reindexing_aligns_pulses(self):
+        # Grid pulse k of every vertex lands near (k + P) * Lambda.
+        chain = self._chain(length=8)
+        for k in range(3):
+            times = [chain.pulse_time(v, k) for v in range(8)]
+            nominal = (k + 8) * PARAMS.Lambda
+            assert all(nominal - 8 * PARAMS.kappa <= t <= nominal for t in times)
+
+    def test_grid_adjacent_skew_small(self):
+        chain = self._chain(length=12, seed=5)
+        for k in range(3):
+            times = [chain.pulse_time(v, k) for v in range(12)]
+            for a, b in zip(times, times[1:]):
+                assert abs(a - b) <= PARAMS.kappa / 2 + 1e-12
+
+    def test_period_is_source_period(self):
+        chain = self._chain()
+        t0 = chain.pulse_time(3, 0)
+        t1 = chain.pulse_time(3, 1)
+        assert t1 - t0 == pytest.approx(PARAMS.Lambda)
+
+    def test_rejects_unknown_vertex(self):
+        chain = self._chain(length=4)
+        with pytest.raises(ValueError):
+            chain.pulse_time(99, 0)
+
+    def test_rejects_duplicate_chain(self):
+        with pytest.raises(ValueError):
+            ChainLayer0(PARAMS, [0, 1, 1])
+
+    def test_rejects_varying_rate_clock(self):
+        clock = PiecewiseRateClock([0.0, 1.0], [1.0, 1.001])
+        chain = ChainLayer0(PARAMS, [0, 1], clocks={1: clock})
+        with pytest.raises(ValueError, match="constant-rate"):
+            chain.pulse_time(1, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_lemma_a1_envelope_property(self, seed):
+        """Property: the Lemma A.1 envelope holds for any delay/rate draw."""
+        chain = self._chain(length=10, seed=seed)
+        for pos in (0, 4, 9):
+            for k in (0, 3):
+                t = chain.chain_pulse_time(pos, k)
+                low, high = chain.lemma_a1_envelope(pos, k)
+                assert low - 1e-9 <= t <= high + 1e-9

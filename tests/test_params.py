@@ -1,0 +1,165 @@
+"""Tests for repro.params: kappa, bounds, and feasibility constraints."""
+
+import math
+
+import pytest
+
+from repro.params import Parameters
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        p = Parameters(d=1.0, u=0.01, vartheta=1.001)
+        assert p.d == 1.0
+        assert p.u == 0.01
+        assert p.vartheta == 1.001
+
+    def test_lambda_defaults_to_twice_d(self):
+        p = Parameters(d=1.5, u=0.01)
+        assert p.Lambda == 3.0
+
+    def test_explicit_lambda(self):
+        p = Parameters(d=1.0, u=0.01, Lambda=4.0)
+        assert p.Lambda == 4.0
+
+    def test_min_delay(self):
+        p = Parameters(d=1.0, u=0.25)
+        assert p.min_delay == 0.75
+
+    @pytest.mark.parametrize("d", [0.0, -1.0])
+    def test_rejects_nonpositive_d(self, d):
+        with pytest.raises(ValueError, match="d must be positive"):
+            Parameters(d=d, u=0.0)
+
+    @pytest.mark.parametrize("u", [-0.1, 1.5])
+    def test_rejects_u_outside_range(self, u):
+        with pytest.raises(ValueError, match="u must lie"):
+            Parameters(d=1.0, u=u)
+
+    def test_rejects_vartheta_below_one(self):
+        with pytest.raises(ValueError, match="vartheta"):
+            Parameters(d=1.0, u=0.01, vartheta=0.99)
+
+    def test_rejects_lambda_below_d(self):
+        with pytest.raises(ValueError, match="Lambda"):
+            Parameters(d=1.0, u=0.01, Lambda=0.5)
+
+    def test_frozen(self):
+        p = Parameters(d=1.0, u=0.01)
+        with pytest.raises(Exception):
+            p.d = 2.0
+
+
+class TestKappa:
+    def test_kappa_equation_1(self):
+        # kappa = 2(u + (1 - 1/vt)(Lambda - d))
+        p = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+        expected = 2.0 * (0.01 + (1.0 - 1.0 / 1.001) * 1.0)
+        assert p.kappa == pytest.approx(expected)
+
+    def test_kappa_zero_when_ideal(self):
+        p = Parameters(d=1.0, u=0.0, vartheta=1.0)
+        assert p.kappa == 0.0
+
+    def test_kappa_grows_with_u(self):
+        base = Parameters(d=1.0, u=0.01).kappa
+        more = Parameters(d=1.0, u=0.02).kappa
+        assert more > base
+
+    def test_kappa_grows_with_vartheta(self):
+        base = Parameters(d=1.0, u=0.01, vartheta=1.001).kappa
+        more = Parameters(d=1.0, u=0.01, vartheta=1.01).kappa
+        assert more > base
+
+    def test_kappa_grows_with_lambda(self):
+        base = Parameters(d=1.0, u=0.01, Lambda=2.0).kappa
+        more = Parameters(d=1.0, u=0.01, Lambda=3.0).kappa
+        assert more > base
+
+
+class TestBounds:
+    def test_local_skew_bound_formula(self):
+        p = Parameters(d=1.0, u=0.01)
+        assert p.local_skew_bound(8) == pytest.approx(
+            4.0 * p.kappa * (2.0 + 3.0)
+        )
+
+    def test_local_skew_bound_d1(self):
+        p = Parameters(d=1.0, u=0.01)
+        assert p.local_skew_bound(1) == pytest.approx(8.0 * p.kappa)
+
+    def test_local_skew_bound_monotone_in_d(self):
+        p = Parameters(d=1.0, u=0.01)
+        bounds = [p.local_skew_bound(D) for D in (2, 4, 8, 16, 32)]
+        assert bounds == sorted(bounds)
+
+    def test_local_skew_bound_rejects_zero(self):
+        p = Parameters(d=1.0, u=0.01)
+        with pytest.raises(ValueError):
+            p.local_skew_bound(0)
+
+    def test_worst_case_fault_bound_f0_matches_local(self):
+        p = Parameters(d=1.0, u=0.01)
+        assert p.worst_case_fault_bound(8, 0) == pytest.approx(
+            p.local_skew_bound(8)
+        )
+
+    def test_worst_case_fault_bound_recurrence(self):
+        # The paper's induction: B_{i+1} = 5 B_i + B_0 >= 5 B_i + 4 kappa,
+        # with B_0 = 4k(2 + log2 D); the ratio decreases toward 5.
+        p = Parameters(d=1.0, u=0.01)
+        b0 = p.worst_case_fault_bound(8, 0)
+        ratios = []
+        for f in range(4):
+            b_f = p.worst_case_fault_bound(8, f)
+            b_next = p.worst_case_fault_bound(8, f + 1)
+            assert b_next == pytest.approx(5.0 * b_f + b0)
+            assert b_next >= 5.0 * b_f + 4.0 * p.kappa
+            ratios.append(b_next / b_f)
+        assert ratios == sorted(ratios, reverse=True)
+        assert 5.0 < ratios[-1] < 5.1
+
+    def test_worst_case_rejects_negative_f(self):
+        p = Parameters(d=1.0, u=0.01)
+        with pytest.raises(ValueError):
+            p.worst_case_fault_bound(8, -1)
+
+    def test_global_skew_bound(self):
+        p = Parameters(d=1.0, u=0.01)
+        assert p.global_skew_bound(10) == pytest.approx(60.0 * p.kappa)
+
+
+class TestFeasibility:
+    def test_valid_regime_passes(self):
+        p = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+        p.validate(skew_bound=p.local_skew_bound(32))
+
+    def test_equation_2_violation_detected(self):
+        p = Parameters(d=1.0, u=0.01, Lambda=1.05)
+        with pytest.raises(ValueError, match="Equation \\(2\\)"):
+            p.validate(skew_bound=0.5)
+
+    def test_equation_3_violation_detected(self):
+        # Huge skew bound relative to d violates (3) (Lambda kept large
+        # enough that (2) passes first is not required; match on either).
+        p = Parameters(d=1.0, u=0.01, Lambda=100.0)
+        with pytest.raises(ValueError, match="Equation"):
+            p.validate(skew_bound=10.0)
+
+    def test_is_feasible_boolean(self):
+        p = Parameters(d=1.0, u=0.01, Lambda=2.0)
+        assert p.is_feasible(p.local_skew_bound(32))
+        assert not p.is_feasible(100.0)
+
+    def test_with_lambda_copies(self):
+        p = Parameters(d=1.0, u=0.01)
+        q = p.with_lambda(3.0)
+        assert q.Lambda == 3.0
+        assert q.d == p.d
+        assert p.Lambda == 2.0  # original untouched
+
+    def test_vlsi_defaults_are_feasible(self):
+        p = Parameters.vlsi_defaults()
+        assert p.is_feasible(p.local_skew_bound(64))
+        # The regime of interest: d >> kappa.
+        assert p.d > 20 * p.kappa

@@ -1,0 +1,123 @@
+"""Hypothesis property tests over whole-simulation invariants.
+
+These sample random parameter/delay/drift/topology configurations and check
+the invariants the paper's analysis promises *for every execution*:
+causality, the Theorem 1.1 skew bound, Lemma D.2's correction cap, the
+SC/FC/JC conditions, and cross-mode determinism.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.clocks import uniform_random_rates
+from repro.core.conditions import check_all_conditions
+from repro.core.fast import FastSimulation
+from repro.delays import StaticDelayModel
+from repro.faults import CrashFault, FaultPlan
+from repro.params import Parameters
+from repro.topology import LayeredGraph, cycle_graph, replicated_line
+
+SIM_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+configs = st.fixed_dictionaries(
+    {
+        "diameter": st.integers(min_value=2, max_value=10),
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "u": st.floats(min_value=0.0, max_value=0.05),
+        "drift": st.floats(min_value=0.0, max_value=0.005),
+        "cycle": st.booleans(),
+    }
+)
+
+
+def build(config):
+    params = Parameters(
+        d=1.0, u=config["u"], vartheta=1.0 + config["drift"], Lambda=2.0
+    )
+    if config["cycle"]:
+        base = cycle_graph(2 * config["diameter"])
+    else:
+        base = replicated_line(config["diameter"] + 1)
+    graph = LayeredGraph(base, max(4, config["diameter"]))
+    delays = StaticDelayModel(params.d, params.u, seed=config["seed"])
+    rates = {
+        node: clock.rate
+        for node, clock in uniform_random_rates(
+            graph.nodes(), params.vartheta, rng_or_seed=config["seed"] + 1
+        ).items()
+    }
+    return params, graph, FastSimulation(
+        graph, params, delay_model=delays, clock_rates=rates
+    )
+
+
+@SIM_SETTINGS
+@given(config=configs)
+def test_theorem_11_bound_holds_for_random_configs(config):
+    params, graph, sim = build(config)
+    result = sim.run(2)
+    assert result.max_local_skew() <= params.local_skew_bound(graph.diameter)
+
+
+@SIM_SETTINGS
+@given(config=configs)
+def test_causality(config):
+    """No node pulses before its own predecessor's message could arrive."""
+    params, graph, sim = build(config)
+    result = sim.run(2)
+    for k in range(2):
+        steps = result.times[k, 1:, :] - result.times[k, :-1, :]
+        assert np.all(steps >= params.d - params.u - 1e-9)
+
+
+@SIM_SETTINGS
+@given(config=configs)
+def test_corrections_capped_by_lemma_d2(config):
+    params, _, sim = build(config)
+    result = sim.run(2)
+    finite = result.corrections[np.isfinite(result.corrections)]
+    assert np.all(finite <= params.Lambda - params.d + 1e-9)
+
+
+@SIM_SETTINGS
+@given(config=configs)
+def test_conditions_hold_for_random_configs(config):
+    _, _, sim = build(config)
+    assert check_all_conditions(sim.run(2)) == []
+
+
+@SIM_SETTINGS
+@given(config=configs)
+def test_periodicity(config):
+    """With static delays/rates, consecutive pulses are exactly Lambda
+    apart (the engine of Theorem 1.4)."""
+    params, _, sim = build(config)
+    result = sim.run(3)
+    gaps = np.diff(result.times, axis=0)
+    assert np.allclose(gaps, params.Lambda, atol=1e-9)
+
+
+@SIM_SETTINGS
+@given(
+    config=configs,
+    fault_v=st.integers(min_value=0, max_value=100),
+    fault_layer=st.integers(min_value=1, max_value=100),
+)
+def test_single_crash_never_breaks_correct_nodes(config, fault_v, fault_layer):
+    params, graph, sim = build(config)
+    node = (fault_v % graph.width, 1 + fault_layer % (graph.num_layers - 1))
+    sim.fault_plan = FaultPlan.from_nodes({node: CrashFault()})
+    result = sim.run(2)
+    mask = result.faulty_mask
+    # Every correct node still pulses, and skew respects the f=1 bound.
+    assert not np.isnan(result.times[:, ~mask]).any()
+    assert result.max_local_skew() <= params.worst_case_fault_bound(
+        graph.diameter, 1
+    )

@@ -1,0 +1,113 @@
+"""Unit tests for the stabilization analyzer and the experiment CLI."""
+
+import math
+
+import pytest
+
+from repro.analysis.stabilization import measure_stabilization
+from repro.engine.trace import Trace
+from repro.experiments.__main__ import RUNNERS, main
+from repro.faults import CrashFault, FaultPlan
+from repro.params import Parameters
+from repro.topology import LayeredGraph, replicated_line
+
+PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+GRAPH = LayeredGraph(replicated_line(4), 3)
+
+
+def clean_trace(num_pulses=5, offset=0.0):
+    trace = Trace()
+    for layer in range(GRAPH.num_layers):
+        for v in GRAPH.base.nodes():
+            for k in range(num_pulses):
+                trace.record_pulse(
+                    (v, layer), k, offset + (k + layer) * PARAMS.Lambda
+                )
+    return trace
+
+
+class TestMeasureStabilization:
+    def test_clean_trace_is_stable(self):
+        report = measure_stabilization(
+            clean_trace(), GRAPH, PARAMS, skew_bound=0.1
+        )
+        assert report.stabilized
+        assert report.violations == 0
+        assert report.stabilization_pulses == 0
+        assert report.last_violation is None
+        assert report.stable_from == -math.inf
+
+    def test_period_violation_detected(self):
+        trace = clean_trace()
+        # One extra pulse breaking node (0, 0)'s period.
+        trace.record_pulse((0, 0), 99, 1.3)
+        report = measure_stabilization(
+            trace, GRAPH, PARAMS, skew_bound=0.2, period_tolerance=0.2
+        )
+        assert report.violations > 0
+        assert "period" in str(report.last_violation) or "adjacency" in str(
+            report.last_violation
+        )
+
+    def test_adjacency_violation_detected(self):
+        trace = clean_trace()
+        # Node (0, 1) pulses far away from its neighbors, mid-window.
+        trace.record_pulse((0, 1), 50, 2 * PARAMS.Lambda + 0.9)
+        report = measure_stabilization(trace, GRAPH, PARAMS, skew_bound=0.2)
+        assert any(
+            "adjacency" in v or "period" in v
+            for v in [report.last_violation]
+        )
+
+    def test_violation_then_clean_reports_stabilized(self):
+        trace = clean_trace(num_pulses=10)
+        trace.record_pulse((0, 1), 77, 1 * PARAMS.Lambda + 0.9)  # early garbage
+        report = measure_stabilization(trace, GRAPH, PARAMS, skew_bound=0.2)
+        assert report.violations > 0
+        assert report.stabilized  # clean afterwards
+        assert report.stabilization_pulses >= 1
+
+    def test_observe_window_filters(self):
+        trace = clean_trace(num_pulses=10)
+        trace.record_pulse((0, 1), 77, 1 * PARAMS.Lambda + 0.9)
+        report = measure_stabilization(
+            trace,
+            GRAPH,
+            PARAMS,
+            skew_bound=0.2,
+            observe_from=6 * PARAMS.Lambda,
+        )
+        assert report.violations == 0  # garbage predates the window
+
+    def test_faulty_nodes_excluded(self):
+        trace = clean_trace()
+        # The "faulty" node pulses garbage, but is excluded by the plan.
+        trace.record_pulse((2, 1), 50, 2 * PARAMS.Lambda + 0.9)
+        plan = FaultPlan.from_nodes({(2, 1): CrashFault()})
+        report = measure_stabilization(
+            trace, GRAPH, PARAMS, skew_bound=0.2, fault_plan=plan
+        )
+        assert report.violations == 0
+
+
+class TestExperimentCLI:
+    def test_runner_registry_complete(self):
+        expected = {
+            "T1", "F1", "F23", "F5", "TH1", "TH2", "TH3", "TH4",
+            "C15", "TH6", "LA1", "P1", "AB1", "AB2",
+        }
+        assert set(RUNNERS) == expected
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["NOPE"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "available ids" in capsys.readouterr().out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["F23"]) == 0
+        out = capsys.readouterr().out
+        assert "[F23]" in out
+        assert "Figure 2" in out

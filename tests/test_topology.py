@@ -1,0 +1,276 @@
+"""Tests for repro.topology: base graphs and the layered DAG."""
+
+import pytest
+
+from repro.topology import (
+    BaseGraph,
+    LayeredGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    replicated_line,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestBaseGraphConstruction:
+    def test_triangle(self):
+        g = BaseGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.num_nodes == 3
+        assert g.min_degree() == 2
+        assert g.diameter == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            BaseGraph(3, [(0, 0), (0, 1), (1, 2), (0, 2)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BaseGraph(3, [(0, 1), (1, 0), (1, 2), (0, 2)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            BaseGraph(2, [(0, 5)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            BaseGraph(4, [(0, 1), (2, 3)], require_min_degree_2=False)
+
+    def test_rejects_min_degree_below_2(self):
+        with pytest.raises(ValueError, match="minimum degree 2"):
+            BaseGraph(3, [(0, 1), (1, 2)])
+
+    def test_min_degree_check_can_be_disabled(self):
+        g = BaseGraph(3, [(0, 1), (1, 2)], require_min_degree_2=False)
+        assert g.min_degree() == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BaseGraph(0, [])
+
+    def test_neighbors_sorted(self):
+        g = BaseGraph(4, [(0, 3), (0, 1), (0, 2), (1, 2), (2, 3), (1, 3)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_has_edge(self):
+        g = cycle_graph(5)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(0, 2)
+
+
+class TestFactories:
+    def test_replicated_line_structure(self):
+        g = replicated_line(5)
+        # 5 path nodes + 2 twins.
+        assert g.num_nodes == 7
+        assert g.min_degree() == 2
+        # Twins: node 5 adjacent to {0, 1}, node 6 adjacent to {3, 4}.
+        assert g.neighbors(5) == (0, 1)
+        assert g.neighbors(6) == (3, 4)
+        # Figure 3's "some degree 3": the nodes next to the boundary.
+        assert g.degree(1) == 3
+        assert g.degree(3) == 3
+        assert g.degree(2) == 2
+
+    def test_replicated_line_diameter(self):
+        # Twin-to-twin distance dominates: D = m - 1 (except the tiny m=2
+        # case where the two twins are 2 hops apart).
+        for m in (2, 3, 5, 9, 16):
+            g = replicated_line(m)
+            assert g.diameter == max(m - 1, 2)
+
+    def test_replicated_line_minimum_length(self):
+        with pytest.raises(ValueError):
+            replicated_line(1)
+
+    def test_replicated_line_length_2(self):
+        g = replicated_line(2)
+        assert g.num_nodes == 4
+        assert g.min_degree() == 2
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_nodes == 8
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        assert g.diameter == 4
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.diameter == 1
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_torus(self):
+        g = torus_graph(3, 4)
+        assert g.num_nodes == 12
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+    def test_path_and_star_bypass_degree_check(self):
+        assert path_graph(4).min_degree() == 1
+        assert star_graph(3).min_degree() == 1
+
+
+class TestDistances:
+    def test_distance_symmetric(self):
+        g = replicated_line(6)
+        for v in g.nodes():
+            for w in g.nodes():
+                assert g.distance(v, w) == g.distance(w, v)
+
+    def test_distance_triangle_inequality(self):
+        g = replicated_line(6)
+        nodes = list(g.nodes())
+        for v in nodes:
+            for w in nodes:
+                for x in nodes:
+                    assert g.distance(v, w) <= g.distance(v, x) + g.distance(
+                        x, w
+                    )
+
+    def test_distance_zero_to_self(self):
+        g = cycle_graph(5)
+        assert all(g.distance(v, v) == 0 for v in g.nodes())
+
+    def test_adjacent_distance_one(self):
+        g = cycle_graph(7)
+        for v, w in g.edges:
+            assert g.distance(v, w) == 1
+
+    def test_ball(self):
+        g = cycle_graph(8)
+        assert sorted(g.ball(0, 1)) == [0, 1, 7]
+        assert sorted(g.ball(0, 2)) == [0, 1, 2, 6, 7]
+        assert len(g.ball(0, 4)) == 8
+
+
+class TestLayeredGraph:
+    def test_sizes(self):
+        base = replicated_line(4)
+        g = LayeredGraph(base, 5)
+        assert g.width == 6
+        assert g.num_nodes == 30
+        assert g.diameter == base.diameter
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LayeredGraph(replicated_line(4), 0)
+
+    def test_index_roundtrip(self):
+        g = LayeredGraph(replicated_line(4), 5)
+        for node in g.nodes():
+            assert g.node_at(g.index(node)) == node
+
+    def test_index_out_of_range(self):
+        g = LayeredGraph(replicated_line(4), 5)
+        with pytest.raises(ValueError):
+            g.index((0, 5))
+        with pytest.raises(ValueError):
+            g.node_at(g.num_nodes)
+
+    def test_layer0_has_no_predecessors(self):
+        g = LayeredGraph(cycle_graph(5), 3)
+        for v in range(5):
+            assert g.predecessors((v, 0)) == []
+            assert g.in_degree((v, 0)) == 0
+
+    def test_predecessors_own_copy_first(self):
+        g = LayeredGraph(cycle_graph(5), 3)
+        preds = g.predecessors((2, 1))
+        assert preds[0] == (2, 0)
+        assert set(preds[1:]) == {(1, 0), (3, 0)}
+
+    def test_neighbor_predecessors_excludes_own(self):
+        g = LayeredGraph(cycle_graph(5), 3)
+        assert (2, 0) not in g.neighbor_predecessors((2, 1))
+
+    def test_in_degree_matches_paper(self):
+        # "Most nodes have in- and out-degree 3, some 4" (Figure 3).
+        g = LayeredGraph(replicated_line(6), 3)
+        degrees = [g.in_degree((v, 1)) for v in g.base.nodes()]
+        assert sorted(set(degrees)) == [3, 4]
+        assert degrees.count(3) > degrees.count(4)
+
+    def test_successors_mirror_predecessors(self):
+        g = LayeredGraph(replicated_line(4), 4)
+        for layer in range(3):
+            for v in g.base.nodes():
+                for succ in g.successors((v, layer)):
+                    assert (v, layer) in g.predecessors(succ)
+
+    def test_last_layer_no_successors(self):
+        g = LayeredGraph(cycle_graph(4), 3)
+        assert g.successors((0, 2)) == []
+        assert g.out_degree((0, 2)) == 0
+
+    def test_edges_between_count(self):
+        base = cycle_graph(5)
+        g = LayeredGraph(base, 3)
+        edges = list(g.edges_between(0))
+        # Each node has deg+1 = 3 outgoing edges.
+        assert len(edges) == 15
+        assert list(g.edges_between(2)) == []  # last layer
+
+    def test_intra_layer_pairs(self):
+        base = cycle_graph(5)
+        g = LayeredGraph(base, 2)
+        pairs = list(g.intra_layer_pairs(1))
+        assert len(pairs) == len(base.edges)
+        assert all(a[1] == 1 and b[1] == 1 for a, b in pairs)
+
+
+class TestAncestors:
+    def _brute_force_ancestors(self, g, node, distance):
+        """BFS backwards over explicit predecessor edges."""
+        frontier = {node}
+        found = set()
+        for _ in range(distance):
+            nxt = set()
+            for x in frontier:
+                for p in g.predecessors(x):
+                    if p not in found:
+                        found.add(p)
+                        nxt.add(p)
+            frontier = nxt
+        return found
+
+    @pytest.mark.parametrize("distance", [0, 1, 2, 3, 5])
+    def test_matches_brute_force(self, distance):
+        g = LayeredGraph(replicated_line(5), 7)
+        node = (3, 6)
+        assert g.ancestors_within(node, distance) == self._brute_force_ancestors(
+            g, node, distance
+        )
+
+    def test_count_matches_set(self):
+        g = LayeredGraph(cycle_graph(6), 5)
+        node = (2, 4)
+        for distance in range(5):
+            assert g.count_ancestors_within(node, distance) == len(
+                g.ancestors_within(node, distance)
+            )
+
+    def test_excludes_self(self):
+        g = LayeredGraph(cycle_graph(6), 5)
+        assert (2, 4) not in g.ancestors_within((2, 4), 3)
+
+    def test_rejects_negative_distance(self):
+        g = LayeredGraph(cycle_graph(6), 5)
+        with pytest.raises(ValueError):
+            g.ancestors_within((0, 1), -1)
+
+    def test_growth_is_linear_in_distance(self):
+        # The paper: the d-hop ancestry grows ~quadratically in d (linearly
+        # per layer) on grid-like graphs -- the hinge of Observation 4.34.
+        g = LayeredGraph(cycle_graph(30), 20)
+        counts = [g.count_ancestors_within((0, 19), j) for j in (2, 4, 8)]
+        # Quadratic: quadrupling distance ~16x the count.
+        assert counts[2] > 3 * counts[1] > 6 * counts[0]
