@@ -11,6 +11,18 @@ from pytest-benchmark; run with::
 import pytest
 
 
+def pytest_configure(config):
+    """Register the benchmark markers (no repo-level pytest.ini)."""
+    config.addinivalue_line(
+        "markers",
+        "bench: micro-benchmark tracking the performance trajectory; "
+        "select with `-m bench`",
+    )
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark; deselect with `-m 'not slow'`"
+    )
+
+
 def emit(result) -> None:
     """Print an experiment's table under a visible separator."""
     print()

@@ -11,7 +11,10 @@
 
 from repro.analysis.skew import (
     global_skew,
+    global_skew_layers,
     inter_layer_skew,
+    inter_layer_skew_layers,
+    local_skew_layers,
     local_skew_per_layer,
     max_inter_layer_skew,
     max_local_skew,
@@ -36,8 +39,11 @@ __all__ = [
     "fit_power",
     "format_table",
     "global_skew",
+    "global_skew_layers",
     "inter_layer_skew",
+    "inter_layer_skew_layers",
     "local_skew_bound_from_potential",
+    "local_skew_layers",
     "local_skew_per_layer",
     "max_inter_layer_skew",
     "max_local_skew",

@@ -14,15 +14,26 @@ never pulsed), this module computes
 * the global skew (largest same-pulse offset between *any* two correct
   nodes of a layer).
 
-All functions accept either a :class:`~repro.core.fast.FastResult` or a raw
-``(times, faulty_mask, graph)`` triple via the module-level helpers.
+Two sets of entry points are provided:
+
+* per-result functions (``local_skew_per_layer`` etc.) consuming a
+  :class:`~repro.core.fast.FastResult`, and
+* array-shaped functions (``local_skew_layers`` etc.) consuming raw time
+  arrays of shape ``(..., K, L, W)`` with arbitrary leading batch axes --
+  the backend used by :class:`~repro.experiments.batch.BatchRunner` to
+  reduce a whole stack of trials in one sweep.
+
+Layers with *no* correct pulse pair (all-NaN slices) have no measured
+skew; every function takes an ``empty`` argument defining the value
+reported for them (default ``0.0``, the historical behavior; pass
+``float("nan")`` or ``-inf`` to make such layers explicit).  NaN handling
+is done with explicit validity masks, so no NumPy ``RuntimeWarning`` is
+ever raised -- and none is blanket-suppressed.
 """
 
 from __future__ import annotations
 
-import math
-import warnings
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +44,9 @@ from repro.topology.layered import LayeredGraph
 __all__ = [
     "times_from_trace",
     "masked_times",
+    "local_skew_layers",
+    "inter_layer_skew_layers",
+    "global_skew_layers",
     "local_skew_per_layer",
     "max_local_skew",
     "inter_layer_skew",
@@ -41,6 +55,8 @@ __all__ = [
     "global_skew",
     "global_skew_per_layer",
 ]
+
+AxisSpec = Union[int, Tuple[int, ...], None]
 
 
 def times_from_trace(
@@ -60,16 +76,17 @@ def masked_times(result: FastResult) -> np.ndarray:
     return result.times
 
 
-def _nanmax(values: np.ndarray) -> float:
-    """``nanmax`` that returns 0.0 on empty/all-NaN input, warning-free."""
-    if values.size == 0:
-        return 0.0
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
-        out = np.nanmax(values)
-    if math.isnan(out):
-        return 0.0
-    return float(out)
+def _masked_max(values: np.ndarray, axis: AxisSpec, empty: float) -> np.ndarray:
+    """``max`` over ``axis`` ignoring NaNs; all-NaN/empty slices -> ``empty``.
+
+    Warning-free by construction: NaNs are replaced with ``-inf`` under an
+    explicit validity mask instead of suppressing ``nanmax`` warnings.
+    """
+    values = np.asarray(values, dtype=float)
+    valid = ~np.isnan(values)
+    any_valid = valid.any(axis=axis)
+    out = np.where(valid, values, -np.inf).max(axis=axis, initial=-np.inf)
+    return np.where(any_valid, out, empty)
 
 
 def _edge_arrays(graph: LayeredGraph) -> Tuple[np.ndarray, np.ndarray]:
@@ -79,21 +96,86 @@ def _edge_arrays(graph: LayeredGraph) -> Tuple[np.ndarray, np.ndarray]:
     return left, right
 
 
+# ----------------------------------------------------------------------
+# Array-shaped entry points: times of shape (..., K, L, W)
+# ----------------------------------------------------------------------
+def local_skew_layers(
+    times: np.ndarray, graph: LayeredGraph, empty: float = 0.0
+) -> np.ndarray:
+    """Measured ``L_l`` from raw times ``(..., K, L, W)``; shape ``(..., L)``.
+
+    Leading axes (e.g. a batch-of-trials axis) are preserved; the supremum
+    runs over the pulse axis and every base-graph edge.
+    """
+    times = np.asarray(times, dtype=float)
+    left, right = _edge_arrays(graph)
+    diffs = np.abs(times[..., left] - times[..., right])  # (..., K, L, E)
+    return _masked_max(diffs, axis=(-3, -1), empty=empty)
+
+
+def inter_layer_skew_layers(
+    times: np.ndarray, graph: LayeredGraph, empty: float = 0.0
+) -> np.ndarray:
+    """Measured ``L_{l,l+1}`` from raw times; shape ``(..., L - 1)``.
+
+    Compares pulse ``k+1`` on layer ``l`` with pulse ``k`` on layer
+    ``l + 1`` along every edge of ``E_l`` (own-copy and neighbor-copy).
+    Fewer than two recorded pulses leave nothing to compare: every entry
+    is ``empty``.
+    """
+    times = np.asarray(times, dtype=float)
+    num_layers = times.shape[-2]
+    out_shape = times.shape[:-3] + (max(num_layers - 1, 0),)
+    if times.shape[-3] < 2 or num_layers < 2:
+        return np.full(out_shape, empty)
+    upper = times[..., 1:, :-1, :]  # pulse k+1, layer l
+    lower = times[..., :-1, 1:, :]  # pulse k,   layer l+1
+    left, right = _edge_arrays(graph)
+    diffs = np.concatenate(
+        [
+            np.abs(upper - lower),
+            np.abs(upper[..., left] - lower[..., right]),
+            np.abs(upper[..., right] - lower[..., left]),
+        ],
+        axis=-1,
+    )  # (..., K-1, L-1, W + 2E)
+    return _masked_max(diffs, axis=(-3, -1), empty=empty)
+
+
+def global_skew_layers(times: np.ndarray, empty: float = 0.0) -> np.ndarray:
+    """Largest same-pulse spread within each layer; shape ``(..., L)``."""
+    times = np.asarray(times, dtype=float)
+    valid = ~np.isnan(times)
+    any_valid = valid.any(axis=-1)
+    maxs = np.where(valid, times, -np.inf).max(axis=-1, initial=-np.inf)
+    mins = np.where(valid, times, np.inf).min(axis=-1, initial=np.inf)
+    spread = np.where(any_valid, maxs - mins, np.nan)  # (..., K, L)
+    return _masked_max(spread, axis=-2, empty=empty)
+
+
+# ----------------------------------------------------------------------
+# Per-result entry points
+# ----------------------------------------------------------------------
+def _selected_times(
+    result: FastResult, pulses: Optional[Sequence[int]]
+) -> np.ndarray:
+    return result.times if pulses is None else result.times[list(pulses)]
+
+
 def local_skew_per_layer(
-    result: FastResult, pulses: Optional[Sequence[int]] = None
+    result: FastResult,
+    pulses: Optional[Sequence[int]] = None,
+    empty: float = 0.0,
 ) -> np.ndarray:
     """Measured ``L_l`` for every layer; shape ``(num_layers,)``.
 
     ``pulses`` restricts the supremum to the given pulse indices (e.g. to
-    drop a warm-up prefix in self-stabilization runs).
+    drop a warm-up prefix in self-stabilization runs).  Layers with no
+    correct pulse pair report ``empty``.
     """
-    times = result.times if pulses is None else result.times[list(pulses)]
-    left, right = _edge_arrays(result.graph)
-    skews = np.empty(result.graph.num_layers)
-    for layer in range(result.graph.num_layers):
-        diffs = np.abs(times[:, layer, left] - times[:, layer, right])
-        skews[layer] = _nanmax(diffs)
-    return skews
+    return local_skew_layers(
+        _selected_times(result, pulses), result.graph, empty=empty
+    )
 
 
 def max_local_skew(
@@ -104,31 +186,14 @@ def max_local_skew(
 
 
 def inter_layer_skew(
-    result: FastResult, pulses: Optional[Sequence[int]] = None
+    result: FastResult,
+    pulses: Optional[Sequence[int]] = None,
+    empty: float = 0.0,
 ) -> np.ndarray:
-    """Measured ``L_{l,l+1}`` for ``l = 0 .. num_layers-2``.
-
-    Compares pulse ``k+1`` on layer ``l`` with pulse ``k`` on layer
-    ``l + 1`` along every edge of ``E_l`` (both own-copy and neighbor-copy
-    edges).
-    """
-    graph = result.graph
-    if result.num_pulses < 2:
-        return np.zeros(max(graph.num_layers - 1, 0))
-    times = result.times if pulses is None else result.times[list(pulses)]
-    if times.shape[0] < 2:
-        return np.zeros(max(graph.num_layers - 1, 0))
-    upper = times[1:]  # pulse k+1
-    lower = times[:-1]  # pulse k
-    # Own-copy edges: (v, l) -> (v, l+1).
-    left, right = _edge_arrays(graph)
-    skews = np.empty(graph.num_layers - 1)
-    for layer in range(graph.num_layers - 1):
-        own = np.abs(upper[:, layer, :] - lower[:, layer + 1, :])
-        cross_a = np.abs(upper[:, layer, left] - lower[:, layer + 1, right])
-        cross_b = np.abs(upper[:, layer, right] - lower[:, layer + 1, left])
-        skews[layer] = max(_nanmax(own), _nanmax(cross_a), _nanmax(cross_b))
-    return skews
+    """Measured ``L_{l,l+1}`` for ``l = 0 .. num_layers-2``."""
+    return inter_layer_skew_layers(
+        _selected_times(result, pulses), result.graph, empty=empty
+    )
 
 
 def max_inter_layer_skew(
@@ -151,20 +216,12 @@ def overall_skew(
 
 
 def global_skew_per_layer(
-    result: FastResult, pulses: Optional[Sequence[int]] = None
+    result: FastResult,
+    pulses: Optional[Sequence[int]] = None,
+    empty: float = 0.0,
 ) -> np.ndarray:
     """Largest same-pulse spread within each layer (any pair of nodes)."""
-    times = result.times if pulses is None else result.times[list(pulses)]
-    skews = np.empty(result.graph.num_layers)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", RuntimeWarning)
-        for layer in range(result.graph.num_layers):
-            layer_times = times[:, layer, :]
-            spread = np.nanmax(layer_times, axis=1) - np.nanmin(
-                layer_times, axis=1
-            )
-            skews[layer] = _nanmax(spread)
-    return skews
+    return global_skew_layers(_selected_times(result, pulses), empty=empty)
 
 
 def global_skew(

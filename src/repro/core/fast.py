@@ -33,12 +33,36 @@ The per-node, per-pulse logic mirrors Algorithm 3:
 Faulty nodes also run the protocol (their "correct time" anchors the fault
 behaviours, as in Lemma 4.30's coupled executions) but broadcast whatever
 their behaviour dictates, per successor.
+
+Vectorized/scalar split
+-----------------------
+``FastSimulation`` advances one pulse of one layer for **all** ``W`` base
+vertices at once with NumPy array operations (reception times, do-until
+exit, correction, pulse time), which is what makes large parameter sweeps
+tractable.  The array kernel covers exactly the executions in which the
+do-until loop exits at the *final* arrival with every register filled --
+the fault-free/normal-branch path.  A node is handled by the scalar
+per-node replay (:meth:`FastSimulation._run_node`) instead when
+
+* any of its predecessors is faulty (reception times then come from
+  ``fault_sends``),
+* a predecessor never pulsed (missing-message regime), or
+* the loop would exit *early* -- the own-copy timeout (via-``H_max``
+  branch, ``H_own > H_max + k/2 + vt*k``) or the last-neighbor timeout
+  (``H_max > 2*H_own - H_min + 2k``) fires before the last arrival.
+
+The eligibility test is exact (ties fall back conservatively), so the
+vectorized and scalar paths produce bit-identical results; the test suite
+cross-validates them over random rates, delays, and fault plans.  Pass
+``vectorize=False`` to force the scalar path everywhere (the ``simplified``
+algorithm always runs scalar).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -128,13 +152,13 @@ class FastResult:
         self.branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
         self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
 
-    @property
+    @cached_property
     def faulty_mask(self) -> np.ndarray:
-        """Boolean array ``(L, W)``: True where the node is faulty."""
-        mask = np.zeros((self.graph.num_layers, self.graph.width), dtype=bool)
-        for v, layer in self.fault_plan.faulty_nodes():
-            mask[layer, v] = True
-        return mask
+        """Boolean array ``(L, W)``: True where the node is faulty.
+
+        Computed once and cached -- analysis code reads it inside loops.
+        """
+        return self.fault_plan.faulty_mask(self.graph)
 
     def pulse_time(self, node: NodeId, pulse: int) -> float:
         """Broadcast time (NaN if none); convenience accessor."""
@@ -187,6 +211,11 @@ class FastSimulation:
         ``"full"`` (Algorithm 3) or ``"simplified"`` (Algorithm 1: waits for
         all predecessors; deadlocks on crashed predecessors exactly as the
         paper warns).
+    vectorize:
+        Use the whole-layer array kernel where eligible (default).  The
+        scalar per-node replay remains the fallback for nodes adjacent to
+        faults or taking the via-``H_max``/missing-message branches; see
+        the module docstring.  ``False`` forces the scalar path everywhere.
     """
 
     def __init__(
@@ -199,6 +228,7 @@ class FastSimulation:
         layer0: Optional[Layer0Schedule] = None,
         policy: CorrectionPolicy = PAPER_POLICY,
         algorithm: str = "full",
+        vectorize: bool = True,
     ) -> None:
         if algorithm not in ("full", "simplified"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -209,7 +239,18 @@ class FastSimulation:
         self.layer0 = layer0 or PerfectLayer0(params.Lambda)
         self.policy = policy
         self.algorithm = algorithm
+        self.vectorize = vectorize
         self._rates = clock_rates
+        # Per-layer array caches for the vectorized sweep; delay arrays are
+        # additionally keyed by pulse unless the model is pulse-invariant.
+        # The rate cache is rebuilt every run (so in-place edits of a rates
+        # dict between runs are honored); the delay cache persists across
+        # runs but is invalidated when ``delay_model`` is replaced -- delay
+        # models are deterministic functions of their seed and the edge
+        # identity, so replace the model rather than mutating its state.
+        self._delay_cache: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
+        self._delay_cache_model: object = self.delay_model
+        self._rate_cache: Dict[object, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Clock rates
@@ -230,10 +271,25 @@ class FastSimulation:
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
         result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
+        if self._delay_cache_model is not self.delay_model:
+            self._delay_cache = {}
+            self._delay_cache_model = self.delay_model
+        self._rate_cache = {}
+        # The simplified algorithm (Algorithm 1) is replayed scalar-only;
+        # the sweep structures depend on the fault plan, so they are built
+        # per run (tests mutate ``fault_plan`` between construction and run).
+        sweep = (
+            _VectorSweep(self)
+            if self.vectorize and self.algorithm == "full"
+            else None
+        )
         for k in range(num_pulses):
             self._run_layer0(result, k)
             for layer in range(1, self.graph.num_layers):
-                self._run_layer(result, k, layer)
+                if sweep is not None:
+                    self._run_layer_vectorized(result, k, layer, sweep)
+                else:
+                    self._run_layer(result, k, layer)
         return result
 
     def _run_layer0(self, result: FastResult, k: int) -> None:
@@ -249,25 +305,153 @@ class FastSimulation:
 
     def _run_layer(self, result: FastResult, k: int, layer: int) -> None:
         for v in self.graph.base.nodes():
-            node = (v, layer)
-            outcome = self._run_node(result, node, k)
-            result.corrections[k, layer, v] = outcome.correction
-            result.branches[k, layer, v] = BRANCH_CODES[outcome.branch]
-            if outcome.pulse_time is None:
-                continue
-            if math.isfinite(outcome.h_own):
-                rate = self.rate(node, k)
-                result.effective_corrections[k, layer, v] = (
-                    outcome.h_own
-                    + self.params.Lambda
-                    - self.params.d
-                    - rate * outcome.pulse_time
-                )
-            result.protocol_times[k, layer, v] = outcome.pulse_time
-            if self.fault_plan.is_faulty(node):
-                self._record_fault_sends(result, node, k, outcome.pulse_time)
+            self._run_node_and_record(result, (v, layer), k)
+
+    def _run_node_and_record(
+        self, result: FastResult, node: NodeId, k: int
+    ) -> None:
+        """Scalar path: replay one node's loop and record the outcome."""
+        v, layer = node
+        outcome = self._run_node(result, node, k)
+        result.corrections[k, layer, v] = outcome.correction
+        result.branches[k, layer, v] = BRANCH_CODES[outcome.branch]
+        if outcome.pulse_time is None:
+            return
+        if math.isfinite(outcome.h_own):
+            rate = self.rate(node, k)
+            result.effective_corrections[k, layer, v] = (
+                outcome.h_own
+                + self.params.Lambda
+                - self.params.d
+                - rate * outcome.pulse_time
+            )
+        result.protocol_times[k, layer, v] = outcome.pulse_time
+        if self.fault_plan.is_faulty(node):
+            self._record_fault_sends(result, node, k, outcome.pulse_time)
+        else:
+            result.times[k, layer, v] = outcome.pulse_time
+
+    # ------------------------------------------------------------------
+    # Vectorized layer sweep
+    # ------------------------------------------------------------------
+    def _run_layer_vectorized(
+        self, result: FastResult, k: int, layer: int, sweep: "_VectorSweep"
+    ) -> None:
+        """Advance pulse ``k`` of ``layer`` for all ``W`` nodes at once.
+
+        Covers the executions whose do-until loop exits at the final
+        arrival with all registers filled; every other node falls back to
+        :meth:`_run_node_and_record`.  Formulae mirror the scalar path
+        operation-for-operation so both produce bit-identical floats.
+        """
+        params = self.params
+        kappa = params.kappa
+        vartheta = params.vartheta
+        policy = self.policy
+
+        prev = result.times[k, layer - 1, :]  # (W,) send times, NaN = missing
+        own_delay, nb_delay = sweep.delay_arrays(layer, k)
+        rate = sweep.rate_array(layer, k)
+
+        own_arrival = prev + own_delay
+        nb_arrival = prev[sweep.nb_idx] + nb_delay  # (W, max_deg)
+        h_own = rate * own_arrival
+        h_nb = rate[:, None] * nb_arrival
+        h_min = np.where(sweep.nb_valid, h_nb, np.inf).min(axis=1)
+        h_max = np.where(sweep.nb_valid, h_nb, -np.inf).max(axis=1)
+
+        # Eligibility: all predecessors correct (static part, precomputed)
+        # and received (a missing reception turns the summed registers NaN
+        # or infinite), and the loop provably exits at the last arrival --
+        # no own-copy timeout, no last-neighbor timeout; non-strict bounds
+        # are exit-free ties.  The two comparisons mirror the scalar
+        # ``_exit_requirement`` thresholds operation-for-operation.
+        with np.errstate(invalid="ignore"):
+            eligible = (
+                sweep.static_eligible[layer - 1]
+                & np.isfinite(h_own + h_min + h_max)
+                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
+                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
+            )
+
+            a = h_own - h_max
+            b = h_own - h_min
+            if policy.discretize:
+                if kappa == 0.0:
+                    delta = b
+                else:
+                    # s_star >= 0 on every eligible lane (h_max >= h_min),
+                    # so the scalar path's max(0, .) clamps are no-ops.
+                    s_star = (h_max - h_min) / (8.0 * kappa)
+                    s_floor = np.floor(s_star)
+                    s_ceil = np.ceil(s_star)
+                    delta = (
+                        np.minimum(
+                            np.maximum(
+                                a + 4.0 * s_floor * kappa,
+                                b - 4.0 * s_floor * kappa,
+                            ),
+                            np.maximum(
+                                a + 4.0 * s_ceil * kappa,
+                                b - 4.0 * s_ceil * kappa,
+                            ),
+                        )
+                        - kappa / 2.0
+                    )
             else:
-                result.times[k, layer, v] = outcome.pulse_time
+                delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
+
+            upper = vartheta * kappa
+            damp = policy.jump_slack * kappa
+            low = delta < 0.0
+            high = delta > upper
+            if policy.stick_to_median:
+                corr_low = np.minimum(h_own - h_min + kappa / 2.0 + damp, 0.0)
+                corr_high = np.maximum(
+                    h_own - h_max - kappa / 2.0 - damp, upper
+                )
+            else:
+                corr_low = np.zeros_like(delta)
+                corr_high = np.full_like(delta, upper)
+            correction = np.where(low, corr_low, np.where(high, corr_high, delta))
+            branches = np.where(
+                low,
+                BRANCH_CODES["low"],
+                np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
+            ).astype(np.int8)
+
+            exit_tau = np.maximum(h_own, h_max)
+            target = h_own + params.Lambda - params.d - correction
+            pulse_local = np.maximum(target, exit_tau)
+            pulse_time = pulse_local / rate
+            effective = h_own + params.Lambda - params.d - rate * pulse_time
+
+        layer_faulty = sweep.layer_has_fault[layer]
+        if not layer_faulty and eligible.all():
+            # Common case (fault-free layer, every node on the fast path):
+            # whole-row assignments, no boolean gathers.
+            result.corrections[k, layer] = correction
+            result.branches[k, layer] = branches
+            result.effective_corrections[k, layer] = effective
+            result.protocol_times[k, layer] = pulse_time
+            result.times[k, layer] = pulse_time
+            return
+
+        result.corrections[k, layer, eligible] = correction[eligible]
+        result.branches[k, layer, eligible] = branches[eligible]
+        result.effective_corrections[k, layer, eligible] = effective[eligible]
+        result.protocol_times[k, layer, eligible] = pulse_time[eligible]
+        faulty_here = sweep.faulty[layer]
+        correct = eligible & ~faulty_here
+        result.times[k, layer, correct] = pulse_time[correct]
+        if layer_faulty:
+            for v in np.nonzero(eligible & faulty_here)[0]:
+                self._record_fault_sends(
+                    result, (int(v), layer), k, float(pulse_time[v])
+                )
+        if not eligible.all():
+            for v in np.nonzero(~eligible)[0]:
+                self._run_node_and_record(result, (int(v), layer), k)
 
     def _record_fault_sends(
         self, result: FastResult, node: NodeId, k: int, correct_time: float
@@ -478,3 +662,78 @@ class FastSimulation:
             h_min=h_min,
             h_max=h_max,
         )
+
+
+class _VectorSweep:
+    """Index/mask structures backing the vectorized layer sweep.
+
+    Built once per :meth:`FastSimulation.run` (the fault plan may change
+    between runs).  Delay and rate arrays are cached on the simulation so
+    repeated runs do not re-query the Python-level models edge by edge.
+    Edge tuples are built from plain ``int`` vertices so delay models keyed
+    or seeded by edge identity see exactly the scalar path's edges.
+    """
+
+    def __init__(self, sim: FastSimulation) -> None:
+        self.sim = sim
+        graph = sim.graph
+        base = graph.base
+        width = base.num_nodes
+        self.width = width
+        self.nb_lists = [tuple(base.neighbors(v)) for v in base.nodes()]
+        degrees = np.array([len(nbs) for nbs in self.nb_lists], dtype=np.int64)
+        self.max_deg = int(degrees.max()) if width else 0
+        cols = max(self.max_deg, 1)
+        self.nb_idx = np.zeros((width, cols), dtype=np.int64)
+        self.nb_valid = np.zeros((width, cols), dtype=bool)
+        for v, nbs in enumerate(self.nb_lists):
+            for j, w in enumerate(nbs):
+                self.nb_idx[v, j] = w
+                self.nb_valid[v, j] = True
+        self.has_neighbors = degrees > 0
+        faulty = sim.fault_plan.faulty_mask(graph)
+        self.faulty = faulty
+        # has_faulty_pred[l - 1] flags nodes of layer ``l`` with a faulty
+        # own-copy or neighbor-copy predecessor on layer ``l - 1``.
+        prev = faulty[:-1]
+        nb_faulty = (prev[:, self.nb_idx] & self.nb_valid[None, :, :]).any(axis=2)
+        self.has_faulty_pred = prev | nb_faulty
+        self.static_eligible = self.has_neighbors[None, :] & ~self.has_faulty_pred
+        self.layer_has_fault = [bool(row.any()) for row in faulty]
+
+    def delay_arrays(self, layer: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Own-copy ``(W,)`` and neighbor-copy ``(W, max_deg)`` delays."""
+        model = self.sim.delay_model
+        key = layer if getattr(model, "pulse_invariant", False) else (layer, k)
+        cached = self.sim._delay_cache.get(key)
+        if cached is None:
+            own = np.empty(self.width)
+            nb = np.zeros((self.width, max(self.max_deg, 1)))
+            for v, nbs in enumerate(self.nb_lists):
+                own[v] = model.delay(((v, layer - 1), (v, layer)), k)
+                for j, w in enumerate(nbs):
+                    nb[v, j] = model.delay(((w, layer - 1), (v, layer)), k)
+            cached = (own, nb)
+            self.sim._delay_cache[key] = cached
+        return cached
+
+    def rate_array(self, layer: int, k: int) -> np.ndarray:
+        """Hardware clock rates of the layer's nodes during pulse ``k``."""
+        rates = self.sim._rates
+        if rates is None:
+            cached = self.sim._rate_cache.get("ones")
+            if cached is None:
+                cached = np.ones(self.width)
+                self.sim._rate_cache["ones"] = cached
+            return cached
+        if callable(rates):
+            return np.array(
+                [float(rates((v, layer), k)) for v in range(self.width)]
+            )
+        cached = self.sim._rate_cache.get(layer)
+        if cached is None:
+            cached = np.array(
+                [float(rates.get((v, layer), 1.0)) for v in range(self.width)]
+            )
+            self.sim._rate_cache[layer] = cached
+        return cached

@@ -45,7 +45,15 @@ def _edge_rng(seed: int, edge: Edge) -> np.random.Generator:
 
 
 class DelayModel(ABC):
-    """Maps ``(edge, pulse_index)`` to an end-to-end delay."""
+    """Maps ``(edge, pulse_index)`` to an end-to-end delay.
+
+    ``pulse_invariant`` declares that ``delay(edge, k)`` does not depend on
+    ``k``; the vectorized fast-simulator sweep then caches per-layer delay
+    arrays across pulses.  It defaults to False so custom subclasses stay
+    correct without opting in.
+    """
+
+    pulse_invariant = False
 
     def __init__(self, d: float, u: float) -> None:
         if d <= 0:
@@ -66,6 +74,8 @@ class DelayModel(ABC):
 class UniformDelayModel(DelayModel):
     """Every edge has the same fixed delay (default: the midpoint)."""
 
+    pulse_invariant = True
+
     def __init__(self, d: float, u: float, value: float | None = None) -> None:
         super().__init__(d, u)
         if value is None:
@@ -84,6 +94,8 @@ class StaticDelayModel(DelayModel):
     This is the paper's baseline communication model: "each edge has an
     unknown, but fixed associated delay".
     """
+
+    pulse_invariant = True
 
     def __init__(self, d: float, u: float, seed: int = 0) -> None:
         super().__init__(d, u)
@@ -106,6 +118,8 @@ class AdversarialSplitDelays(DelayModel):
     of the grid runs at maximum delay and the other at minimum, piling up
     ``Theta(u * D)`` of skew under naive TRIX forwarding.
     """
+
+    pulse_invariant = True
 
     def __init__(
         self,

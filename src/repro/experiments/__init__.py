@@ -24,6 +24,13 @@ AB1/AB2   ablations -- discretization, stick-to-median
 ========  =====================================================
 """
 
+from repro.experiments.batch import BatchResult, BatchRunner, BatchTrial
 from repro.experiments.common import ExperimentConfig, standard_config
 
-__all__ = ["ExperimentConfig", "standard_config"]
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "BatchTrial",
+    "ExperimentConfig",
+    "standard_config",
+]

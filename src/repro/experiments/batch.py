@@ -1,0 +1,254 @@
+"""Batched multi-trial runner for the fast simulator.
+
+Experiment drivers used to run one ``(seed, fault_plan, params)`` cell at a
+time and reduce skews with per-result helpers in a Python loop.  This
+module sweeps many trials in one call instead:
+
+* every trial runs through the vectorized layer-sweep kernel of
+  :class:`~repro.core.fast.FastSimulation` (all ``W`` nodes of a layer per
+  array op), and
+* the per-trial results are stacked along a leading *trial axis* --
+  ``times`` of shape ``(S, K, L, W)`` -- so skew and correction statistics
+  for the whole sweep reduce in single array sweeps through the
+  array-shaped entry points of :mod:`repro.analysis.skew`.
+
+:class:`BatchRunner` is the backend of the ``thm11_local_skew``,
+``thm13_random_faults``, ``cor15_variation``, and ``table1`` experiment
+drivers; new parameter studies should build on it rather than hand-rolled
+seed loops.
+
+Example
+-------
+>>> from repro.experiments.batch import BatchRunner, BatchTrial
+>>> from repro.experiments.common import standard_config
+>>> trials = [BatchTrial(config=standard_config(8, seed=s)) for s in range(16)]
+>>> batch = BatchRunner(num_pulses=4).run(trials)
+>>> batch.max_local_skews().shape
+(16,)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.correction import CorrectionPolicy, PAPER_POLICY
+from repro.core.fast import FastResult, FastSimulation, RateProvider
+from repro.core.layer0 import Layer0Schedule
+from repro.delays.models import DelayModel
+from repro.experiments.common import ExperimentConfig, standard_config
+from repro.faults.injection import FaultPlan
+from repro.analysis.skew import (
+    global_skew_layers,
+    inter_layer_skew_layers,
+    local_skew_layers,
+)
+
+__all__ = ["BatchTrial", "BatchResult", "BatchRunner", "CONFIG_RATES"]
+
+#: Sentinel: "use the trial config's sampled clock rates" (``None`` means
+#: rate-1 clocks everywhere, matching :class:`FastSimulation`).
+CONFIG_RATES = object()
+
+
+@dataclass
+class BatchTrial:
+    """One cell of a sweep: a config plus per-trial overrides.
+
+    Every override defaults to "inherit from ``config``" (``delay_model``,
+    ``clock_rates``) or to the :class:`FastSimulation` default
+    (``fault_plan``, ``layer0``, ``policy``, ``algorithm``).
+    """
+
+    config: ExperimentConfig
+    fault_plan: Optional[FaultPlan] = None
+    layer0: Optional[Layer0Schedule] = None
+    delay_model: Optional[DelayModel] = None
+    clock_rates: RateProvider = field(default=CONFIG_RATES)  # type: ignore[assignment]
+    policy: CorrectionPolicy = PAPER_POLICY
+    algorithm: str = "full"
+    label: str = ""
+
+    def simulation(self, vectorize: bool = True) -> FastSimulation:
+        """The :class:`FastSimulation` realizing this trial."""
+        rates = (
+            self.config.clock_rates
+            if self.clock_rates is CONFIG_RATES
+            else self.clock_rates
+        )
+        return FastSimulation(
+            self.config.graph,
+            self.config.params,
+            delay_model=self.delay_model or self.config.delay_model,
+            clock_rates=rates,
+            fault_plan=self.fault_plan,
+            layer0=self.layer0,
+            policy=self.policy,
+            algorithm=self.algorithm,
+            vectorize=vectorize,
+        )
+
+    @property
+    def num_faults(self) -> int:
+        """Number of faulty nodes injected into this trial."""
+        return 0 if self.fault_plan is None else len(self.fault_plan)
+
+
+class BatchResult:
+    """Stacked outcome of a multi-trial sweep.
+
+    Attributes
+    ----------
+    trials:
+        The :class:`BatchTrial` specs, in run order.
+    times, corrections, effective_corrections:
+        Arrays of shape ``(S, K, L, W)`` -- the per-trial
+        :class:`~repro.core.fast.FastResult` matrices stacked along the
+        trial axis.
+    faulty_masks:
+        Boolean ``(S, L, W)``.
+    results:
+        The underlying per-trial :class:`FastResult` objects (for drill-in
+        and for ``fault_sends``).
+    """
+
+    def __init__(
+        self, trials: Sequence[BatchTrial], results: Sequence[FastResult]
+    ) -> None:
+        self.trials = list(trials)
+        self.results = list(results)
+        self.graph = results[0].graph
+        self.num_pulses = results[0].num_pulses
+        self.times = np.stack([r.times for r in results])
+        self.corrections = np.stack([r.corrections for r in results])
+        self.effective_corrections = np.stack(
+            [r.effective_corrections for r in results]
+        )
+        self.faulty_masks = np.stack([r.faulty_mask for r in results])
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    # ------------------------------------------------------------------
+    # Stacked skew statistics (one array sweep across all trials)
+    # ------------------------------------------------------------------
+    def local_skews(self, empty: float = 0.0) -> np.ndarray:
+        """Per-trial, per-layer ``L_l``; shape ``(S, L)``."""
+        return local_skew_layers(self.times, self.graph, empty=empty)
+
+    def max_local_skews(self) -> np.ndarray:
+        """Per-trial ``sup_l L_l``; shape ``(S,)``."""
+        return self.local_skews().max(axis=-1)
+
+    def inter_layer_skews(self, empty: float = 0.0) -> np.ndarray:
+        """Per-trial, per-boundary ``L_{l,l+1}``; shape ``(S, L - 1)``."""
+        return inter_layer_skew_layers(self.times, self.graph, empty=empty)
+
+    def max_inter_layer_skews(self) -> np.ndarray:
+        """Per-trial ``sup_l L_{l,l+1}``; shape ``(S,)``."""
+        values = self.inter_layer_skews()
+        if values.shape[-1] == 0:
+            return np.zeros(len(self))
+        return values.max(axis=-1)
+
+    def overall_skews(self) -> np.ndarray:
+        """Per-trial ``L = sup_l max(L_l, L_{l,l+1})``; shape ``(S,)``."""
+        return np.maximum(self.max_local_skews(), self.max_inter_layer_skews())
+
+    def global_skews(self) -> np.ndarray:
+        """Per-trial global skew; shape ``(S,)``."""
+        return global_skew_layers(self.times).max(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Correction statistics
+    # ------------------------------------------------------------------
+    def correction_stats(self) -> Dict[str, np.ndarray]:
+        """Per-trial correction summary: max/mean ``|C|`` and count.
+
+        Reduces over the finite entries of the stacked ``corrections``
+        array (layer 0 and via-``H_max`` iterations are NaN).
+        """
+        flat = self.corrections.reshape(len(self), -1)
+        finite = np.isfinite(flat)
+        counts = finite.sum(axis=1)
+        abs_vals = np.where(finite, np.abs(flat), 0.0)
+        totals = abs_vals.sum(axis=1)
+        return {
+            "max_abs": abs_vals.max(axis=1, initial=0.0),
+            "mean_abs": np.where(counts > 0, totals / np.maximum(counts, 1), 0.0),
+            "num_corrections": counts,
+        }
+
+    def num_faults(self) -> np.ndarray:
+        """Per-trial injected-fault counts; shape ``(S,)``."""
+        return np.array([t.num_faults for t in self.trials], dtype=np.int64)
+
+
+class BatchRunner:
+    """Run many ``(seed, fault_plan, params)`` trials and stack the results.
+
+    All trials of one batch must share the grid shape ``(L, W)`` so their
+    matrices stack; the runner validates this upfront.  ``vectorize`` is
+    forwarded to every :class:`FastSimulation` (``False`` forces the
+    scalar reference path, used by the equivalence tests and the
+    throughput benchmark).
+    """
+
+    def __init__(self, num_pulses: int = 4, vectorize: bool = True) -> None:
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        self.num_pulses = num_pulses
+        self.vectorize = vectorize
+
+    def run(self, trials: Sequence[BatchTrial]) -> BatchResult:
+        """Execute every trial and return the stacked :class:`BatchResult`."""
+        trials = list(trials)
+        if not trials:
+            raise ValueError("need at least one trial")
+        shape0 = (trials[0].config.graph.num_layers, trials[0].config.graph.width)
+        for trial in trials[1:]:
+            shape = (trial.config.graph.num_layers, trial.config.graph.width)
+            if shape != shape0:
+                raise ValueError(
+                    f"trial grid shapes differ: {shape} vs {shape0}; "
+                    "run mismatched geometries in separate batches"
+                )
+        results = [
+            trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
+            for trial in trials
+        ]
+        return BatchResult(trials, results)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def seed_sweep(
+        diameter: int,
+        seeds: Sequence[int],
+        num_pulses: int = 4,
+        params=None,
+        num_layers: Optional[int] = None,
+        fault_plan_factory=None,
+    ) -> List[BatchTrial]:
+        """Standard-config trials over ``seeds`` at one diameter.
+
+        ``fault_plan_factory`` (``config -> FaultPlan | None``) attaches a
+        per-seed fault plan; the default is fault-free.
+        """
+        trials: List[BatchTrial] = []
+        for seed in seeds:
+            config = standard_config(
+                diameter,
+                seed=seed,
+                num_layers=num_layers,
+                num_pulses=num_pulses,
+                params=params,
+            )
+            plan = fault_plan_factory(config) if fault_plan_factory else None
+            trials.append(
+                BatchTrial(config=config, fault_plan=plan, label=f"seed={seed}")
+            )
+        return trials

@@ -18,6 +18,14 @@ from repro.topology.layered import LayeredGraph, NodeId
 
 __all__ = ["ExperimentConfig", "standard_config"]
 
+#: Salts separating the config-derived RNG streams.  Both streams hang off
+#: ``SeedSequence([seed, salt])`` (like :meth:`ExperimentConfig.rng`), so
+#: configs with adjacent seeds never share a delay or clock stream -- the
+#: old ``seed``/``seed + 1`` derivation made seed ``s``'s clock stream
+#: collide with seed ``s + 1``'s delay stream.
+_DELAY_SALT = 101
+_CLOCK_SALT = 202
+
 
 @dataclass
 class ExperimentConfig:
@@ -46,11 +54,18 @@ class ExperimentConfig:
                 f"wanted {self.diameter}"
             )
         self.graph = LayeredGraph(base, self.num_layers)
+        delay_seed = int(
+            np.random.SeedSequence([self.seed, _DELAY_SALT]).generate_state(1)[0]
+        )
         self.delay_model = StaticDelayModel(
-            self.params.d, self.params.u, seed=self.seed
+            self.params.d, self.params.u, seed=delay_seed
         )
         clocks = uniform_random_rates(
-            self.graph.nodes(), self.params.vartheta, rng_or_seed=self.seed + 1
+            self.graph.nodes(),
+            self.params.vartheta,
+            rng_or_seed=np.random.default_rng(
+                np.random.SeedSequence([self.seed, _CLOCK_SALT])
+            ),
         )
         self.clock_rates = {node: clock.rate for node, clock in clocks.items()}
 

@@ -20,8 +20,6 @@ from typing import Dict
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.analysis.skew import overall_skew
-from repro.core.fast import FastSimulation
 from repro.delays.models import VaryingDelayModel
 from repro.faults.injection import FaultPlan
 from repro.faults.model import (
@@ -30,6 +28,7 @@ from repro.faults.model import (
     CrashFault,
     MutableFault,
 )
+from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 from repro.topology.layered import NodeId
 
@@ -129,19 +128,22 @@ def run_cor15(
     )
     changes = sum(plan.count_behavior_changes(k) for k in range(num_pulses))
 
-    sim = FastSimulation(
-        graph,
-        params,
-        delay_model=delays,
-        clock_rates=rates,
-        fault_plan=plan,
+    batch = BatchRunner(num_pulses=num_pulses).run(
+        [
+            BatchTrial(
+                config=config,
+                fault_plan=plan,
+                delay_model=delays,
+                clock_rates=rates,
+                label="sustained-variation",
+            )
+        ]
     )
-    result = sim.run(num_pulses)
     return Cor15Result(
         diameter=diameter,
         delay_step=delay_step,
         rate_step=rate_step,
-        overall=overall_skew(result),
+        overall=float(batch.overall_skews()[0]),
         envelope=envelope_factor * params.local_skew_bound(diameter),
         behavior_changes=changes,
     )

@@ -23,8 +23,8 @@ from repro.analysis.report import format_table
 from repro.analysis.stats import Fit, fit_power
 from repro.baselines.hex import HexSimulation
 from repro.baselines.trix import NaiveTrixSimulation
-from repro.core.fast import FastSimulation
 from repro.delays.models import AdversarialSplitDelays, StaticDelayModel
+from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 from repro.params import Parameters
 
@@ -120,17 +120,29 @@ def run_table1(
         )
 
     rows: List[Table1Row] = []
+    runner = BatchRunner(num_pulses=num_pulses)
     for diameter in diameters:
-        gt_local, gt_global, gt_worst = 0.0, 0.0, 0.0
+        configs = [
+            standard_config(diameter, seed=seed, num_pulses=num_pulses)
+            for seed in seeds
+        ]
+        # Gradient TRIX cells: one batch over seeds with the config's
+        # random delays, one with the Figure 1 adversarial split.
+        normal = runner.run([BatchTrial(config=c) for c in configs])
+        gt_local = float(normal.max_local_skews().max())
+        gt_global = float(normal.global_skews().max())
+        worst_case = runner.run(
+            [
+                BatchTrial(config=c, delay_model=adversarial_delays(c.params))
+                for c in configs
+            ]
+        )
+        gt_worst = float(worst_case.max_local_skews().max())
+
         trix_local, trix_global, trix_worst = 0.0, 0.0, 0.0
         hex_local, hex_crash_local = 0.0, 0.0
-        for seed in seeds:
-            config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
+        for seed, config in zip(seeds, configs):
             p = config.params
-            gt = config.simulation().run(num_pulses)
-            gt_local = max(gt_local, gt.max_local_skew())
-            gt_global = max(gt_global, gt.global_skew())
-
             trix = NaiveTrixSimulation(
                 config.graph,
                 p,
@@ -140,18 +152,10 @@ def run_table1(
             trix_local = max(trix_local, trix.max_local_skew())
             trix_global = max(trix_global, trix.global_skew())
 
-            worst = adversarial_delays(p)
-            gt_w = FastSimulation(
-                config.graph,
-                p,
-                delay_model=worst,
-                clock_rates=config.clock_rates,
-            ).run(num_pulses)
-            gt_worst = max(gt_worst, gt_w.max_local_skew())
             trix_w = NaiveTrixSimulation(
                 config.graph,
                 p,
-                delay_model=worst,
+                delay_model=adversarial_delays(p),
                 clock_rates=config.clock_rates,
             ).run(num_pulses)
             trix_worst = max(trix_worst, trix_w.max_local_skew())

@@ -28,6 +28,7 @@ from repro.faults.model import (
     ByzantineRandomFault,
     CrashFault,
 )
+from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 
 __all__ = ["Thm13Trial", "Thm13Result", "run_thm13", "mixed_behavior_factory"]
@@ -108,18 +109,24 @@ def run_thm13(
     envelope_factor: float = 1.0,
     seeds: Sequence[int] | None = None,
 ) -> Thm13Result:
-    """Sample random fault plans and measure the skew distribution."""
+    """Sample random fault plans and measure the skew distribution.
+
+    All sampled plans (plus the fault-free reference as trial 0) run as a
+    single :class:`BatchRunner` batch; the per-trial skew maxima reduce in
+    one sweep over the stacked pulse-time stack.
+    """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes
     probability = probability_scale * n**-0.6
     envelope = envelope_factor * config0.params.local_skew_bound(diameter)
 
-    fault_free = config0.simulation().run(num_pulses)
-    fault_free_skew = fault_free.max_local_skew()
-
     if seeds is None:
         seeds = range(num_trials)
-    trials: List[Thm13Trial] = []
+    seeds = list(seeds)
+    batch_trials: List[BatchTrial] = [
+        BatchTrial(config=config0, label="fault-free")
+    ]
+    k_faulties: List[int] = []
     for seed in seeds:
         config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
         rng = config.rng(salt=13)
@@ -130,22 +137,32 @@ def run_thm13(
             behavior_factory=mixed_behavior_factory,
             enforce_one_local=True,
         )
-        result = config.simulation(fault_plan=plan).run(num_pulses)
         delta = max(2, int(round(n ** (1.0 / 12.0))))
-        k_faulty = max(
-            max_k_faulty_over_layer(
-                config.graph, plan, config.graph.num_layers - 1, delta
-            ),
-            0,
-        )
-        trials.append(
-            Thm13Trial(
-                seed=seed,
-                num_faults=len(plan),
-                local_skew=result.max_local_skew(),
-                max_k_faulty=k_faulty,
+        k_faulties.append(
+            max(
+                max_k_faulty_over_layer(
+                    config.graph, plan, config.graph.num_layers - 1, delta
+                ),
+                0,
             )
         )
+        batch_trials.append(
+            BatchTrial(config=config, fault_plan=plan, label=f"seed={seed}")
+        )
+
+    batch = BatchRunner(num_pulses=num_pulses).run(batch_trials)
+    skews = batch.max_local_skews()
+    fault_free_skew = float(skews[0])
+    num_faults = batch.num_faults()
+    trials = [
+        Thm13Trial(
+            seed=seed,
+            num_faults=int(num_faults[i + 1]),
+            local_skew=float(skews[i + 1]),
+            max_k_faulty=k_faulties[i],
+        )
+        for i, seed in enumerate(seeds)
+    ]
     return Thm13Result(
         diameter=diameter,
         probability=probability,

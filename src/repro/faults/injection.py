@@ -59,6 +59,13 @@ class FaultPlan:
         """Faulty nodes on a given layer."""
         return [n for n in self.faulty_nodes() if n[1] == layer]
 
+    def faulty_mask(self, graph: LayeredGraph) -> np.ndarray:
+        """Boolean array ``(num_layers, width)``: True where faulty."""
+        mask = np.zeros((graph.num_layers, graph.width), dtype=bool)
+        for v, layer in self._behaviors:
+            mask[layer, v] = True
+        return mask
+
     def with_fault(self, node: NodeId, behavior: FaultBehavior) -> "FaultPlan":
         """Copy of this plan with one additional fault."""
         updated = dict(self._behaviors)

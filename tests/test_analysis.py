@@ -122,6 +122,71 @@ class TestSkewMeasures:
         assert math.isnan(times[1, 0, 0])
 
 
+class TestSkewEmptyAndBatchEntryPoints:
+    """Explicit all-NaN behavior and the array-shaped (batched) reducers."""
+
+    def test_empty_layers_report_requested_value(self):
+        from repro.analysis.skew import global_skew_per_layer
+
+        times = np.zeros((2, 3, 6))
+        times[:, 1, :] = np.nan  # layer 1: no correct pulses at all
+        result = synthetic_result(times)
+        default = local_skew_per_layer(result)
+        assert default[1] == 0.0  # historical default
+        explicit = local_skew_per_layer(result, empty=np.nan)
+        assert math.isnan(explicit[1])
+        assert explicit[0] == 0.0 and explicit[2] == 0.0
+        neg = local_skew_per_layer(result, empty=-np.inf)
+        assert neg[1] == -np.inf
+        assert math.isnan(global_skew_per_layer(result, empty=np.nan)[1])
+
+    def test_no_runtime_warning_on_all_nan_slices(self):
+        import warnings
+
+        times = np.full((2, 3, 6), np.nan)
+        result = synthetic_result(times)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert max_local_skew(result) == 0.0
+            assert global_skew(result) == 0.0
+            assert np.all(inter_layer_skew(result) == 0.0)
+
+    def test_batched_reducers_match_per_result_loop(self):
+        from repro.analysis.skew import (
+            global_skew_layers,
+            global_skew_per_layer,
+            inter_layer_skew_layers,
+            local_skew_layers,
+        )
+
+        rng = np.random.default_rng(7)
+        stack = []
+        results = []
+        for _ in range(4):
+            times = rng.normal(size=(3, 4, 6))
+            times[rng.random(times.shape) < 0.1] = np.nan
+            stack.append(times)
+            results.append(synthetic_result(times))
+        stacked = np.stack(stack)  # (S, K, L, W)
+        graph = results[0].graph
+        per_layer = local_skew_layers(stacked, graph)
+        inter = inter_layer_skew_layers(stacked, graph)
+        global_per_layer = global_skew_layers(stacked)
+        assert per_layer.shape == (4, 4)
+        assert inter.shape == (4, 3)
+        assert global_per_layer.shape == (4, 4)
+        for i, result in enumerate(results):
+            np.testing.assert_allclose(
+                per_layer[i], local_skew_per_layer(result), atol=1e-12
+            )
+            np.testing.assert_allclose(
+                inter[i], inter_layer_skew(result), atol=1e-12
+            )
+            np.testing.assert_allclose(
+                global_per_layer[i], global_skew_per_layer(result), atol=1e-12
+            )
+
+
 class TestPotentials:
     def test_psi_definition(self):
         result = noisy_sim(diameter=6).run(1)

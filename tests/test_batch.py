@@ -1,0 +1,136 @@
+"""Tests for repro.experiments.batch: the batched multi-trial runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.skew import (
+    global_skew,
+    max_inter_layer_skew,
+    max_local_skew,
+    overall_skew,
+)
+from repro.delays.models import UniformDelayModel
+from repro.experiments.batch import BatchRunner, BatchTrial
+from repro.experiments.common import standard_config
+from repro.experiments.thm13_random_faults import mixed_behavior_factory
+from repro.faults import CrashFault, FaultPlan
+
+NUM_PULSES = 3
+
+
+def seed_batch(seeds=(0, 1, 2), diameter=6, **kwargs):
+    runner = BatchRunner(num_pulses=NUM_PULSES, **kwargs)
+    trials = BatchRunner.seed_sweep(diameter, seeds, num_pulses=NUM_PULSES)
+    return trials, runner.run(trials)
+
+
+class TestEquivalenceWithLoop:
+    """Batch statistics must equal the one-trial-at-a-time reference."""
+
+    def test_times_match_per_trial_runs(self):
+        trials, batch = seed_batch()
+        for i, trial in enumerate(trials):
+            reference = trial.config.simulation(
+                fault_plan=trial.fault_plan
+            ).run(NUM_PULSES)
+            np.testing.assert_array_equal(batch.times[i], reference.times)
+
+    def test_skew_stats_match_per_result_helpers(self):
+        trials, batch = seed_batch()
+        for i, trial in enumerate(trials):
+            reference = trial.config.simulation().run(NUM_PULSES)
+            assert batch.max_local_skews()[i] == pytest.approx(
+                max_local_skew(reference), abs=1e-12
+            )
+            assert batch.max_inter_layer_skews()[i] == pytest.approx(
+                max_inter_layer_skew(reference), abs=1e-12
+            )
+            assert batch.global_skews()[i] == pytest.approx(
+                global_skew(reference), abs=1e-12
+            )
+            assert batch.overall_skews()[i] == pytest.approx(
+                overall_skew(reference), abs=1e-12
+            )
+
+    def test_vectorized_and_scalar_batches_agree(self):
+        def plans(config):
+            return FaultPlan.random(
+                config.graph,
+                probability=0.05,
+                rng_or_seed=config.rng(salt=99),
+                behavior_factory=mixed_behavior_factory,
+            )
+
+        trials = BatchRunner.seed_sweep(
+            6, (0, 1), num_pulses=NUM_PULSES, fault_plan_factory=plans
+        )
+        fast = BatchRunner(num_pulses=NUM_PULSES, vectorize=True).run(trials)
+        slow = BatchRunner(num_pulses=NUM_PULSES, vectorize=False).run(trials)
+        np.testing.assert_allclose(
+            fast.times, slow.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+
+class TestBatchResult:
+    def test_stacked_shapes(self):
+        trials, batch = seed_batch()
+        graph = trials[0].config.graph
+        expected = (len(trials), NUM_PULSES, graph.num_layers, graph.width)
+        assert batch.times.shape == expected
+        assert batch.corrections.shape == expected
+        assert batch.effective_corrections.shape == expected
+        assert batch.faulty_masks.shape == (
+            len(trials), graph.num_layers, graph.width,
+        )
+        assert len(batch) == len(trials)
+
+    def test_num_faults_and_masks(self):
+        config = standard_config(6, num_pulses=NUM_PULSES)
+        plan = FaultPlan.from_nodes({(2, 2): CrashFault()})
+        batch = BatchRunner(num_pulses=NUM_PULSES).run(
+            [
+                BatchTrial(config=config),
+                BatchTrial(config=config, fault_plan=plan, label="crash"),
+            ]
+        )
+        np.testing.assert_array_equal(batch.num_faults(), [0, 1])
+        assert not batch.faulty_masks[0].any()
+        assert batch.faulty_masks[1, 2, 2]
+        assert np.isnan(batch.times[1, :, 2, 2]).all()
+
+    def test_correction_stats(self):
+        _, batch = seed_batch()
+        stats = batch.correction_stats()
+        assert stats["max_abs"].shape == (3,)
+        assert (stats["num_corrections"] > 0).all()
+        assert (stats["mean_abs"] <= stats["max_abs"] + 1e-15).all()
+
+
+class TestBatchRunnerValidation:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            BatchRunner(num_pulses=NUM_PULSES).run([])
+
+    def test_rejects_zero_pulses(self):
+        with pytest.raises(ValueError):
+            BatchRunner(num_pulses=0)
+
+    def test_rejects_mismatched_grids(self):
+        trials = [
+            BatchTrial(config=standard_config(4)),
+            BatchTrial(config=standard_config(6)),
+        ]
+        with pytest.raises(ValueError, match="grid shapes differ"):
+            BatchRunner(num_pulses=NUM_PULSES).run(trials)
+
+    def test_trial_overrides(self):
+        config = standard_config(4, num_pulses=NUM_PULSES)
+        params = config.params
+        trial = BatchTrial(
+            config=config,
+            delay_model=UniformDelayModel(params.d, params.u),
+            clock_rates=None,  # rate-1 clocks, not the config's sample
+        )
+        batch = BatchRunner(num_pulses=NUM_PULSES).run([trial])
+        # Uniform delays + unit rates: a perfectly symmetric execution.
+        assert batch.max_local_skews()[0] == 0.0

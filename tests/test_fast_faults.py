@@ -15,7 +15,7 @@ from repro.faults import (
     FaultPlan,
     FixedOffsetFault,
 )
-from tests.test_fast_sim import PARAMS, noisy_sim
+from tests.test_fast_sim import PARAMS, assert_results_equivalent, noisy_sim
 
 
 def faulty_sim(plan, diameter=8, seed=0, **kwargs):
@@ -174,6 +174,59 @@ class TestMedianContainmentAblation:
         result = faulty_sim(plan).run(2)
         assert np.isnan(result.times[:, 0, 3]).all()
         assert not np.isnan(result.times[:, 1, :]).any()
+
+
+class TestVectorizedFaultCrossValidation:
+    """Array kernel vs scalar replay under faults (fallback path coverage)."""
+
+    def assert_equivalent(self, vec, scalar):
+        assert_results_equivalent(vec, scalar, check_fault_sends=True)
+
+    @pytest.mark.parametrize(
+        "behavior",
+        [
+            CrashFault(),
+            AdversarialLateFault(30.0),
+            AdversarialEarlyFault(30.0),
+            ByzantineRandomFault(span=0.6, seed=3),
+        ],
+    )
+    def test_matches_scalar_single_fault(self, behavior):
+        plan = FaultPlan.from_nodes({FAULT_NODE: behavior})
+        vec = faulty_sim(plan).run(3)
+        scalar = faulty_sim(plan, vectorize=False).run(3)
+        self.assert_equivalent(vec, scalar)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_random_fault_plans(self, seed):
+        from repro.experiments.thm13_random_faults import mixed_behavior_factory
+
+        graph = noisy_sim(diameter=8).graph
+        plan = FaultPlan.random(
+            graph,
+            probability=0.06,
+            rng_or_seed=seed,
+            behavior_factory=mixed_behavior_factory,
+        )
+        vec = faulty_sim(plan, seed=seed).run(3)
+        scalar = faulty_sim(plan, seed=seed, vectorize=False).run(3)
+        self.assert_equivalent(vec, scalar)
+
+    def test_matches_scalar_layer0_fault(self):
+        plan = FaultPlan.from_nodes({(3, 0): CrashFault()})
+        vec = faulty_sim(plan).run(2)
+        scalar = faulty_sim(plan, vectorize=False).run(2)
+        self.assert_equivalent(vec, scalar)
+
+    def test_matches_scalar_outside_model(self):
+        # Two silent predecessors (1-locality violated): the victim takes
+        # the never-exits branch; the kernel must defer to the scalar path.
+        plan = FaultPlan.from_nodes(
+            {(3, 3): CrashFault(), (5, 3): CrashFault()}
+        )
+        vec = faulty_sim(plan).run(2)
+        scalar = faulty_sim(plan, vectorize=False).run(2)
+        self.assert_equivalent(vec, scalar)
 
 
 class TestDeadlockRegimes:

@@ -17,6 +17,36 @@ from repro.topology import LayeredGraph, cycle_graph, replicated_line
 PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
 
 
+#: FastResult arrays the scalar/vectorized cross-validation compares.
+RESULT_ARRAYS = ("times", "protocol_times", "corrections", "effective_corrections")
+
+
+def assert_results_equivalent(vec, scalar, check_fault_sends=False):
+    """Assert two FastResults agree to 1e-9 (shared by the sim/fault tests)."""
+    for attr in RESULT_ARRAYS:
+        np.testing.assert_allclose(
+            getattr(vec, attr),
+            getattr(scalar, attr),
+            rtol=0.0,
+            atol=1e-9,
+            equal_nan=True,
+            err_msg=attr,
+        )
+    assert np.array_equal(vec.branches, scalar.branches)
+    if not check_fault_sends:
+        return
+    assert set(vec.fault_sends) == set(scalar.fault_sends)
+    for edge, pulses in vec.fault_sends.items():
+        reference = scalar.fault_sends[edge]
+        assert set(pulses) == set(reference)
+        for pulse, send in pulses.items():
+            other = reference[pulse]
+            if send is None or other is None:
+                assert send is other
+            else:
+                assert send == pytest.approx(other, abs=1e-9)
+
+
 def noisy_sim(diameter=8, layers=None, seed=0, **kwargs):
     base = replicated_line(diameter + 1)
     graph = LayeredGraph(base, layers or diameter + 1)
@@ -174,6 +204,98 @@ class TestSimplifiedEquivalence:
         full = FastSimulation(graph, PARAMS, algorithm="full").run(3)
         simple = FastSimulation(graph, PARAMS, algorithm="simplified").run(3)
         assert np.array_equal(full.times, simple.times)
+
+
+class TestVectorizedCrossValidation:
+    """The array kernel must match the scalar replay to float precision."""
+
+    def assert_equivalent(self, vec, scalar):
+        assert_results_equivalent(vec, scalar)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scalar_on_random_rates_and_delays(self, seed):
+        vec = noisy_sim(diameter=8, seed=seed).run(4)
+        scalar = noisy_sim(diameter=8, seed=seed, vectorize=False).run(4)
+        self.assert_equivalent(vec, scalar)
+
+    def test_matches_scalar_on_cycle_base_graph(self):
+        def build(vectorize):
+            graph = LayeredGraph(cycle_graph(10), 10)
+            delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=2)
+            return FastSimulation(
+                graph, PARAMS, delay_model=delays, vectorize=vectorize
+            ).run(3)
+
+        self.assert_equivalent(build(True), build(False))
+
+    def test_matches_scalar_with_jittered_layer0(self):
+        def build(vectorize):
+            graph = LayeredGraph(replicated_line(8), 12)
+            layer0 = JitteredLayer0(
+                PARAMS.Lambda, graph.width, jitter_bound=3 * PARAMS.kappa, seed=5
+            )
+            delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=1)
+            return FastSimulation(
+                graph, PARAMS, delay_model=delays, layer0=layer0,
+                vectorize=vectorize,
+            ).run(3)
+
+        self.assert_equivalent(build(True), build(False))
+
+    def test_matches_scalar_with_continuous_policy(self):
+        policy = CorrectionPolicy(discretize=False)
+        vec = noisy_sim(diameter=8, seed=1, policy=policy).run(3)
+        scalar = noisy_sim(
+            diameter=8, seed=1, policy=policy, vectorize=False
+        ).run(3)
+        self.assert_equivalent(vec, scalar)
+
+    def test_swapping_delay_model_between_runs_invalidates_caches(self):
+        # The sweep caches per-layer delay/rate arrays across runs; swapping
+        # the provider must not serve stale arrays (regression test).
+        graph = LayeredGraph(replicated_line(6), 6)
+        sim = FastSimulation(
+            graph, PARAMS, delay_model=StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+        )
+        sim.run(2)
+        sim.delay_model = StaticDelayModel(PARAMS.d, PARAMS.u, seed=99)
+        swapped = sim.run(2)
+        fresh = FastSimulation(
+            graph, PARAMS,
+            delay_model=StaticDelayModel(PARAMS.d, PARAMS.u, seed=99),
+            vectorize=False,
+        ).run(2)
+        self.assert_equivalent(swapped, fresh)
+
+    def test_mutating_rates_dict_between_runs_is_honored(self):
+        # The rate cache is rebuilt per run, so in-place edits to a rates
+        # dict between runs must reach the kernel (regression test).
+        graph = LayeredGraph(replicated_line(6), 6)
+        rates = {node: 1.0 for node in graph.nodes()}
+        sim = FastSimulation(graph, PARAMS, clock_rates=rates)
+        sim.run(2)
+        for node in rates:
+            rates[node] = 1.0005
+        mutated = sim.run(2)
+        fresh = FastSimulation(
+            graph, PARAMS, clock_rates=dict(rates), vectorize=False
+        ).run(2)
+        self.assert_equivalent(mutated, fresh)
+
+    def test_matches_scalar_with_callable_rates(self):
+        def rates(node, pulse):
+            v, layer = node
+            return 1.0 + 0.0008 * ((v * 31 + layer * 7 + pulse) % 11) / 11.0
+
+        def build(vectorize):
+            graph = LayeredGraph(replicated_line(8), 8)
+            delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+            return FastSimulation(
+                graph, PARAMS, delay_model=delays, clock_rates=rates,
+                vectorize=vectorize,
+            ).run(3)
+
+        self.assert_equivalent(build(True), build(False))
 
 
 class TestPolicies:
