@@ -10,17 +10,8 @@ from pytest-benchmark; run with::
 
 import pytest
 
-
-def pytest_configure(config):
-    """Register the benchmark markers (no repo-level pytest.ini)."""
-    config.addinivalue_line(
-        "markers",
-        "bench: micro-benchmark tracking the performance trajectory; "
-        "select with `-m bench`",
-    )
-    config.addinivalue_line(
-        "markers", "slow: long-running benchmark; deselect with `-m 'not slow'`"
-    )
+# The bench/slow markers are registered repo-wide in pyproject.toml's
+# [tool.pytest.ini_options]; this conftest only carries shared fixtures.
 
 
 def emit(result) -> None:

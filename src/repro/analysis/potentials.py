@@ -16,8 +16,6 @@ the experiments verify the measured decay.
 from __future__ import annotations
 
 import math
-from typing import Optional
-
 import numpy as np
 
 from repro.core.fast import FastResult

@@ -46,6 +46,7 @@ __all__ = [
     "masked_times",
     "local_skew_layers",
     "inter_layer_skew_layers",
+    "overall_skew_layers",
     "global_skew_layers",
     "local_skew_per_layer",
     "max_local_skew",
@@ -140,6 +141,24 @@ def inter_layer_skew_layers(
         axis=-1,
     )  # (..., K-1, L-1, W + 2E)
     return _masked_max(diffs, axis=(-3, -1), empty=empty)
+
+
+def overall_skew_layers(
+    times: np.ndarray, graph: LayeredGraph, empty: float = 0.0
+) -> np.ndarray:
+    """The paper's ``L = sup_l max(L_l, L_{l,l+1})`` per batch entry.
+
+    Reduces raw times ``(..., K, L, W)`` to shape ``(...,)`` in one sweep
+    -- the whole-sweep form of :func:`overall_skew`, used by
+    :meth:`~repro.experiments.batch.BatchResult.overall_skews`.  Grids
+    with a single layer boundary-free report the intra-layer part alone.
+    """
+    times = np.asarray(times, dtype=float)
+    local = local_skew_layers(times, graph, empty=empty).max(axis=-1)
+    inter = inter_layer_skew_layers(times, graph, empty=empty)
+    if inter.shape[-1] == 0:
+        return local
+    return np.maximum(local, inter.max(axis=-1))
 
 
 def global_skew_layers(times: np.ndarray, empty: float = 0.0) -> np.ndarray:

@@ -17,7 +17,7 @@ package applies unchanged.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.fast import BRANCH_CODES, FastResult, RateProvider
 from repro.core.layer0 import Layer0Schedule, PerfectLayer0

@@ -5,6 +5,8 @@
 * :mod:`repro.core.layer0` -- Algorithm 2 and scripted layer-0 sources.
 * :mod:`repro.core.fast` -- fast layer-recurrence simulator (Lemma B.1
   closed form; delays/clock rates static per pulse).
+* :mod:`repro.core.fast_batch` -- trial-stacked ``(S, W)`` kernel driving
+  many structurally identical simulations in lock-step.
 * :mod:`repro.core.algorithm` -- Algorithm 3 as an event-driven process.
 * :mod:`repro.core.selfstab` -- Algorithm 4 (self-stabilizing variant).
 * :mod:`repro.core.network_sim` -- event-driven grid simulation builder.
@@ -18,6 +20,7 @@ from repro.core.correction import (
     raw_delta,
 )
 from repro.core.fast import FastResult, FastSimulation
+from repro.core.fast_batch import TrialStack, stack_compatibility
 from repro.core.layer0 import ChainLayer0, JitteredLayer0, Layer0Schedule, PerfectLayer0
 
 __all__ = [
@@ -29,6 +32,8 @@ __all__ = [
     "JitteredLayer0",
     "Layer0Schedule",
     "PerfectLayer0",
+    "TrialStack",
     "compute_correction",
     "raw_delta",
+    "stack_compatibility",
 ]

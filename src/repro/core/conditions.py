@@ -34,8 +34,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core.fast import FastResult
 from repro.topology.layered import NodeId
 

@@ -56,12 +56,16 @@ vectorized and scalar paths produce bit-identical results; the test suite
 cross-validates them over random rates, delays, and fault plans.  Pass
 ``vectorize=False`` to force the scalar path everywhere (the ``simplified``
 algorithm always runs scalar).
+
+For multi-trial sweeps, :mod:`repro.core.fast_batch` widens this kernel by
+a leading trial axis, advancing ``S`` structurally identical simulations
+through the recurrence in lock-step with ``(S, W)`` array ops.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -241,15 +245,13 @@ class FastSimulation:
         self.algorithm = algorithm
         self.vectorize = vectorize
         self._rates = clock_rates
-        # Per-layer array caches for the vectorized sweep; delay arrays are
-        # additionally keyed by pulse unless the model is pulse-invariant.
-        # The rate cache is rebuilt every run (so in-place edits of a rates
-        # dict between runs are honored); the delay cache persists across
-        # runs but is invalidated when ``delay_model`` is replaced -- delay
-        # models are deterministic functions of their seed and the edge
-        # identity, so replace the model rather than mutating its state.
-        self._delay_cache: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
-        self._delay_cache_model: object = self.delay_model
+        # Per-layer rate arrays for the vectorized sweep, rebuilt every run
+        # so in-place edits of a rates dict between runs are honored.  The
+        # per-layer *delay* arrays are cached on the delay model itself
+        # (see :class:`~repro.delays.models.DelayModel`), so they survive
+        # simulation reconstruction -- a batch sweep rebuilding one
+        # FastSimulation per trial per run pays the per-edge Python gather
+        # only once per model.
         self._rate_cache: Dict[object, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -268,13 +270,7 @@ class FastSimulation:
     # ------------------------------------------------------------------
     def run(self, num_pulses: int) -> FastResult:
         """Simulate ``num_pulses`` pulses through all layers."""
-        if num_pulses < 1:
-            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
-        result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
-        if self._delay_cache_model is not self.delay_model:
-            self._delay_cache = {}
-            self._delay_cache_model = self.delay_model
-        self._rate_cache = {}
+        result = self._begin_run(num_pulses)
         # The simplified algorithm (Algorithm 1) is replayed scalar-only;
         # the sweep structures depend on the fault plan, so they are built
         # per run (tests mutate ``fault_plan`` between construction and run).
@@ -290,6 +286,19 @@ class FastSimulation:
                     self._run_layer_vectorized(result, k, layer, sweep)
                 else:
                     self._run_layer(result, k, layer)
+        return result
+
+    def _begin_run(self, num_pulses: int) -> FastResult:
+        """Validate, reset the per-run caches, and allocate the result.
+
+        Shared by :meth:`run` and the trial-stacked runner
+        (:class:`repro.core.fast_batch.TrialStack`), which drives many
+        simulations through the same pulse/layer recurrence in lock-step.
+        """
+        if num_pulses < 1:
+            raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
+        self._rate_cache = {}
         return result
 
     def _run_layer0(self, result: FastResult, k: int) -> None:
@@ -668,10 +677,12 @@ class _VectorSweep:
     """Index/mask structures backing the vectorized layer sweep.
 
     Built once per :meth:`FastSimulation.run` (the fault plan may change
-    between runs).  Delay and rate arrays are cached on the simulation so
-    repeated runs do not re-query the Python-level models edge by edge.
-    Edge tuples are built from plain ``int`` vertices so delay models keyed
-    or seeded by edge identity see exactly the scalar path's edges.
+    between runs).  Rate arrays are cached on the simulation per run;
+    delay arrays are cached on the *delay model* (keyed by edge structure
+    and layer/pulse), so they survive simulation reconstruction and are
+    never re-gathered edge by edge for the same model.  Edge tuples are
+    built from plain ``int`` vertices so delay models keyed or seeded by
+    edge identity see exactly the scalar path's edges.
     """
 
     def __init__(self, sim: FastSimulation) -> None:
@@ -681,6 +692,10 @@ class _VectorSweep:
         width = base.num_nodes
         self.width = width
         self.nb_lists = [tuple(base.neighbors(v)) for v in base.nodes()]
+        # Identifies the edge set the delay gathers cover: two graphs with
+        # equal width and adjacency query exactly the same edge tuples, so
+        # they may share a delay model's array cache.
+        self.edge_signature = (width, tuple(self.nb_lists))
         degrees = np.array([len(nbs) for nbs in self.nb_lists], dtype=np.int64)
         self.max_deg = int(degrees.max()) if width else 0
         cols = max(self.max_deg, 1)
@@ -702,10 +717,23 @@ class _VectorSweep:
         self.layer_has_fault = [bool(row.any()) for row in faulty]
 
     def delay_arrays(self, layer: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Own-copy ``(W,)`` and neighbor-copy ``(W, max_deg)`` delays."""
+        """Own-copy ``(W,)`` and neighbor-copy ``(W, max_deg)`` delays.
+
+        Cached on the delay model keyed by the edge structure and layer
+        (plus pulse unless the model is pulse-invariant), so rebuilt
+        simulations over the same model skip the per-edge Python gather;
+        models not subclassing :class:`~repro.delays.models.DelayModel`
+        are gathered uncached.
+        """
         model = self.sim.delay_model
         key = layer if getattr(model, "pulse_invariant", False) else (layer, k)
-        cached = self.sim._delay_cache.get(key)
+        model_cache = getattr(model, "_edge_array_cache", None)
+        cache = (
+            None
+            if model_cache is None
+            else model_cache.setdefault(self.edge_signature, {})
+        )
+        cached = None if cache is None else cache.get(key)
         if cached is None:
             own = np.empty(self.width)
             nb = np.zeros((self.width, max(self.max_deg, 1)))
@@ -714,7 +742,8 @@ class _VectorSweep:
                 for j, w in enumerate(nbs):
                     nb[v, j] = model.delay(((w, layer - 1), (v, layer)), k)
             cached = (own, nb)
-            self.sim._delay_cache[key] = cached
+            if cache is not None:
+                cache[key] = cached
         return cached
 
     def rate_array(self, layer: int, k: int) -> np.ndarray:

@@ -1,0 +1,347 @@
+"""Trial-stacked ``(S, W)`` kernel for the fast simulator.
+
+:class:`~repro.core.fast.FastSimulation` vectorizes one pulse of one layer
+across the ``W`` base vertices, but a parameter sweep still walks the
+pulse/layer recurrence (Lemma B.1) once per trial in Python.  Because the
+recurrence has no cross-trial coupling -- trial ``s``'s pulse ``k`` of
+layer ``l`` depends only on trial ``s``'s pulse ``k`` of layer ``l - 1`` --
+``S`` structurally identical trials can advance through the recurrence in
+lock-step, with every per-layer array op widened from shape ``(W,)`` to
+``(S, W)``.  That is what :class:`TrialStack` does: reception times,
+do-until exit test, correction, and pulse time are computed for the whole
+``(S, W)`` plane at once, so the Python-loop overhead per layer step is
+paid once per *batch* instead of once per *trial*.
+
+Stacking requirements (checked by :func:`stack_compatibility`)
+--------------------------------------------------------------
+All stacked simulations must share
+
+* the full Algorithm 3 semantics (``algorithm == "full"``) with the
+  vectorized kernel enabled,
+* the timing :class:`~repro.params.Parameters` (``kappa``/``vartheta``
+  enter the eligibility thresholds and the correction grid),
+* the :class:`~repro.core.correction.CorrectionPolicy`, and
+* the grid structure: number of layers plus the base-graph adjacency
+  (the neighbor gather indices are built once and shared).
+
+Everything else -- delay models, clock rates, layer-0 schedules, fault
+plans -- may differ per trial; those inputs become the leading-axis
+``(S, ...)`` arrays the kernel consumes.
+
+Exactness
+---------
+The stacked kernel evaluates *the same* NumPy expressions as
+:meth:`FastSimulation._run_layer_vectorized`, elementwise over an extra
+leading axis, so eligible cells produce bit-identical floats.  The exact
+per-trial eligibility test of the per-trial kernel is applied cell by cell:
+fault-adjacent, via-``H_max``, and missing-message cells drop out of the
+array path and are replayed through the scalar
+:meth:`FastSimulation._run_node_and_record` of their own simulation, same
+as in a per-trial run.  The test suite asserts equality against both the
+per-trial vectorized and the scalar reference paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fast import BRANCH_CODES, FastResult, FastSimulation, _VectorSweep
+
+__all__ = ["TrialStack", "stack_compatibility"]
+
+
+def _adjacency_signature(sim: FastSimulation) -> Tuple[Tuple[int, ...], ...]:
+    base = sim.graph.base
+    return tuple(tuple(base.neighbors(v)) for v in base.nodes())
+
+
+def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
+    """Why ``sims`` cannot run stacked, or None when they can.
+
+    The returned string names the first violated requirement; callers that
+    want an exception can raise on it (``TrialStack`` does).
+    """
+    if not sims:
+        return "need at least one simulation"
+    first = sims[0]
+    if first.algorithm != "full":
+        return f"algorithm {first.algorithm!r} runs scalar-only"
+    if not first.vectorize:
+        return "vectorize=False forces the per-trial scalar path"
+    signature = _adjacency_signature(first)
+    for i, sim in enumerate(sims[1:], start=1):
+        if sim.algorithm != "full":
+            return f"trial {i}: algorithm {sim.algorithm!r} runs scalar-only"
+        if not sim.vectorize:
+            return f"trial {i}: vectorize=False forces the per-trial path"
+        if sim.params != first.params:
+            return f"trial {i}: parameters differ from trial 0"
+        if sim.policy != first.policy:
+            return f"trial {i}: correction policy differs from trial 0"
+        if sim.graph.num_layers != first.graph.num_layers:
+            return f"trial {i}: layer count differs from trial 0"
+        if _adjacency_signature(sim) != signature:
+            return f"trial {i}: base-graph adjacency differs from trial 0"
+    return None
+
+
+class TrialStack:
+    """Advance ``S`` compatible simulations through the recurrence together.
+
+    Parameters
+    ----------
+    sims:
+        The per-trial :class:`FastSimulation` objects.  They must satisfy
+        :func:`stack_compatibility`; a :class:`ValueError` names the first
+        violation otherwise.
+
+    Notes
+    -----
+    :meth:`run` returns ordinary per-trial :class:`FastResult` objects
+    whose matrices are views into one shared ``(S, K, L, W)`` block, so
+    downstream code (skew reducers, ``fault_sends`` drill-in, the scalar
+    fallback itself) sees exactly the per-trial layout while the kernel
+    reads and writes whole ``(S, W)`` planes without gathering.
+    """
+
+    def __init__(self, sims: Sequence[FastSimulation]) -> None:
+        reason = stack_compatibility(sims)
+        if reason is not None:
+            raise ValueError(f"trials cannot be stacked: {reason}")
+        self.sims: List[FastSimulation] = list(sims)
+
+    # ------------------------------------------------------------------
+    # Stacked per-layer inputs
+    # ------------------------------------------------------------------
+    def _delay_stack(
+        self,
+        sweeps: Sequence[_VectorSweep],
+        cache: Dict[object, Tuple[np.ndarray, np.ndarray]],
+        layer: int,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Own ``(S, W)`` and neighbor ``(S, W, max_deg)`` delay arrays.
+
+        Each sweep's per-trial arrays come from (and fill) its simulation's
+        own delay cache; the stacked copies are cached here per layer when
+        every model is pulse-invariant, else per ``(layer, k)``.
+        """
+        key: object = layer if self._all_pulse_invariant else (layer, k)
+        cached = cache.get(key)
+        if cached is None:
+            per_trial = [sweep.delay_arrays(layer, k) for sweep in sweeps]
+            cached = (
+                np.stack([own for own, _ in per_trial]),
+                np.stack([nb for _, nb in per_trial]),
+            )
+            cache[key] = cached
+        return cached
+
+    def _rate_stack(
+        self,
+        sweeps: Sequence[_VectorSweep],
+        cache: Dict[int, np.ndarray],
+        layer: int,
+        k: int,
+    ) -> np.ndarray:
+        """Clock rates ``(S, W)`` of the layer's nodes during pulse ``k``."""
+        if self._rates_static:
+            cached = cache.get(layer)
+            if cached is None:
+                cached = np.stack(
+                    [sweep.rate_array(layer, k) for sweep in sweeps]
+                )
+                cache[layer] = cached
+            return cached
+        # Callable rate providers may depend on the pulse; query per step
+        # exactly as the per-trial kernel does.
+        return np.stack([sweep.rate_array(layer, k) for sweep in sweeps])
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, num_pulses: int) -> List[FastResult]:
+        """Simulate ``num_pulses`` pulses for every trial; per-trial results."""
+        sims = self.sims
+        results = [sim._begin_run(num_pulses) for sim in sims]
+        graph = sims[0].graph
+        num_layers = graph.num_layers
+        width = graph.width
+        shape = (len(sims), num_pulses, num_layers, width)
+
+        # One shared block per matrix; each FastResult holds the trial-s
+        # view, so scalar fallbacks and analysis code read/write through it.
+        times = np.full(shape, np.nan)
+        protocol_times = np.full(shape, np.nan)
+        corrections = np.full(shape, np.nan)
+        effective = np.full(shape, np.nan)
+        branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
+        for s, result in enumerate(results):
+            result.times = times[s]
+            result.protocol_times = protocol_times[s]
+            result.corrections = corrections[s]
+            result.effective_corrections = effective[s]
+            result.branches = branches[s]
+
+        sweeps = [_VectorSweep(sim) for sim in sims]
+        self._all_pulse_invariant = all(
+            getattr(sim.delay_model, "pulse_invariant", False) for sim in sims
+        )
+        self._rates_static = all(not callable(sim._rates) for sim in sims)
+        delay_cache: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
+        rate_cache: Dict[int, np.ndarray] = {}
+
+        # (S, L-1, W): per-trial static part of the eligibility test, and
+        # (S, L, W)/(L,) fault structure for the write masks below.
+        static_eligible = np.stack([sweep.static_eligible for sweep in sweeps])
+        faulty = np.stack([sweep.faulty for sweep in sweeps])
+        layer_has_fault = faulty.any(axis=(0, 2))
+
+        for k in range(num_pulses):
+            for s, sim in enumerate(sims):
+                sim._run_layer0(results[s], k)
+            for layer in range(1, num_layers):
+                self._run_layer_stacked(
+                    results,
+                    sweeps,
+                    times,
+                    protocol_times,
+                    corrections,
+                    effective,
+                    branches,
+                    static_eligible,
+                    faulty,
+                    bool(layer_has_fault[layer]),
+                    self._delay_stack(sweeps, delay_cache, layer, k),
+                    self._rate_stack(sweeps, rate_cache, layer, k),
+                    k,
+                    layer,
+                )
+        return results
+
+    def _run_layer_stacked(
+        self,
+        results: List[FastResult],
+        sweeps: List[_VectorSweep],
+        times: np.ndarray,
+        protocol_times: np.ndarray,
+        corrections: np.ndarray,
+        effective: np.ndarray,
+        branches_out: np.ndarray,
+        static_eligible: np.ndarray,
+        faulty: np.ndarray,
+        layer_faulty: bool,
+        delays: Tuple[np.ndarray, np.ndarray],
+        rate: np.ndarray,
+        k: int,
+        layer: int,
+    ) -> None:
+        """Advance pulse ``k`` of ``layer`` for all ``S x W`` cells at once.
+
+        Mirrors :meth:`FastSimulation._run_layer_vectorized` expression for
+        expression with a leading trial axis; see the module docstring for
+        the exactness argument.
+        """
+        sims = self.sims
+        params = sims[0].params
+        kappa = params.kappa
+        vartheta = params.vartheta
+        policy = sims[0].policy
+        nb_idx = sweeps[0].nb_idx
+        nb_valid = sweeps[0].nb_valid
+
+        prev = times[:, k, layer - 1, :]  # (S, W) send times, NaN = missing
+        own_delay, nb_delay = delays
+
+        own_arrival = prev + own_delay
+        nb_arrival = prev[:, nb_idx] + nb_delay  # (S, W, max_deg)
+        h_own = rate * own_arrival
+        h_nb = rate[:, :, None] * nb_arrival
+        h_min = np.where(nb_valid, h_nb, np.inf).min(axis=2)
+        h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=2)
+
+        with np.errstate(invalid="ignore"):
+            eligible = (
+                static_eligible[:, layer - 1, :]
+                & np.isfinite(h_own + h_min + h_max)
+                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
+                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
+            )
+
+            a = h_own - h_max
+            b = h_own - h_min
+            if policy.discretize:
+                if kappa == 0.0:
+                    delta = b
+                else:
+                    s_star = (h_max - h_min) / (8.0 * kappa)
+                    s_floor = np.floor(s_star)
+                    s_ceil = np.ceil(s_star)
+                    delta = (
+                        np.minimum(
+                            np.maximum(
+                                a + 4.0 * s_floor * kappa,
+                                b - 4.0 * s_floor * kappa,
+                            ),
+                            np.maximum(
+                                a + 4.0 * s_ceil * kappa,
+                                b - 4.0 * s_ceil * kappa,
+                            ),
+                        )
+                        - kappa / 2.0
+                    )
+            else:
+                delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
+
+            upper = vartheta * kappa
+            damp = policy.jump_slack * kappa
+            low = delta < 0.0
+            high = delta > upper
+            if policy.stick_to_median:
+                corr_low = np.minimum(h_own - h_min + kappa / 2.0 + damp, 0.0)
+                corr_high = np.maximum(
+                    h_own - h_max - kappa / 2.0 - damp, upper
+                )
+            else:
+                corr_low = np.zeros_like(delta)
+                corr_high = np.full_like(delta, upper)
+            correction = np.where(low, corr_low, np.where(high, corr_high, delta))
+            branches = np.where(
+                low,
+                BRANCH_CODES["low"],
+                np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
+            ).astype(np.int8)
+
+            exit_tau = np.maximum(h_own, h_max)
+            target = h_own + params.Lambda - params.d - correction
+            pulse_local = np.maximum(target, exit_tau)
+            pulse_time = pulse_local / rate
+            eff = h_own + params.Lambda - params.d - rate * pulse_time
+
+        if not layer_faulty and eligible.all():
+            # Common case (no trial has a fault on this layer, every cell on
+            # the fast path): whole-plane assignments, no boolean gathers.
+            corrections[:, k, layer] = correction
+            branches_out[:, k, layer] = branches
+            effective[:, k, layer] = eff
+            protocol_times[:, k, layer] = pulse_time
+            times[:, k, layer] = pulse_time
+            return
+
+        corrections[:, k, layer][eligible] = correction[eligible]
+        branches_out[:, k, layer][eligible] = branches[eligible]
+        effective[:, k, layer][eligible] = eff[eligible]
+        protocol_times[:, k, layer][eligible] = pulse_time[eligible]
+        faulty_here = faulty[:, layer, :]
+        correct = eligible & ~faulty_here
+        times[:, k, layer][correct] = pulse_time[correct]
+        if layer_faulty:
+            for s, v in zip(*np.nonzero(eligible & faulty_here)):
+                sims[s]._record_fault_sends(
+                    results[s], (int(v), layer), k, float(pulse_time[s, v])
+                )
+        if not eligible.all():
+            for s, v in zip(*np.nonzero(~eligible)):
+                sims[s]._run_node_and_record(results[s], (int(v), layer), k)

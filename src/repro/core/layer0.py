@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.clocks.hardware import AffineClock, HardwareClock
+from repro.clocks.hardware import HardwareClock
 from repro.delays.models import DelayModel, UniformDelayModel
 from repro.params import Parameters
 from repro.topology.base_graph import BaseGraph

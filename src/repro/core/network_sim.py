@@ -10,7 +10,6 @@ message timing -- the cross-validation tests rely on this.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple, Type
 
 from repro.clocks.hardware import AffineClock, HardwareClock

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.clocks.hardware import HardwareClock
 from repro.core.algorithm import PULSE, GradientTrixNode
-from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
+from repro.core.correction import compute_correction
 from repro.engine.network import Network
 from repro.engine.process import Message, Process
 from repro.engine.scheduler import Simulator

@@ -51,6 +51,14 @@ class DelayModel(ABC):
     ``k``; the vectorized fast-simulator sweep then caches per-layer delay
     arrays across pulses.  It defaults to False so custom subclasses stay
     correct without opting in.
+
+    Because models are deterministic functions of their seed and the edge
+    identity (and the pulse, unless ``pulse_invariant``), the vectorized
+    kernels cache the per-layer delay *arrays* they gather on the model
+    itself (``_edge_array_cache``), keyed by the querying graph's edge
+    structure -- so repeated runs and freshly constructed simulations over
+    the same model skip the per-edge Python loop.  Replace the model
+    rather than mutating its state to get different delays.
     """
 
     pulse_invariant = False
@@ -62,6 +70,9 @@ class DelayModel(ABC):
             raise ValueError(f"u must lie in [0, d], got {u}")
         self.d = d
         self.u = u
+        #: per-edge-structure cache of gathered delay arrays; see class
+        #: docstring and :meth:`repro.core.fast._VectorSweep.delay_arrays`.
+        self._edge_array_cache: Dict[object, Dict] = {}
 
     @abstractmethod
     def delay(self, edge: Edge, pulse: int = 0) -> float:

@@ -8,8 +8,8 @@ the clock's inverse map.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable
 
 from repro.clocks.hardware import HardwareClock
 from repro.engine.scheduler import EventHandle, Simulator

@@ -4,13 +4,26 @@ Experiment drivers used to run one ``(seed, fault_plan, params)`` cell at a
 time and reduce skews with per-result helpers in a Python loop.  This
 module sweeps many trials in one call instead:
 
-* every trial runs through the vectorized layer-sweep kernel of
-  :class:`~repro.core.fast.FastSimulation` (all ``W`` nodes of a layer per
-  array op), and
+* compatible trials advance through the pulse/layer recurrence *together*
+  via the trial-stacked ``(S, W)`` kernel of
+  :class:`~repro.core.fast_batch.TrialStack` -- one array op per layer
+  step for the whole batch instead of one per trial,
+* trials the stack cannot take (``simplified`` algorithm, mismatched
+  parameters/policies/geometries) fall back to the per-trial vectorized
+  kernel of :class:`~repro.core.fast.FastSimulation`, and
 * the per-trial results are stacked along a leading *trial axis* --
   ``times`` of shape ``(S, K, L, W)`` -- so skew and correction statistics
   for the whole sweep reduce in single array sweeps through the
   array-shaped entry points of :mod:`repro.analysis.skew`.
+
+For fault-heavy sweeps whose cells mostly replay the scalar path,
+``BatchRunner(executor="process", shards=N)`` splits the trial list into
+``N`` shards and runs them in worker processes via
+:mod:`concurrent.futures`; every trial is deterministic given its spec, so
+the assembled :class:`BatchResult` is identical for every ``shards``
+setting (the test suite pins this).  Trials must be picklable for the
+process executor -- use module-level functions/classes, not lambdas, for
+delay classifiers and rate providers.
 
 :class:`BatchRunner` is the backend of the ``thm11_local_skew``,
 ``thm13_random_faults``, ``cor15_variation``, and ``table1`` experiment
@@ -29,13 +42,17 @@ Example
 
 from __future__ import annotations
 
+import enum
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.correction import CorrectionPolicy, PAPER_POLICY
 from repro.core.fast import FastResult, FastSimulation, RateProvider
+from repro.core.fast_batch import TrialStack, stack_compatibility
 from repro.core.layer0 import Layer0Schedule
 from repro.delays.models import DelayModel
 from repro.experiments.common import ExperimentConfig, standard_config
@@ -44,13 +61,25 @@ from repro.analysis.skew import (
     global_skew_layers,
     inter_layer_skew_layers,
     local_skew_layers,
+    overall_skew_layers,
 )
 
 __all__ = ["BatchTrial", "BatchResult", "BatchRunner", "CONFIG_RATES"]
 
+
+class _ConfigRates(enum.Enum):
+    """Pickle-stable sentinel type; see :data:`CONFIG_RATES`."""
+
+    CONFIG_RATES = "CONFIG_RATES"
+
+
 #: Sentinel: "use the trial config's sampled clock rates" (``None`` means
-#: rate-1 clocks everywhere, matching :class:`FastSimulation`).
-CONFIG_RATES = object()
+#: rate-1 clocks everywhere, matching :class:`FastSimulation`).  An enum
+#: member rather than a bare ``object()`` so the ``is CONFIG_RATES``
+#: identity test survives pickling: enum members unpickle by name to the
+#: module-level singleton, which is what lets :class:`BatchTrial` specs
+#: round-trip into ``executor="process"`` worker processes.
+CONFIG_RATES = _ConfigRates.CONFIG_RATES
 
 
 @dataclass
@@ -155,7 +184,7 @@ class BatchResult:
 
     def overall_skews(self) -> np.ndarray:
         """Per-trial ``L = sup_l max(L_l, L_{l,l+1})``; shape ``(S,)``."""
-        return np.maximum(self.max_local_skews(), self.max_inter_layer_skews())
+        return overall_skew_layers(self.times, self.graph)
 
     def global_skews(self) -> np.ndarray:
         """Per-trial global skew; shape ``(S,)``."""
@@ -186,21 +215,87 @@ class BatchResult:
         return np.array([t.num_faults for t in self.trials], dtype=np.int64)
 
 
+def _stack_key(trial: BatchTrial) -> Optional[Tuple]:
+    """Hashable grouping key for trials that can share a :class:`TrialStack`.
+
+    None marks trials the stack cannot take at all (the ``simplified``
+    algorithm); everything else groups by the structural requirements of
+    :func:`repro.core.fast_batch.stack_compatibility`.
+    """
+    if trial.algorithm != "full":
+        return None
+    graph = trial.config.graph
+    adjacency = tuple(
+        tuple(graph.base.neighbors(v)) for v in graph.base.nodes()
+    )
+    return (trial.config.params, trial.policy, graph.num_layers, adjacency)
+
+
+def _run_shard(
+    trials: List[BatchTrial], num_pulses: int, vectorize: bool, stack: bool
+) -> List[FastResult]:
+    """Process-executor worker: run one contiguous shard serially.
+
+    Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it under every start method (fork, spawn, forkserver).
+    """
+    runner = BatchRunner(
+        num_pulses=num_pulses, vectorize=vectorize, stack=stack
+    )
+    return runner._run_serial(trials)
+
+
 class BatchRunner:
     """Run many ``(seed, fault_plan, params)`` trials and stack the results.
 
     All trials of one batch must share the grid shape ``(L, W)`` so their
-    matrices stack; the runner validates this upfront.  ``vectorize`` is
-    forwarded to every :class:`FastSimulation` (``False`` forces the
-    scalar reference path, used by the equivalence tests and the
-    throughput benchmark).
+    matrices stack; the runner validates this upfront.
+
+    Parameters
+    ----------
+    num_pulses:
+        Pulses simulated per trial.
+    vectorize:
+        Forwarded to every :class:`FastSimulation`; ``False`` forces the
+        scalar reference path everywhere (used by the equivalence tests
+        and the throughput benchmark) and disables trial stacking.
+    stack:
+        Run compatible trials through the trial-stacked ``(S, W)`` kernel
+        (:class:`~repro.core.fast_batch.TrialStack`); the default.  Trials
+        are grouped by (parameters, policy, geometry) so heterogeneous
+        batches still stack whatever subsets they can; ``False`` keeps the
+        per-trial loop of the vectorized kernel.
+    executor:
+        ``"serial"`` (default) or ``"process"``.  The process executor
+        shards the trial list across worker processes -- worthwhile for
+        fault-heavy sweeps dominated by the scalar fallback.  Trials must
+        be picklable.
+    shards:
+        Number of process shards; defaults to ``os.cpu_count()`` capped at
+        the trial count.  Ignored by the serial executor.
     """
 
-    def __init__(self, num_pulses: int = 4, vectorize: bool = True) -> None:
+    def __init__(
+        self,
+        num_pulses: int = 4,
+        vectorize: bool = True,
+        stack: bool = True,
+        executor: str = "serial",
+        shards: Optional[int] = None,
+    ) -> None:
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; use 'serial' or 'process'"
+            )
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.num_pulses = num_pulses
         self.vectorize = vectorize
+        self.stack = stack
+        self.executor = executor
+        self.shards = shards
 
     def run(self, trials: Sequence[BatchTrial]) -> BatchResult:
         """Execute every trial and return the stacked :class:`BatchResult`."""
@@ -215,11 +310,61 @@ class BatchRunner:
                     f"trial grid shapes differ: {shape} vs {shape0}; "
                     "run mismatched geometries in separate batches"
                 )
-        results = [
-            trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
-            for trial in trials
-        ]
+        if self.executor == "process":
+            results = self._run_process(trials)
+        else:
+            results = self._run_serial(trials)
         return BatchResult(trials, results)
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(self, trials: List[BatchTrial]) -> List[FastResult]:
+        """In-process execution: stacked groups, per-trial fallback."""
+        if not (self.stack and self.vectorize):
+            return [
+                trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
+                for trial in trials
+            ]
+        results: List[Optional[FastResult]] = [None] * len(trials)
+        groups: Dict[Optional[Tuple], List[int]] = {}
+        for i, trial in enumerate(trials):
+            groups.setdefault(_stack_key(trial), []).append(i)
+        for key, indices in groups.items():
+            sims = [trials[i].simulation(vectorize=True) for i in indices]
+            if key is None or stack_compatibility(sims) is not None:
+                for i, sim in zip(indices, sims):
+                    results[i] = sim.run(self.num_pulses)
+                continue
+            for i, result in zip(indices, TrialStack(sims).run(self.num_pulses)):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _run_process(self, trials: List[BatchTrial]) -> List[FastResult]:
+        """Shard the trial list across worker processes, preserving order.
+
+        Per-trial execution is deterministic given the trial spec, so the
+        reassembled result list is independent of the shard count.
+        """
+        shards = self.shards or os.cpu_count() or 1
+        shards = max(1, min(shards, len(trials)))
+        if shards == 1:
+            return self._run_serial(trials)
+        bounds = np.linspace(0, len(trials), shards + 1).astype(int)
+        chunks = [
+            trials[bounds[i]: bounds[i + 1]]
+            for i in range(shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard, chunk, self.num_pulses, self.vectorize, self.stack
+                )
+                for chunk in chunks
+            ]
+            shard_results = [future.result() for future in futures]
+        return [result for shard in shard_results for result in shard]
 
     # ------------------------------------------------------------------
     # Convenience constructors

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -99,8 +99,15 @@ def run_cor15(
     num_pulses: int = 6,
     seed: int = 0,
     envelope_factor: float = 1.5,
+    executor: str = "serial",
+    shards: Optional[int] = None,
 ) -> Cor15Result:
-    """Run with per-pulse delay/rate drift and a mutating fault."""
+    """Run with per-pulse delay/rate drift and a mutating fault.
+
+    ``executor``/``shards`` are forwarded to :class:`BatchRunner` so
+    multi-seed variants of this study shard like the other drivers (the
+    default single-trial run gains nothing from sharding).
+    """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     params = config.params
     graph = config.graph
@@ -128,7 +135,9 @@ def run_cor15(
     )
     changes = sum(plan.count_behavior_changes(k) for k in range(num_pulses))
 
-    batch = BatchRunner(num_pulses=num_pulses).run(
+    batch = BatchRunner(
+        num_pulses=num_pulses, executor=executor, shards=shards
+    ).run(
         [
             BatchTrial(
                 config=config,

@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from repro.analysis.report import format_table
 from repro.analysis.skew import local_skew_per_layer
 from repro.baselines.hex import HexSimulation

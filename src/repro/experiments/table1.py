@@ -15,9 +15,7 @@ Gradient TRIX over a diameter sweep, fits growth exponents (power-law fit
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import Fit, fit_power
@@ -29,6 +27,15 @@ from repro.experiments.common import standard_config
 from repro.params import Parameters
 
 __all__ = ["Table1Row", "Table1Result", "run_table1"]
+
+
+def _rightward_or_straight(edge) -> bool:
+    """Figure 1 worst-case classifier: slow the non-leftward edges.
+
+    Module-level (not a closure) so the adversarial trials stay picklable
+    for ``BatchRunner(executor="process")``.
+    """
+    return edge[1][0] >= edge[0][0]
 
 
 @dataclass(frozen=True)
@@ -105,22 +112,26 @@ def run_table1(
     num_pulses: int = 4,
     params: Parameters | None = None,
     hex_crash: bool = True,
+    executor: str = "serial",
+    shards: Optional[int] = None,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
 
     Skews are maxima over ``seeds`` (worst case over sampled delay/drift
     assignments).  ``hex_crash`` additionally reports HEX with one crashed
-    node, the regime in which its additive-``d`` weakness shows.
+    node, the regime in which its additive-``d`` weakness shows.  The
+    Gradient TRIX batches forward ``executor``/``shards`` to
+    :class:`BatchRunner`; the baseline simulations stay serial.
     """
     def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
         # The Figure 1 worst case: rightward/straight edges at maximum
         # delay, leftward edges at minimum.
-        return AdversarialSplitDelays(
-            p.d, p.u, lambda edge: edge[1][0] >= edge[0][0]
-        )
+        return AdversarialSplitDelays(p.d, p.u, _rightward_or_straight)
 
     rows: List[Table1Row] = []
-    runner = BatchRunner(num_pulses=num_pulses)
+    runner = BatchRunner(
+        num_pulses=num_pulses, executor=executor, shards=shards
+    )
     for diameter in diameters:
         configs = [
             standard_config(diameter, seed=seed, num_pulses=num_pulses)

@@ -79,16 +79,23 @@ def run_thm11(
     diameters: Sequence[int] = (4, 8, 16, 32, 64),
     seeds: Sequence[int] = (0, 1, 2),
     num_pulses: int = 4,
+    executor: str = "serial",
+    shards: Optional[int] = None,
 ) -> Thm11Result:
     """Measure the fault-free local skew sweep.
 
-    Each diameter's seeds run as one :class:`BatchRunner` batch; the
-    per-seed maxima come out of the stacked skew statistics in one array
-    sweep instead of a per-result Python loop.
+    Each diameter's seeds run as one :class:`BatchRunner` batch through
+    the trial-stacked ``(S, W)`` kernel; the per-seed maxima come out of
+    the stacked skew statistics in one array sweep instead of a
+    per-result Python loop.  ``executor``/``shards`` are forwarded to
+    :class:`BatchRunner` (``executor="process"`` shards each batch across
+    worker processes).
     """
     rows: List[Thm11Row] = []
     kappa = standard_config(4).params.kappa
-    runner = BatchRunner(num_pulses=num_pulses)
+    runner = BatchRunner(
+        num_pulses=num_pulses, executor=executor, shards=shards
+    )
     for diameter in diameters:
         batch = runner.run(
             BatchRunner.seed_sweep(diameter, seeds, num_pulses=num_pulses)

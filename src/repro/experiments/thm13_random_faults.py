@@ -15,7 +15,7 @@ behaviours, and reports the skew distribution against the envelope
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -108,12 +108,16 @@ def run_thm13(
     num_pulses: int = 3,
     envelope_factor: float = 1.0,
     seeds: Sequence[int] | None = None,
+    executor: str = "serial",
+    shards: Optional[int] = None,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
 
     All sampled plans (plus the fault-free reference as trial 0) run as a
     single :class:`BatchRunner` batch; the per-trial skew maxima reduce in
-    one sweep over the stacked pulse-time stack.
+    one sweep over the stacked pulse-time stack.  Fault-heavy cells replay
+    the scalar fallback, which is exactly the regime
+    ``executor="process"`` shards across cores.
     """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes
@@ -150,7 +154,9 @@ def run_thm13(
             BatchTrial(config=config, fault_plan=plan, label=f"seed={seed}")
         )
 
-    batch = BatchRunner(num_pulses=num_pulses).run(batch_trials)
+    batch = BatchRunner(
+        num_pulses=num_pulses, executor=executor, shards=shards
+    ).run(batch_trials)
     skews = batch.max_local_skews()
     fault_free_skew = float(skews[0])
     num_faults = batch.num_faults()

@@ -15,8 +15,6 @@ also verifies the periodicity claim directly (consecutive-pulse gaps equal
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
-
 import numpy as np
 
 from repro.analysis.report import format_table

@@ -27,7 +27,6 @@ from repro.core.fast import FastResult
 from repro.core.layer0 import AlternatingLayer0
 from repro.engine.trace import Trace
 from repro.faults import FaultPlan
-from repro.params import Parameters
 from repro.topology import LayeredGraph, replicated_line
 from tests.test_fast_sim import PARAMS, noisy_sim
 
@@ -185,6 +184,36 @@ class TestSkewEmptyAndBatchEntryPoints:
             np.testing.assert_allclose(
                 global_per_layer[i], global_skew_per_layer(result), atol=1e-12
             )
+
+    def test_overall_skew_layers_matches_per_result(self):
+        from repro.analysis.skew import overall_skew, overall_skew_layers
+
+        rng = np.random.default_rng(11)
+        stack = []
+        results = []
+        for _ in range(3):
+            times = rng.normal(size=(3, 4, 6))
+            times[rng.random(times.shape) < 0.1] = np.nan
+            stack.append(times)
+            results.append(synthetic_result(times))
+        stacked = np.stack(stack)
+        graph = results[0].graph
+        overall = overall_skew_layers(stacked, graph)
+        assert overall.shape == (3,)
+        for i, result in enumerate(results):
+            np.testing.assert_allclose(
+                overall[i], overall_skew(result), atol=1e-12
+            )
+
+    def test_overall_skew_layers_single_layer(self):
+        from repro.analysis.skew import overall_skew_layers
+
+        times = np.zeros((2, 3, 1, 6))
+        times[..., 0] = 0.25  # one edge pair differs within the layer
+        graph = synthetic_result(np.zeros((3, 1, 6))).graph
+        overall = overall_skew_layers(times, graph)
+        assert overall.shape == (2,)
+        np.testing.assert_allclose(overall, 0.25)
 
 
 class TestPotentials:

@@ -4,8 +4,6 @@ import math
 
 import numpy as np
 import pytest
-
-from repro.analysis.skew import local_skew_per_layer
 from repro.baselines import ClockTree, HexSimulation, NaiveTrixSimulation
 from repro.core.fast import FastSimulation
 from repro.delays import AdversarialSplitDelays, StaticDelayModel

@@ -4,7 +4,7 @@ import pytest
 
 from repro.clocks import AffineClock
 from repro.delays import UniformDelayModel
-from repro.engine import Message, Process, Simulator, Trace
+from repro.engine import Process, Simulator, Trace
 from repro.engine.network import Network
 
 

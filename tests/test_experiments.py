@@ -6,10 +6,6 @@ wins, what grows, what stays bounded -- so a regression in any subsystem
 surfaces as a failed paper claim.
 """
 
-import math
-
-import pytest
-
 from repro.experiments.ablations import (
     run_discretization_ablation,
     run_median_ablation,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.correction import CorrectionPolicy
-from repro.core.fast import BRANCH_CODES, FastSimulation
+from repro.core.fast import BRANCH_CODES
 from repro.faults import (
     AdversarialEarlyFault,
     AdversarialLateFault,

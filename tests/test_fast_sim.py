@@ -9,8 +9,8 @@ from repro.analysis.skew import max_inter_layer_skew
 from repro.clocks import uniform_random_rates
 from repro.core.correction import CorrectionPolicy
 from repro.core.fast import BRANCH_CODES, FastSimulation
-from repro.core.layer0 import JitteredLayer0, PerfectLayer0
-from repro.delays import StaticDelayModel, UniformDelayModel
+from repro.core.layer0 import JitteredLayer0
+from repro.delays import StaticDelayModel
 from repro.params import Parameters
 from repro.topology import LayeredGraph, cycle_graph, replicated_line
 

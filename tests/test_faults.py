@@ -1,6 +1,4 @@
 """Tests for repro.faults: behaviours, plans, and locality classification."""
-
-import numpy as np
 import pytest
 
 from repro.faults import (

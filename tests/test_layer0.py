@@ -3,14 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.clocks import AffineClock, PiecewiseRateClock, uniform_random_rates
+from repro.clocks import PiecewiseRateClock, uniform_random_rates
 from repro.core.layer0 import (
     AlternatingLayer0,
     ChainLayer0,
     JitteredLayer0,
     PerfectLayer0,
 )
-from repro.delays import StaticDelayModel, UniformDelayModel
+from repro.delays import StaticDelayModel
 from repro.params import Parameters
 from repro.topology import replicated_line
 

@@ -1,7 +1,5 @@
 """Tests for repro.params: kappa, bounds, and feasibility constraints."""
 
-import math
-
 import pytest
 
 from repro.params import Parameters

@@ -6,10 +6,7 @@ causality, the Theorem 1.1 skew bound, Lemma D.2's correction cap, the
 SC/FC/JC conditions, and cross-mode determinism.
 """
 
-import math
-
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.clocks import uniform_random_rates

@@ -3,8 +3,6 @@
 import math
 
 import numpy as np
-import pytest
-
 from repro.analysis.stabilization import measure_stabilization
 from repro.clocks import AffineClock
 from repro.core.algorithm import PULSE, GradientTrixNode

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.analysis.stabilization import measure_stabilization
 from repro.engine.trace import Trace
 from repro.experiments.__main__ import RUNNERS, main
