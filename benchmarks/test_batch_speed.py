@@ -1,17 +1,22 @@
 """Throughput trajectory of the fast simulator's batch kernels.
 
-Two micro-benchmarks track the performance trajectory across PRs:
+Three micro-benchmarks track the performance trajectory across PRs:
 
 * ``test_vectorized_kernel_speedup`` (marked ``slow``): scalar per-node
   replay vs the whole-layer array kernel on the PR-1 acceptance grid
   (fault-free, D = 64, 64 layers), asserting the >= 10x floor.
 * ``test_trial_stacked_speedup``: per-trial vectorized loop vs the
   trial-stacked ``(S, W)`` kernel on a fault-free S = 64, D = 32 batch,
-  asserting the >= 3x floor -- and writing ``BENCH_batch.json`` next to
-  this file with machine-readable throughput for all four execution modes
-  (scalar, per-trial vectorized, trial-stacked, process-sharded) so the
-  perf trajectory is tracked across PRs; CI's bench-smoke job uploads it
-  as an artifact.
+  asserting the >= 3x floor.
+* ``test_simplified_stacked_speedup``: the vectorized + trial-stacked
+  simplified (Algorithm 1) path vs its scalar replay at D = 64,
+  asserting the >= 5x floor and bit-identical times.
+
+The two batch benches record their modes into ``BENCH_batch.json`` next
+to this file (merge-updating their own section, so running a subset keeps
+the other's numbers) with machine-readable throughput, so the perf
+trajectory is tracked across PRs; CI's bench-smoke job uploads it as an
+artifact.  The slow single-simulation bench only prints its table.
 
 Select just these with ``pytest benchmarks/test_batch_speed.py -m bench``;
 ``-m 'bench and not slow'`` is the CI smoke selection.
@@ -45,7 +50,24 @@ BATCH_TRIALS = 64
 #: Scalar replay is ~2 orders slower; measure a subset and report rates.
 SCALAR_TRIALS = 4
 
+#: The simplified-path acceptance cell: Algorithm 1 trials at D = 64.
+SIMPLIFIED_DIAMETER = 64
+SIMPLIFIED_TRIALS = 16
+SIMPLIFIED_SCALAR_TRIALS = 2
+
 BENCH_JSON = Path(__file__).resolve().parent / "BENCH_batch.json"
+
+
+def _merge_bench_json(update):
+    """Merge ``update`` into BENCH_batch.json, keeping other benches' keys."""
+    report = {}
+    if BENCH_JSON.exists():
+        try:
+            report = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(update)
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def acceptance_grid():
@@ -213,7 +235,7 @@ def test_trial_stacked_speedup():
             ),
         },
     }
-    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_bench_json(report)
 
     print()
     print(
@@ -231,6 +253,93 @@ def test_trial_stacked_speedup():
     assert speedup >= 3.0, (
         f"trial-stacked kernel only {speedup:.1f}x faster than the "
         f"per-trial loop ({stacked_time:.4f}s vs {per_trial_time:.4f}s)"
+    )
+
+
+def test_simplified_stacked_speedup():
+    """Vectorized + stacked Algorithm 1 >= 5x over its scalar replay at D=64.
+
+    The simplified path used to be replayed scalar-only; this bench pins
+    the vectorized/trial-stacked kernel's throughput on the ``fig5_jump``/
+    ``ablations``-scale cell and records it under the ``"simplified"``
+    section of ``BENCH_batch.json``.
+    """
+    trials = BatchRunner.seed_sweep(
+        SIMPLIFIED_DIAMETER, range(SIMPLIFIED_TRIALS), num_pulses=NUM_PULSES
+    )
+    for trial in trials:
+        trial.algorithm = "simplified"
+    graph = trials[0].config.graph
+    node_pulses = graph.num_nodes * NUM_PULSES
+
+    stacked_runner = BatchRunner(num_pulses=NUM_PULSES)
+    scalar_runner = BatchRunner(num_pulses=NUM_PULSES, vectorize=False)
+
+    stacked_runner.run(trials)  # warm the delay/rate caches
+    stacked_time, stacked_batch = timed(lambda: stacked_runner.run(trials))
+    scalar_time, scalar_batch = timed(
+        lambda: scalar_runner.run(trials[:SIMPLIFIED_SCALAR_TRIALS]), repeats=1
+    )
+
+    # Acceptance: the stacked kernel is bit-identical to the scalar replay.
+    np.testing.assert_array_equal(
+        stacked_batch.times[:SIMPLIFIED_SCALAR_TRIALS], scalar_batch.times
+    )
+
+    speedup = (scalar_time / SIMPLIFIED_SCALAR_TRIALS) / (
+        stacked_time / SIMPLIFIED_TRIALS
+    )
+    _merge_bench_json(
+        {
+            "simplified": {
+                "grid": {
+                    "diameter": SIMPLIFIED_DIAMETER,
+                    "num_layers": graph.num_layers,
+                    "width": graph.width,
+                    "num_pulses": NUM_PULSES,
+                    "trials": SIMPLIFIED_TRIALS,
+                    "faults": 0,
+                    "algorithm": "simplified",
+                },
+                "modes": {
+                    "scalar": _mode_record(
+                        SIMPLIFIED_SCALAR_TRIALS, scalar_time, node_pulses
+                    ),
+                    "trial_stacked": _mode_record(
+                        SIMPLIFIED_TRIALS, stacked_time, node_pulses
+                    ),
+                },
+                "speedups": {"stacked_vs_scalar": speedup},
+            }
+        }
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                (
+                    "scalar",
+                    SIMPLIFIED_SCALAR_TRIALS,
+                    scalar_time,
+                    SIMPLIFIED_SCALAR_TRIALS * node_pulses / scalar_time,
+                ),
+                (
+                    "trial_stacked",
+                    SIMPLIFIED_TRIALS,
+                    stacked_time,
+                    SIMPLIFIED_TRIALS * node_pulses / stacked_time,
+                ),
+            ],
+            title=f"Simplified (Alg. 1) kernel, S={SIMPLIFIED_TRIALS}, "
+            f"D={SIMPLIFIED_DIAMETER}, {NUM_PULSES} pulses "
+            f"(stacked {speedup:.1f}x vs scalar)",
+        )
+    )
+    assert speedup >= 5.0, (
+        f"stacked simplified kernel only {speedup:.1f}x faster than the "
+        f"scalar replay ({stacked_time:.4f}s vs {scalar_time:.4f}s)"
     )
 
 

@@ -91,10 +91,9 @@ def _masked_max(values: np.ndarray, axis: AxisSpec, empty: float) -> np.ndarray:
 
 
 def _edge_arrays(graph: LayeredGraph) -> Tuple[np.ndarray, np.ndarray]:
-    edges = graph.base.edges
-    left = np.array([e[0] for e in edges], dtype=np.int64)
-    right = np.array([e[1] for e in edges], dtype=np.int64)
-    return left, right
+    # Cached on the base graph: the skew reducers run once per batch of
+    # trials, so regathering the edge tuples per call was pure overhead.
+    return graph.base.edge_index_arrays()
 
 
 # ----------------------------------------------------------------------

@@ -39,23 +39,31 @@ Vectorized/scalar split
 ``FastSimulation`` advances one pulse of one layer for **all** ``W`` base
 vertices at once with NumPy array operations (reception times, do-until
 exit, correction, pulse time), which is what makes large parameter sweeps
-tractable.  The array kernel covers exactly the executions in which the
-do-until loop exits at the *final* arrival with every register filled --
-the fault-free/normal-branch path.  A node is handled by the scalar
-per-node replay (:meth:`FastSimulation._run_node`) instead when
+tractable.  The arithmetic lives in the shape-generic
+:func:`_layer_step_kernel`, shared with the trial-stacked ``(S, W)``
+kernel of :mod:`repro.core.fast_batch`; both algorithms run through it:
 
-* any of its predecessors is faulty (reception times then come from
-  ``fault_sends``),
-* a predecessor never pulsed (missing-message regime), or
-* the loop would exit *early* -- the own-copy timeout (via-``H_max``
-  branch, ``H_own > H_max + k/2 + vt*k``) or the last-neighbor timeout
+* Under the **full** Algorithm 3 semantics the kernel covers exactly the
+  executions in which the do-until loop exits at the *final* arrival with
+  every register filled -- the fault-free/normal-branch path.  A node is
+  handled by the scalar per-node replay
+  (:meth:`FastSimulation._run_node`) instead when any of its predecessors
+  is faulty (reception times then come from ``fault_sends``), a
+  predecessor never pulsed (missing-message regime), or the loop would
+  exit *early* -- the own-copy timeout (via-``H_max`` branch,
+  ``H_own > H_max + k/2 + vt*k``) or the last-neighbor timeout
   (``H_max > 2*H_own - H_min + 2k``) fires before the last arrival.
+* Under the **simplified** Algorithm 1 semantics there is no do-until
+  exit to predict -- the node waits for its own, first, and last neighbor
+  arrival unconditionally, so those arrivals are a fixed gather and the
+  fault-free case is a pure array op.  Only fault-adjacent and
+  missing-message cells (where Algorithm 1 deadlocks) fall back to the
+  scalar :meth:`FastSimulation._run_node_simplified` replay.
 
-The eligibility test is exact (ties fall back conservatively), so the
+The eligibility tests are exact (ties fall back conservatively), so the
 vectorized and scalar paths produce bit-identical results; the test suite
 cross-validates them over random rates, delays, and fault plans.  Pass
-``vectorize=False`` to force the scalar path everywhere (the ``simplified``
-algorithm always runs scalar).
+``vectorize=False`` to force the scalar path everywhere.
 
 For multi-trial sweeps, :mod:`repro.core.fast_batch` widens this kernel by
 a leading trial axis, advancing ``S`` structurally identical simulations
@@ -92,6 +100,117 @@ BRANCH_CODES = {
 }
 
 RateProvider = Union[None, Dict[NodeId, float], Callable[[NodeId, int], float]]
+
+
+def _layer_step_kernel(
+    prev: np.ndarray,
+    own_delay: np.ndarray,
+    nb_delay: np.ndarray,
+    rate: np.ndarray,
+    nb_idx: np.ndarray,
+    nb_valid: np.ndarray,
+    static_eligible: np.ndarray,
+    params: Parameters,
+    policy: CorrectionPolicy,
+    simplified: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One pulse of one layer for every cell of a ``(..., W)`` plane.
+
+    The shape-generic arithmetic behind both the per-trial ``(W,)`` sweep
+    (:meth:`FastSimulation._run_layer_vectorized`) and the trial-stacked
+    ``(S, W)`` kernel (:class:`repro.core.fast_batch.TrialStack`): every
+    operation broadcasts over the leading axes, so both callers evaluate
+    *the same* NumPy expressions elementwise and eligible cells produce
+    bit-identical floats.  Formulae mirror the scalar replay
+    operation-for-operation.
+
+    ``prev`` holds the previous layer's send times (NaN = missing);
+    ``static_eligible`` is the precomputed fault-structure part of the
+    eligibility mask for this layer.  Returns ``(eligible, correction,
+    branches, pulse_time, effective_correction)``; only entries where
+    ``eligible`` is True are meaningful -- the rest are replayed by the
+    caller through the exact scalar fallback.
+
+    Eligibility: all predecessors correct (static part) and received (a
+    missing reception turns the summed registers NaN or infinite), and --
+    under the full Algorithm 3 semantics -- the loop provably exits at the
+    last arrival: no own-copy timeout, no last-neighbor timeout;
+    non-strict bounds are exit-free ties.  The two comparisons mirror the
+    scalar ``_exit_requirement`` thresholds operation-for-operation.
+    Algorithm 1 (``simplified=True``) has no timeouts -- the node waits
+    for every arrival unconditionally -- so the two comparisons drop out
+    and every received cell is eligible.
+    """
+    kappa = params.kappa
+    vartheta = params.vartheta
+
+    own_arrival = prev + own_delay
+    nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
+    h_own = rate * own_arrival
+    h_nb = rate[..., None] * nb_arrival
+    h_min = np.where(nb_valid, h_nb, np.inf).min(axis=-1)
+    h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=-1)
+
+    with np.errstate(invalid="ignore"):
+        eligible = static_eligible & np.isfinite(h_own + h_min + h_max)
+        if not simplified:
+            eligible = (
+                eligible
+                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
+                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
+            )
+
+        a = h_own - h_max
+        b = h_own - h_min
+        if policy.discretize:
+            if kappa == 0.0:
+                delta = b
+            else:
+                # s_star >= 0 on every eligible lane (h_max >= h_min),
+                # so the scalar path's max(0, .) clamps are no-ops.
+                s_star = (h_max - h_min) / (8.0 * kappa)
+                s_floor = np.floor(s_star)
+                s_ceil = np.ceil(s_star)
+                delta = (
+                    np.minimum(
+                        np.maximum(
+                            a + 4.0 * s_floor * kappa,
+                            b - 4.0 * s_floor * kappa,
+                        ),
+                        np.maximum(
+                            a + 4.0 * s_ceil * kappa,
+                            b - 4.0 * s_ceil * kappa,
+                        ),
+                    )
+                    - kappa / 2.0
+                )
+        else:
+            delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
+
+        upper = vartheta * kappa
+        damp = policy.jump_slack * kappa
+        low = delta < 0.0
+        high = delta > upper
+        if policy.stick_to_median:
+            corr_low = np.minimum(h_own - h_min + kappa / 2.0 + damp, 0.0)
+            corr_high = np.maximum(h_own - h_max - kappa / 2.0 - damp, upper)
+        else:
+            corr_low = np.zeros_like(delta)
+            corr_high = np.full_like(delta, upper)
+        correction = np.where(low, corr_low, np.where(high, corr_high, delta))
+        branches = np.where(
+            low,
+            BRANCH_CODES["low"],
+            np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
+        ).astype(np.int8)
+
+        exit_tau = np.maximum(h_own, h_max)
+        target = h_own + params.Lambda - params.d - correction
+        pulse_local = np.maximum(target, exit_tau)
+        pulse_time = pulse_local / rate
+        effective = h_own + params.Lambda - params.d - rate * pulse_time
+
+    return eligible, correction, branches, pulse_time, effective
 
 
 @dataclass
@@ -253,6 +372,10 @@ class FastSimulation:
         # FastSimulation per trial per run pays the per-edge Python gather
         # only once per model.
         self._rate_cache: Dict[object, np.ndarray] = {}
+        # (num_pulses, W) layer-0 schedule, gathered once per run in
+        # :meth:`_begin_run`; consumed row by row in :meth:`_run_layer0`.
+        self._layer0_times: Optional[np.ndarray] = None
+        self._layer0_has_fault = False
 
     # ------------------------------------------------------------------
     # Clock rates
@@ -271,14 +394,9 @@ class FastSimulation:
     def run(self, num_pulses: int) -> FastResult:
         """Simulate ``num_pulses`` pulses through all layers."""
         result = self._begin_run(num_pulses)
-        # The simplified algorithm (Algorithm 1) is replayed scalar-only;
-        # the sweep structures depend on the fault plan, so they are built
+        # The sweep structures depend on the fault plan, so they are built
         # per run (tests mutate ``fault_plan`` between construction and run).
-        sweep = (
-            _VectorSweep(self)
-            if self.vectorize and self.algorithm == "full"
-            else None
-        )
+        sweep = _VectorSweep(self) if self.vectorize else None
         for k in range(num_pulses):
             self._run_layer0(result, k)
             for layer in range(1, self.graph.num_layers):
@@ -294,19 +412,33 @@ class FastSimulation:
         Shared by :meth:`run` and the trial-stacked runner
         (:class:`repro.core.fast_batch.TrialStack`), which drives many
         simulations through the same pulse/layer recurrence in lock-step.
+        Also gathers the whole ``(num_pulses, W)`` layer-0 schedule once
+        (:meth:`Layer0Schedule.pulse_times_array`), replacing the old
+        per-node/per-pulse ``pulse_time`` loop on every path -- including
+        the scalar one, where the array rows hold bit-identical values.
         """
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
         result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
         self._rate_cache = {}
+        self._layer0_times = self.layer0.pulse_times_array(
+            self.graph.base, num_pulses
+        )
+        self._layer0_has_fault = any(
+            layer == 0 for _, layer in self.fault_plan
+        )
         return result
 
     def _run_layer0(self, result: FastResult, k: int) -> None:
+        row = self._layer0_times[k]
+        result.protocol_times[k, 0, :] = row
+        result.branches[k, 0, :] = BRANCH_CODES["layer0"]
+        if not self._layer0_has_fault:
+            result.times[k, 0, :] = row
+            return
         for v in self.graph.base.nodes():
             node = (v, 0)
-            t = self.layer0.pulse_time(v, k)
-            result.protocol_times[k, 0, v] = t
-            result.branches[k, 0, v] = BRANCH_CODES["layer0"]
+            t = float(row[v])
             if self.fault_plan.is_faulty(node):
                 self._record_fault_sends(result, node, k, t)
             else:
@@ -348,92 +480,31 @@ class FastSimulation:
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``W`` nodes at once.
 
-        Covers the executions whose do-until loop exits at the final
-        arrival with all registers filled; every other node falls back to
-        :meth:`_run_node_and_record`.  Formulae mirror the scalar path
-        operation-for-operation so both produce bit-identical floats.
+        Covers the executions whose loop (the do-until replay under the
+        full semantics, the wait-for-everything gather under Algorithm 1)
+        completes with all registers filled; every other node falls back
+        to :meth:`_run_node_and_record`.  The arithmetic lives in the
+        shape-generic :func:`_layer_step_kernel`, which mirrors the scalar
+        path operation-for-operation so both produce bit-identical floats.
         """
-        params = self.params
-        kappa = params.kappa
-        vartheta = params.vartheta
-        policy = self.policy
-
         prev = result.times[k, layer - 1, :]  # (W,) send times, NaN = missing
         own_delay, nb_delay = sweep.delay_arrays(layer, k)
         rate = sweep.rate_array(layer, k)
 
-        own_arrival = prev + own_delay
-        nb_arrival = prev[sweep.nb_idx] + nb_delay  # (W, max_deg)
-        h_own = rate * own_arrival
-        h_nb = rate[:, None] * nb_arrival
-        h_min = np.where(sweep.nb_valid, h_nb, np.inf).min(axis=1)
-        h_max = np.where(sweep.nb_valid, h_nb, -np.inf).max(axis=1)
-
-        # Eligibility: all predecessors correct (static part, precomputed)
-        # and received (a missing reception turns the summed registers NaN
-        # or infinite), and the loop provably exits at the last arrival --
-        # no own-copy timeout, no last-neighbor timeout; non-strict bounds
-        # are exit-free ties.  The two comparisons mirror the scalar
-        # ``_exit_requirement`` thresholds operation-for-operation.
-        with np.errstate(invalid="ignore"):
-            eligible = (
-                sweep.static_eligible[layer - 1]
-                & np.isfinite(h_own + h_min + h_max)
-                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
-                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
+        eligible, correction, branches, pulse_time, effective = (
+            _layer_step_kernel(
+                prev,
+                own_delay,
+                nb_delay,
+                rate,
+                sweep.nb_idx,
+                sweep.nb_valid,
+                sweep.static_eligible[layer - 1],
+                self.params,
+                self.policy,
+                self.algorithm == "simplified",
             )
-
-            a = h_own - h_max
-            b = h_own - h_min
-            if policy.discretize:
-                if kappa == 0.0:
-                    delta = b
-                else:
-                    # s_star >= 0 on every eligible lane (h_max >= h_min),
-                    # so the scalar path's max(0, .) clamps are no-ops.
-                    s_star = (h_max - h_min) / (8.0 * kappa)
-                    s_floor = np.floor(s_star)
-                    s_ceil = np.ceil(s_star)
-                    delta = (
-                        np.minimum(
-                            np.maximum(
-                                a + 4.0 * s_floor * kappa,
-                                b - 4.0 * s_floor * kappa,
-                            ),
-                            np.maximum(
-                                a + 4.0 * s_ceil * kappa,
-                                b - 4.0 * s_ceil * kappa,
-                            ),
-                        )
-                        - kappa / 2.0
-                    )
-            else:
-                delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
-
-            upper = vartheta * kappa
-            damp = policy.jump_slack * kappa
-            low = delta < 0.0
-            high = delta > upper
-            if policy.stick_to_median:
-                corr_low = np.minimum(h_own - h_min + kappa / 2.0 + damp, 0.0)
-                corr_high = np.maximum(
-                    h_own - h_max - kappa / 2.0 - damp, upper
-                )
-            else:
-                corr_low = np.zeros_like(delta)
-                corr_high = np.full_like(delta, upper)
-            correction = np.where(low, corr_low, np.where(high, corr_high, delta))
-            branches = np.where(
-                low,
-                BRANCH_CODES["low"],
-                np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
-            ).astype(np.int8)
-
-            exit_tau = np.maximum(h_own, h_max)
-            target = h_own + params.Lambda - params.d - correction
-            pulse_local = np.maximum(target, exit_tau)
-            pulse_time = pulse_local / rate
-            effective = h_own + params.Lambda - params.d - rate * pulse_time
+        )
 
         layer_faulty = sweep.layer_has_fault[layer]
         if not layer_faulty and eligible.all():

@@ -16,8 +16,10 @@ Stacking requirements (checked by :func:`stack_compatibility`)
 --------------------------------------------------------------
 All stacked simulations must share
 
-* the full Algorithm 3 semantics (``algorithm == "full"``) with the
-  vectorized kernel enabled,
+* the algorithm semantics -- either all ``"full"`` (Algorithm 3) or all
+  ``"simplified"`` (Algorithm 1) -- with the vectorized kernel enabled
+  (the two algorithms differ only in the eligibility mask of the shared
+  :func:`~repro.core.fast._layer_step_kernel`, so both stack),
 * the timing :class:`~repro.params.Parameters` (``kappa``/``vartheta``
   enter the eligibility thresholds and the correction grid),
 * the :class:`~repro.core.correction.CorrectionPolicy`, and
@@ -31,14 +33,15 @@ plans -- may differ per trial; those inputs become the leading-axis
 Exactness
 ---------
 The stacked kernel evaluates *the same* NumPy expressions as
-:meth:`FastSimulation._run_layer_vectorized`, elementwise over an extra
-leading axis, so eligible cells produce bit-identical floats.  The exact
-per-trial eligibility test of the per-trial kernel is applied cell by cell:
-fault-adjacent, via-``H_max``, and missing-message cells drop out of the
-array path and are replayed through the scalar
+:meth:`FastSimulation._run_layer_vectorized` -- both call the
+shape-generic :func:`~repro.core.fast._layer_step_kernel`, here with an
+extra leading axis -- so eligible cells produce bit-identical floats.
+The exact per-trial eligibility test of the per-trial kernel is applied
+cell by cell: fault-adjacent, via-``H_max``, and missing-message cells
+drop out of the array path and are replayed through the scalar
 :meth:`FastSimulation._run_node_and_record` of their own simulation, same
 as in a per-trial run.  The test suite asserts equality against both the
-per-trial vectorized and the scalar reference paths.
+per-trial vectorized and the scalar reference paths, for both algorithms.
 """
 
 from __future__ import annotations
@@ -47,14 +50,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.fast import BRANCH_CODES, FastResult, FastSimulation, _VectorSweep
+from repro.core.fast import (
+    BRANCH_CODES,
+    FastResult,
+    FastSimulation,
+    _VectorSweep,
+    _layer_step_kernel,
+)
 
 __all__ = ["TrialStack", "stack_compatibility"]
 
 
 def _adjacency_signature(sim: FastSimulation) -> Tuple[Tuple[int, ...], ...]:
-    base = sim.graph.base
-    return tuple(tuple(base.neighbors(v)) for v in base.nodes())
+    return sim.graph.base.adjacency
 
 
 def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
@@ -66,14 +74,15 @@ def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
     if not sims:
         return "need at least one simulation"
     first = sims[0]
-    if first.algorithm != "full":
-        return f"algorithm {first.algorithm!r} runs scalar-only"
     if not first.vectorize:
         return "vectorize=False forces the per-trial scalar path"
     signature = _adjacency_signature(first)
     for i, sim in enumerate(sims[1:], start=1):
-        if sim.algorithm != "full":
-            return f"trial {i}: algorithm {sim.algorithm!r} runs scalar-only"
+        if sim.algorithm != first.algorithm:
+            return (
+                f"trial {i}: algorithm {sim.algorithm!r} differs from "
+                f"trial 0's {first.algorithm!r}"
+            )
         if not sim.vectorize:
             return f"trial {i}: vectorize=False forces the per-trial path"
         if sim.params != first.params:
@@ -240,85 +249,27 @@ class TrialStack:
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``S x W`` cells at once.
 
-        Mirrors :meth:`FastSimulation._run_layer_vectorized` expression for
-        expression with a leading trial axis; see the module docstring for
-        the exactness argument.
+        Mirrors :meth:`FastSimulation._run_layer_vectorized` with a leading
+        trial axis -- both delegate to the shape-generic
+        :func:`~repro.core.fast._layer_step_kernel`; see the module
+        docstring for the exactness argument.
         """
         sims = self.sims
-        params = sims[0].params
-        kappa = params.kappa
-        vartheta = params.vartheta
-        policy = sims[0].policy
-        nb_idx = sweeps[0].nb_idx
-        nb_valid = sweeps[0].nb_valid
-
         prev = times[:, k, layer - 1, :]  # (S, W) send times, NaN = missing
         own_delay, nb_delay = delays
 
-        own_arrival = prev + own_delay
-        nb_arrival = prev[:, nb_idx] + nb_delay  # (S, W, max_deg)
-        h_own = rate * own_arrival
-        h_nb = rate[:, :, None] * nb_arrival
-        h_min = np.where(nb_valid, h_nb, np.inf).min(axis=2)
-        h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=2)
-
-        with np.errstate(invalid="ignore"):
-            eligible = (
-                static_eligible[:, layer - 1, :]
-                & np.isfinite(h_own + h_min + h_max)
-                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
-                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
-            )
-
-            a = h_own - h_max
-            b = h_own - h_min
-            if policy.discretize:
-                if kappa == 0.0:
-                    delta = b
-                else:
-                    s_star = (h_max - h_min) / (8.0 * kappa)
-                    s_floor = np.floor(s_star)
-                    s_ceil = np.ceil(s_star)
-                    delta = (
-                        np.minimum(
-                            np.maximum(
-                                a + 4.0 * s_floor * kappa,
-                                b - 4.0 * s_floor * kappa,
-                            ),
-                            np.maximum(
-                                a + 4.0 * s_ceil * kappa,
-                                b - 4.0 * s_ceil * kappa,
-                            ),
-                        )
-                        - kappa / 2.0
-                    )
-            else:
-                delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
-
-            upper = vartheta * kappa
-            damp = policy.jump_slack * kappa
-            low = delta < 0.0
-            high = delta > upper
-            if policy.stick_to_median:
-                corr_low = np.minimum(h_own - h_min + kappa / 2.0 + damp, 0.0)
-                corr_high = np.maximum(
-                    h_own - h_max - kappa / 2.0 - damp, upper
-                )
-            else:
-                corr_low = np.zeros_like(delta)
-                corr_high = np.full_like(delta, upper)
-            correction = np.where(low, corr_low, np.where(high, corr_high, delta))
-            branches = np.where(
-                low,
-                BRANCH_CODES["low"],
-                np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
-            ).astype(np.int8)
-
-            exit_tau = np.maximum(h_own, h_max)
-            target = h_own + params.Lambda - params.d - correction
-            pulse_local = np.maximum(target, exit_tau)
-            pulse_time = pulse_local / rate
-            eff = h_own + params.Lambda - params.d - rate * pulse_time
+        eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
+            prev,
+            own_delay,
+            nb_delay,
+            rate,
+            sweeps[0].nb_idx,
+            sweeps[0].nb_valid,
+            static_eligible[:, layer - 1, :],
+            sims[0].params,
+            sims[0].policy,
+            sims[0].algorithm == "simplified",
+        )
 
         if not layer_faulty and eligible.all():
             # Common case (no trial has a fault on this layer, every cell on

@@ -46,18 +46,41 @@ class Layer0Schedule(ABC):
     def pulse_time(self, base_vertex: int, pulse: int) -> float:
         """Real time of grid pulse ``pulse`` at ``(base_vertex, 0)``."""
 
+    def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
+        """All pulse times as a ``(pulses, W)`` array; ``W = |V(H)|``.
+
+        The array entry point the fast-simulator kernels consume: one
+        gather per run instead of a per-node/per-pulse ``pulse_time``
+        loop.  Entries are bit-identical to :meth:`pulse_time` -- the
+        vectorized overrides replicate its arithmetic association
+        elementwise, and this generic fallback simply loops it -- so the
+        scalar and vectorized simulator paths see the same floats.
+        """
+        if pulses < 0:
+            raise ValueError(f"pulses must be >= 0, got {pulses}")
+        times = np.empty((pulses, base.num_nodes))
+        for k in range(pulses):
+            for v in base.nodes():
+                times[k, v] = self.pulse_time(v, k)
+        return times
+
     def layer_times(self, base: BaseGraph, pulse: int) -> List[float]:
         """Pulse times across the whole layer."""
         return [self.pulse_time(v, pulse) for v in base.nodes()]
 
     def local_skew(self, base: BaseGraph, pulses: int) -> float:
-        """Measured ``L_0``: max adjacent same-pulse offset over ``pulses``."""
-        worst = 0.0
-        for k in range(pulses):
-            for v, w in base.edges:
-                offset = abs(self.pulse_time(v, k) - self.pulse_time(w, k))
-                worst = max(worst, offset)
-        return worst
+        """Measured ``L_0``: max adjacent same-pulse offset over ``pulses``.
+
+        One array sweep over :meth:`pulse_times_array` (the old
+        O(pulses x edges) Python double loop regressed badly on wide
+        layer-0 audits); equivalent to ``max(|t_v - t_w|)`` over every
+        pulse and base edge, ``0.0`` when there is nothing to compare.
+        """
+        if pulses <= 0 or not base.edges:
+            return 0.0
+        times = self.pulse_times_array(base, pulses)  # (P, W)
+        left, right = base.edge_index_arrays()
+        return float(np.abs(times[:, left] - times[:, right]).max(initial=0.0))
 
 
 class PerfectLayer0(Layer0Schedule):
@@ -72,6 +95,12 @@ class PerfectLayer0(Layer0Schedule):
         if pulse < 0:
             raise ValueError(f"pulse must be >= 0, got {pulse}")
         return pulse * self.Lambda
+
+    def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
+        if pulses < 0:
+            raise ValueError(f"pulses must be >= 0, got {pulses}")
+        column = np.arange(pulses, dtype=float) * self.Lambda
+        return np.tile(column[:, None], (1, base.num_nodes))
 
 
 class JitteredLayer0(Layer0Schedule):
@@ -109,6 +138,14 @@ class JitteredLayer0(Layer0Schedule):
             + float(self._jitter[base_vertex])
         )
 
+    def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
+        if pulses < 0:
+            raise ValueError(f"pulses must be >= 0, got {pulses}")
+        # Same association as the scalar path: (k * Lambda + offset) + jitter.
+        column = np.arange(pulses, dtype=float) * self.Lambda + self._base_offset
+        jitter = self._jitter[np.asarray(base.nodes(), dtype=np.int64)]
+        return column[:, None] + jitter[None, :]
+
 
 class AlternatingLayer0(Layer0Schedule):
     """Zigzag input: pulse ``k`` at ``k * Lambda + (-1)**v * amplitude``.
@@ -131,6 +168,15 @@ class AlternatingLayer0(Layer0Schedule):
             raise ValueError(f"pulse must be >= 0, got {pulse}")
         sign = 1.0 if base_vertex % 2 == 0 else -1.0
         return pulse * self.Lambda + self.amplitude + sign * self.amplitude
+
+    def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
+        if pulses < 0:
+            raise ValueError(f"pulses must be >= 0, got {pulses}")
+        # Same association as the scalar path:
+        # (k * Lambda + amplitude) + sign * amplitude.
+        column = np.arange(pulses, dtype=float) * self.Lambda + self.amplitude
+        signs = np.where(np.arange(base.num_nodes) % 2 == 0, 1.0, -1.0)
+        return column[:, None] + (signs * self.amplitude)[None, :]
 
 
 class ChainLayer0(Layer0Schedule):
@@ -187,6 +233,48 @@ class ChainLayer0(Layer0Schedule):
             )
         return low
 
+    def _extend_position(self, pos: int, chain_pulse: int) -> None:
+        """Extend one position's cached times through ``chain_pulse``.
+
+        Requires position ``pos - 1`` to already be filled at least that
+        deep (callers sweep front to back).
+        """
+        times = self._chain_times[pos]
+        if len(times) > chain_pulse:
+            return
+        vertex = self.chain_order[pos]
+        # Wait Lambda - d of *local* time after reception (Algorithm 2).
+        wait = (self.params.Lambda - self.params.d) / self._rate(vertex)
+        if pos == 0:
+            while len(times) <= chain_pulse:
+                j = len(times)
+                received = j * self.source_period + self.delay_model.delay(
+                    (("source", -1), (vertex, 0)), j
+                )
+                times.append(received + wait)
+        else:
+            prev_times = self._chain_times[pos - 1]
+            prev_vertex = self.chain_order[pos - 1]
+            while len(times) <= chain_pulse:
+                j = len(times)
+                received = prev_times[j] + self.delay_model.delay(
+                    ((prev_vertex, 0), (vertex, 0)), j
+                )
+                times.append(received + wait)
+
+    def _fill_chain(self, position: int, chain_pulse: int) -> None:
+        """Fill the cached chain times front-to-back up to ``chain_pulse``.
+
+        Iterative on purpose: the old implementation recursed through
+        ``position - 1``, so one cold query at the far end of a long chain
+        (P >~ 1000 -- production-scale grids) blew the interpreter's
+        recursion limit.  Each position only needs its predecessor's
+        already-extended list, so a front-to-back sweep computes the exact
+        same floats without growing the Python stack.
+        """
+        for pos in range(position + 1):
+            self._extend_position(pos, chain_pulse)
+
     def chain_pulse_time(self, position: int, chain_pulse: int) -> float:
         """Time of *chain* pulse ``chain_pulse`` (0-based) at chain position.
 
@@ -197,24 +285,8 @@ class ChainLayer0(Layer0Schedule):
             raise ValueError(f"position {position} out of range")
         if chain_pulse < 0:
             raise ValueError(f"chain_pulse must be >= 0, got {chain_pulse}")
-        times = self._chain_times[position]
-        while len(times) <= chain_pulse:
-            j = len(times)
-            vertex = self.chain_order[position]
-            if position == 0:
-                received = j * self.source_period + self.delay_model.delay(
-                    (("source", -1), (vertex, 0)), j
-                )
-            else:
-                prev_vertex = self.chain_order[position - 1]
-                prev_time = self.chain_pulse_time(position - 1, j)
-                received = prev_time + self.delay_model.delay(
-                    ((prev_vertex, 0), (vertex, 0)), j
-                )
-            # Wait Lambda - d of *local* time after reception (Algorithm 2).
-            wait = (self.params.Lambda - self.params.d) / self._rate(vertex)
-            times.append(received + wait)
-        return times[chain_pulse]
+        self._fill_chain(position, chain_pulse)
+        return self._chain_times[position][chain_pulse]
 
     def pulse_time(self, base_vertex: int, pulse: int) -> float:
         """Grid pulse ``pulse``: chain pulse ``pulse + P - 1 - position``.
@@ -229,6 +301,41 @@ class ChainLayer0(Layer0Schedule):
             raise ValueError(f"pulse must be >= 0, got {pulse}")
         chain_pulse = pulse + (len(self.chain_order) - 1 - position)
         return self.chain_pulse_time(position, chain_pulse)
+
+    def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
+        """Grid pulse times ``(pulses, W)`` from one cached iterative fill.
+
+        Extends the cached chain times once with a *triangular*
+        front-to-back fill -- position ``pos`` only needs chain pulses
+        through ``pulses - 1 + (P - 1 - pos)``, and the required depth
+        shrinks by one per hop, so each position is exactly deep enough
+        for its successor -- then slices out the pipelined re-indexing
+        ``chain_pulse = k + P - 1 - position`` row by row (O(P * pulses)
+        total, no rectangular ``(P, P + pulses)`` intermediate).  Entries
+        are bit-identical to per-node :meth:`pulse_time` queries.
+        """
+        if pulses < 0:
+            raise ValueError(f"pulses must be >= 0, got {pulses}")
+        positions = []
+        for v in base.nodes():
+            position = self._position.get(v)
+            if position is None:
+                raise ValueError(f"vertex {v} not on the chain")
+            positions.append(position)
+        if pulses == 0:
+            return np.empty((0, base.num_nodes))
+        length = len(self.chain_order)
+        for pos in range(length):
+            self._extend_position(pos, pulses - 1 + (length - 1 - pos))
+        rows = np.array(
+            [
+                self._chain_times[pos][
+                    length - 1 - pos: length - 1 - pos + pulses
+                ]
+                for pos in positions
+            ]
+        )  # (W, pulses)
+        return np.ascontiguousarray(rows.T)
 
     def lemma_a1_envelope(self, position: int, chain_pulse: int) -> tuple:
         """Lemma A.1's envelope for chain pulse times.

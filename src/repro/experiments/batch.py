@@ -7,9 +7,11 @@ module sweeps many trials in one call instead:
 * compatible trials advance through the pulse/layer recurrence *together*
   via the trial-stacked ``(S, W)`` kernel of
   :class:`~repro.core.fast_batch.TrialStack` -- one array op per layer
-  step for the whole batch instead of one per trial,
-* trials the stack cannot take (``simplified`` algorithm, mismatched
-  parameters/policies/geometries) fall back to the per-trial vectorized
+  step for the whole batch instead of one per trial; both the full
+  Algorithm 3 and the ``simplified`` Algorithm 1 semantics stack (each in
+  its own group),
+* trials the stack cannot take (mismatched parameters/policies/
+  geometries, ``vectorize=False``) fall back to the per-trial vectorized
   kernel of :class:`~repro.core.fast.FastSimulation`, and
 * the per-trial results are stacked along a leading *trial axis* --
   ``times`` of shape ``(S, K, L, W)`` -- so skew and correction statistics
@@ -215,20 +217,25 @@ class BatchResult:
         return np.array([t.num_faults for t in self.trials], dtype=np.int64)
 
 
-def _stack_key(trial: BatchTrial) -> Optional[Tuple]:
+def _stack_key(trial: BatchTrial) -> Tuple:
     """Hashable grouping key for trials that can share a :class:`TrialStack`.
 
-    None marks trials the stack cannot take at all (the ``simplified``
-    algorithm); everything else groups by the structural requirements of
-    :func:`repro.core.fast_batch.stack_compatibility`.
+    Groups by the structural requirements of
+    :func:`repro.core.fast_batch.stack_compatibility`: algorithm (both
+    ``"full"`` and ``"simplified"`` stack, but not together), parameters,
+    policy, and grid structure.  The adjacency component is the tuple the
+    base graph caches at construction (``BaseGraph.adjacency``), not a
+    per-trial re-gather -- building it per trial was O(S * W * deg) of
+    redundant Python per batch.
     """
-    if trial.algorithm != "full":
-        return None
     graph = trial.config.graph
-    adjacency = tuple(
-        tuple(graph.base.neighbors(v)) for v in graph.base.nodes()
+    return (
+        trial.algorithm,
+        trial.config.params,
+        trial.policy,
+        graph.num_layers,
+        graph.base.adjacency,
     )
-    return (trial.config.params, trial.policy, graph.num_layers, adjacency)
 
 
 def _run_shard(
@@ -327,12 +334,12 @@ class BatchRunner:
                 for trial in trials
             ]
         results: List[Optional[FastResult]] = [None] * len(trials)
-        groups: Dict[Optional[Tuple], List[int]] = {}
+        groups: Dict[Tuple, List[int]] = {}
         for i, trial in enumerate(trials):
             groups.setdefault(_stack_key(trial), []).append(i)
-        for key, indices in groups.items():
+        for indices in groups.values():
             sims = [trials[i].simulation(vectorize=True) for i in indices]
-            if key is None or stack_compatibility(sims) is not None:
+            if stack_compatibility(sims) is not None:
                 for i, sim in zip(indices, sims):
                     results[i] = sim.run(self.num_pulses)
                 continue

@@ -12,6 +12,11 @@ offset) into two runs differing only in ``CorrectionPolicy.jump_slack``
 tracks the oscillation amplitude (max adjacent offset) per layer.
 Adversarial parity-keyed delays keep pumping energy into the oscillation,
 as the worst case of the paper's Figure 5 requires.
+
+Both runs use Algorithm 1 semantics, which the fast simulator executes
+through the vectorized simplified layer-step kernel (every message is
+awaited, so the fault-free sweep is a pure array op); ``vectorize=False``
+forces the scalar replay, which produces bit-identical amplitudes.
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ def run_fig5(
     diameter: int = 24,
     num_pulses: int = 2,
     amplitude_kappas: float = 4.0,
+    vectorize: bool = True,
 ) -> Fig5Result:
     """Compare oscillation amplitudes with and without jump dampening.
 
@@ -116,6 +122,7 @@ def run_fig5(
             layer0=layer0,
             policy=policy,
             algorithm="simplified",
+            vectorize=vectorize,
         )
         result = sim.run(num_pulses)
         return [float(x) for x in local_skew_per_layer(result)]

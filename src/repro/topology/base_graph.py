@@ -13,7 +13,9 @@ construction.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "BaseGraph",
@@ -73,6 +75,7 @@ class BaseGraph:
         self.name = name
         self._distances: Dict[int, List[int]] = {}
         self._diameter: int | None = None
+        self._edge_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if not self._is_connected():
             raise ValueError("base graph must be connected")
         if require_min_degree_2 and num_nodes > 1:
@@ -106,6 +109,31 @@ class BaseGraph:
     def edges(self) -> Tuple[Tuple[int, int], ...]:
         """Sorted tuple of undirected edges ``(v, w)`` with ``v < w``."""
         return self._edges
+
+    @property
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-vertex sorted neighbor tuples -- the graph's structural key.
+
+        Built once at construction; hot callers (the trial-stack grouping
+        key, :func:`repro.core.fast_batch.stack_compatibility`) compare it
+        by identity-stable tuple instead of regathering ``neighbors(v)``
+        per vertex per trial.
+        """
+        return self._adjacency
+
+    def edge_index_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(left, right)`` int64 endpoint arrays over :attr:`edges`.
+
+        Cached on the graph (adjacency is immutable), following the same
+        pattern as ``DelayModel._edge_array_cache``: array consumers (skew
+        reducers, layer-0 schedules) gather the Python edge tuples once
+        per graph instead of once per call.
+        """
+        if self._edge_index_arrays is None:
+            left = np.array([e[0] for e in self._edges], dtype=np.int64)
+            right = np.array([e[1] for e in self._edges], dtype=np.int64)
+            self._edge_index_arrays = (left, right)
+        return self._edge_index_arrays
 
     def nodes(self) -> range:
         """Iterable over vertices."""

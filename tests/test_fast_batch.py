@@ -157,10 +157,21 @@ class TestStackCompatibility:
         trials = BatchRunner.seed_sweep(4, (0, 1), num_pulses=NUM_PULSES)
         assert stack_compatibility([t.simulation() for t in trials]) is None
 
-    def test_simplified_algorithm_rejected(self):
+    def test_simplified_algorithm_accepted(self):
         config = standard_config(4, num_pulses=NUM_PULSES)
-        sims = [BatchTrial(config=config, algorithm="simplified").simulation()]
-        assert "scalar-only" in stack_compatibility(sims)
+        sims = [
+            BatchTrial(config=config, algorithm="simplified").simulation()
+            for _ in range(2)
+        ]
+        assert stack_compatibility(sims) is None
+
+    def test_mixed_algorithms_rejected(self):
+        config = standard_config(4, num_pulses=NUM_PULSES)
+        sims = [
+            BatchTrial(config=config).simulation(),
+            BatchTrial(config=config, algorithm="simplified").simulation(),
+        ]
+        assert "algorithm" in stack_compatibility(sims)
         with pytest.raises(ValueError, match="cannot be stacked"):
             TrialStack(sims)
 

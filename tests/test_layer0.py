@@ -1,5 +1,6 @@
 """Tests for repro.core.layer0: input pulse generation (Appendix A)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -140,3 +141,95 @@ class TestChain:
                 t = chain.chain_pulse_time(pos, k)
                 low, high = chain.lemma_a1_envelope(pos, k)
                 assert low - 1e-9 <= t <= high + 1e-9
+
+    def test_wide_chain_no_recursion_blowup(self):
+        """Regression: a cold far-end query on a 5000-node chain used to
+        recurse through every predecessor position and blow the interpreter
+        recursion limit; the iterative fill must handle it."""
+        order = list(range(5000))
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=0)
+        chain = ChainLayer0(PARAMS, order, delay_model=delays)
+        t = chain.chain_pulse_time(4999, 0)
+        low, high = chain.lemma_a1_envelope(4999, 0)
+        assert low - 1e-9 <= t <= high + 1e-9
+        # Grid re-indexing at the chain head needs the deepest chain pulse.
+        assert chain.pulse_time(0, 0) > 0.0
+
+
+def _loop_times(schedule, base, pulses):
+    """The pre-array reference: per-node, per-pulse ``pulse_time`` calls."""
+    return np.array(
+        [[schedule.pulse_time(v, k) for v in base.nodes()] for k in range(pulses)]
+    ).reshape(pulses, base.num_nodes)
+
+
+def _loop_local_skew(schedule, base, pulses):
+    """The old O(pulses x edges) double-loop ``local_skew`` reference."""
+    worst = 0.0
+    for k in range(pulses):
+        for v, w in base.edges:
+            worst = max(
+                worst, abs(schedule.pulse_time(v, k) - schedule.pulse_time(w, k))
+            )
+    return worst
+
+
+class TestPulseTimesArray:
+    """pulse_times_array must be bit-identical to pulse_time loops."""
+
+    def _schedules(self, base):
+        delays = StaticDelayModel(PARAMS.d, PARAMS.u, seed=2)
+        clocks = uniform_random_rates(
+            list(base.nodes()), PARAMS.vartheta, rng_or_seed=3
+        )
+        return [
+            PerfectLayer0(PARAMS.Lambda),
+            JitteredLayer0(PARAMS.Lambda, base.num_nodes, 0.05, seed=1),
+            AlternatingLayer0(PARAMS.Lambda, 0.1),
+            ChainLayer0(
+                PARAMS, list(base.nodes()), delay_model=delays, clocks=clocks
+            ),
+        ]
+
+    @pytest.mark.parametrize("pulses", [1, 4])
+    def test_bit_identical_to_scalar_loop(self, pulses):
+        base = replicated_line(8)
+        for schedule in self._schedules(base):
+            np.testing.assert_array_equal(
+                schedule.pulse_times_array(base, pulses),
+                _loop_times(schedule, base, pulses),
+                err_msg=type(schedule).__name__,
+            )
+
+    def test_zero_pulses_empty_shape(self):
+        base = replicated_line(4)
+        assert PerfectLayer0(2.0).pulse_times_array(base, 0).shape == (
+            0,
+            base.num_nodes,
+        )
+
+    def test_rejects_negative_pulses(self):
+        base = replicated_line(4)
+        for schedule in (
+            PerfectLayer0(2.0),
+            AlternatingLayer0(2.0, 0.1),
+            JitteredLayer0(2.0, base.num_nodes, 0.05),
+        ):
+            with pytest.raises(ValueError):
+                schedule.pulse_times_array(base, -1)
+
+    def test_chain_rejects_off_chain_vertices(self):
+        chain = ChainLayer0(PARAMS, [0, 1, 2])
+        with pytest.raises(ValueError, match="not on the chain"):
+            chain.pulse_times_array(replicated_line(4), 2)
+
+    def test_local_skew_matches_double_loop(self):
+        base = replicated_line(8)
+        for schedule in self._schedules(base):
+            assert schedule.local_skew(base, 3) == pytest.approx(
+                _loop_local_skew(schedule, base, 3), abs=0.0
+            ), type(schedule).__name__
+
+    def test_local_skew_zero_pulses(self):
+        base = replicated_line(4)
+        assert PerfectLayer0(2.0).local_skew(base, 0) == 0.0
