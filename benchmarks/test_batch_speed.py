@@ -1,6 +1,6 @@
 """Throughput trajectory of the fast simulator's batch kernels.
 
-Three micro-benchmarks track the performance trajectory across PRs:
+Four micro-benchmarks track the performance trajectory across PRs:
 
 * ``test_vectorized_kernel_speedup`` (marked ``slow``): scalar per-node
   replay vs the whole-layer array kernel on the PR-1 acceptance grid
@@ -11,10 +11,15 @@ Three micro-benchmarks track the performance trajectory across PRs:
 * ``test_simplified_stacked_speedup``: the vectorized + trial-stacked
   simplified (Algorithm 1) path vs its scalar replay at D = 64,
   asserting the >= 5x floor and bit-identical times.
+* ``test_heterogeneous_stacked_speedup``: a thm11-style mixed-width
+  sweep (S = 16 over D in {16, 32, 64}) through the padded
+  mixed-geometry stack vs the per-trial loop and the per-geometry
+  grouping, asserting a single stack group, bit-identical times, and
+  the >= 1.3x floor over the per-trial loop.
 
-The two batch benches record their modes into ``BENCH_batch.json`` next
-to this file (merge-updating their own section, so running a subset keeps
-the other's numbers) with machine-readable throughput, so the perf
+The batch benches record their modes into ``BENCH_batch.json`` next to
+this file (merge-updating their own section, so running a subset keeps
+the others' numbers) with machine-readable throughput, so the perf
 trajectory is tracked across PRs; CI's bench-smoke job uploads it as an
 artifact.  The slow single-simulation bench only prints its table.
 
@@ -340,6 +345,120 @@ def test_simplified_stacked_speedup():
     assert speedup >= 5.0, (
         f"stacked simplified kernel only {speedup:.1f}x faster than the "
         f"scalar replay ({stacked_time:.4f}s vs {scalar_time:.4f}s)"
+    )
+
+
+#: The heterogeneous acceptance cell: S = 16 trials over mixed widths
+#: (thm11's D in {16, 32, 64}), which before padding ran as width-1
+#: stacks or separate per-geometry batches.
+HETERO_DIAMETERS = (16, 32, 64)
+HETERO_TRIALS = 16
+
+
+def hetero_trials():
+    """S = 16 fault-free trials cycling through the mixed diameters."""
+    trials = []
+    for i in range(HETERO_TRIALS):
+        diameter = HETERO_DIAMETERS[i % len(HETERO_DIAMETERS)]
+        trials.extend(
+            BatchRunner.seed_sweep(diameter, [i], num_pulses=NUM_PULSES)
+        )
+    return trials
+
+
+def test_heterogeneous_stacked_speedup():
+    """Padded mixed-geometry stack >= 1.3x over the per-trial loop.
+
+    The sweep the paper's headline experiments run (mixed widths/depths)
+    used to bypass the trial stack entirely; this bench pins the padded
+    kernel's throughput against the per-trial vectorized loop and the
+    per-geometry grouping (`stack_mixed_geometry=False`), and records all
+    three modes under the ``"heterogeneous"`` section of
+    ``BENCH_batch.json``.
+    """
+    trials = hetero_trials()
+    node_pulses = sum(
+        t.config.graph.num_nodes * NUM_PULSES for t in trials
+    ) / len(trials)
+
+    stacked_runner = BatchRunner(num_pulses=NUM_PULSES)
+    grouped_runner = BatchRunner(
+        num_pulses=NUM_PULSES, stack_mixed_geometry=False
+    )
+    per_trial_runner = BatchRunner(num_pulses=NUM_PULSES, stack=False)
+
+    # Warm the per-edge and per-layer delay caches once.
+    warm = stacked_runner.run(trials)
+    assert warm.stack_groups == [list(range(len(trials)))], (
+        "mixed-width sweep must run as a single padded stack"
+    )
+    for repeats in (3, 5):
+        stacked_time, stacked_batch = timed(
+            lambda: stacked_runner.run(trials), repeats=repeats
+        )
+        per_trial_time, per_trial_batch = timed(
+            lambda: per_trial_runner.run(trials), repeats=repeats
+        )
+        if per_trial_time / stacked_time >= 1.3:
+            break
+    grouped_time, grouped_batch = timed(
+        lambda: grouped_runner.run(trials), repeats=1
+    )
+
+    # Acceptance: the padded stack is bit-identical to the per-trial runs.
+    np.testing.assert_array_equal(stacked_batch.times, per_trial_batch.times)
+    np.testing.assert_array_equal(stacked_batch.times, grouped_batch.times)
+
+    speedup = per_trial_time / stacked_time
+    _merge_bench_json(
+        {
+            "heterogeneous": {
+                "grid": {
+                    "diameters": list(HETERO_DIAMETERS),
+                    "num_pulses": NUM_PULSES,
+                    "trials": len(trials),
+                    "faults": 0,
+                },
+                "modes": {
+                    "per_trial_vectorized": _mode_record(
+                        len(trials), per_trial_time, node_pulses
+                    ),
+                    "geometry_grouped": _mode_record(
+                        len(trials), grouped_time, node_pulses,
+                        groups=len(grouped_batch.stack_groups),
+                    ),
+                    "hetero_stacked": _mode_record(
+                        len(trials), stacked_time, node_pulses, groups=1
+                    ),
+                },
+                "speedups": {
+                    "stacked_vs_per_trial": speedup,
+                    "stacked_vs_grouped": grouped_time / stacked_time,
+                },
+            }
+        }
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                ("per_trial_vectorized", len(trials), per_trial_time,
+                 len(trials) * node_pulses / per_trial_time),
+                ("geometry_grouped", len(trials), grouped_time,
+                 len(trials) * node_pulses / grouped_time),
+                ("hetero_stacked", len(trials), stacked_time,
+                 len(trials) * node_pulses / stacked_time),
+            ],
+            title=f"Heterogeneous stack, S={len(trials)}, "
+            f"D in {HETERO_DIAMETERS}, {NUM_PULSES} pulses "
+            f"(stacked {speedup:.1f}x vs per-trial)",
+        )
+    )
+    assert speedup >= 1.3, (
+        f"padded mixed-geometry stack only {speedup:.1f}x faster than the "
+        f"per-trial loop ({stacked_time:.4f}s vs {per_trial_time:.4f}s)"
     )
 
 

@@ -44,6 +44,7 @@ from repro.topology.layered import LayeredGraph
 __all__ = [
     "times_from_trace",
     "masked_times",
+    "masked_max",
     "local_skew_layers",
     "inter_layer_skew_layers",
     "overall_skew_layers",
@@ -77,11 +78,16 @@ def masked_times(result: FastResult) -> np.ndarray:
     return result.times
 
 
-def _masked_max(values: np.ndarray, axis: AxisSpec, empty: float) -> np.ndarray:
+def masked_max(
+    values: np.ndarray, axis: AxisSpec, empty: float = 0.0
+) -> np.ndarray:
     """``max`` over ``axis`` ignoring NaNs; all-NaN/empty slices -> ``empty``.
 
     Warning-free by construction: NaNs are replaced with ``-inf`` under an
     explicit validity mask instead of suppressing ``nanmax`` warnings.
+    Public because NaN-padded consumers outside this module (the batch
+    runner's heterogeneous :class:`~repro.experiments.batch.BatchResult`
+    statistics) reduce over padding with the same semantics.
     """
     values = np.asarray(values, dtype=float)
     valid = ~np.isnan(values)
@@ -110,7 +116,7 @@ def local_skew_layers(
     times = np.asarray(times, dtype=float)
     left, right = _edge_arrays(graph)
     diffs = np.abs(times[..., left] - times[..., right])  # (..., K, L, E)
-    return _masked_max(diffs, axis=(-3, -1), empty=empty)
+    return masked_max(diffs, axis=(-3, -1), empty=empty)
 
 
 def inter_layer_skew_layers(
@@ -139,7 +145,7 @@ def inter_layer_skew_layers(
         ],
         axis=-1,
     )  # (..., K-1, L-1, W + 2E)
-    return _masked_max(diffs, axis=(-3, -1), empty=empty)
+    return masked_max(diffs, axis=(-3, -1), empty=empty)
 
 
 def overall_skew_layers(
@@ -168,7 +174,7 @@ def global_skew_layers(times: np.ndarray, empty: float = 0.0) -> np.ndarray:
     maxs = np.where(valid, times, -np.inf).max(axis=-1, initial=-np.inf)
     mins = np.where(valid, times, np.inf).min(axis=-1, initial=np.inf)
     spread = np.where(any_valid, maxs - mins, np.nan)  # (..., K, L)
-    return _masked_max(spread, axis=-2, empty=empty)
+    return masked_max(spread, axis=-2, empty=empty)
 
 
 # ----------------------------------------------------------------------

@@ -131,6 +131,22 @@ def _layer_step_kernel(
     ``eligible`` is True are meaningful -- the rest are replayed by the
     caller through the exact scalar fallback.
 
+    Two generalizations serve the heterogeneous trial stack of
+    :mod:`repro.core.fast_batch`:
+
+    * ``nb_idx``/``nb_valid`` may carry a leading trial axis (shape
+      ``(S, W, max_deg)``): each trial then gathers through its *own*
+      padded index rows (``prev[s, nb_idx[s, v, j]]``) instead of one
+      shared index table.  Padded lanes are masked by ``nb_valid`` and
+      padded cells stay NaN end-to-end, so they can never turn eligible.
+    * the numeric fields of ``params`` (``kappa``, ``vartheta``,
+      ``Lambda``, ``d``) and ``policy`` (``jump_slack``) may be
+      per-trial ``(S, 1)`` columns instead of scalars; every use is
+      elementwise, so lanes compute bit-identical floats to a scalar
+      call with their own value.  The *structural* policy switches
+      (``discretize``, ``stick_to_median``) select Python-level branches
+      and must be plain bools (uniform across the stack).
+
     Eligibility: all predecessors correct (static part) and received (a
     missing reception turns the summed registers NaN or infinite), and --
     under the full Algorithm 3 semantics -- the loop provably exits at the
@@ -143,15 +159,24 @@ def _layer_step_kernel(
     """
     kappa = params.kappa
     vartheta = params.vartheta
+    kappa_stacked = np.ndim(kappa) > 0
 
     own_arrival = prev + own_delay
-    nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
+    if nb_idx.ndim == 3:
+        # Per-trial padded gather: nb_idx is (S, W, max_deg) and row s
+        # indexes only into trial s's plane of prev (an (S, W) block).
+        gathered = np.take_along_axis(
+            prev, nb_idx.reshape(nb_idx.shape[0], -1), axis=-1
+        )
+        nb_arrival = gathered.reshape(nb_idx.shape) + nb_delay
+    else:
+        nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
     h_own = rate * own_arrival
     h_nb = rate[..., None] * nb_arrival
     h_min = np.where(nb_valid, h_nb, np.inf).min(axis=-1)
     h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=-1)
 
-    with np.errstate(invalid="ignore"):
+    with np.errstate(invalid="ignore", divide="ignore"):
         eligible = static_eligible & np.isfinite(h_own + h_min + h_max)
         if not simplified:
             eligible = (
@@ -163,7 +188,7 @@ def _layer_step_kernel(
         a = h_own - h_max
         b = h_own - h_min
         if policy.discretize:
-            if kappa == 0.0:
+            if not kappa_stacked and kappa == 0.0:
                 delta = b
             else:
                 # s_star >= 0 on every eligible lane (h_max >= h_min),
@@ -184,6 +209,10 @@ def _layer_step_kernel(
                     )
                     - kappa / 2.0
                 )
+                if kappa_stacked:
+                    # kappa == 0 lanes divided by zero above; give them the
+                    # scalar path's kappa == 0 answer instead.
+                    delta = np.where(kappa == 0.0, b, delta)
         else:
             delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
 
@@ -196,7 +225,9 @@ def _layer_step_kernel(
             corr_high = np.maximum(h_own - h_max - kappa / 2.0 - damp, upper)
         else:
             corr_low = np.zeros_like(delta)
-            corr_high = np.full_like(delta, upper)
+            corr_high = np.broadcast_to(
+                np.asarray(upper, dtype=float), delta.shape
+            )
         correction = np.where(low, corr_low, np.where(high, corr_high, delta))
         branches = np.where(
             low,
@@ -406,7 +437,9 @@ class FastSimulation:
                     self._run_layer(result, k, layer)
         return result
 
-    def _begin_run(self, num_pulses: int) -> FastResult:
+    def _begin_run(
+        self, num_pulses: int, layer0_times: Optional[np.ndarray] = None
+    ) -> FastResult:
         """Validate, reset the per-run caches, and allocate the result.
 
         Shared by :meth:`run` and the trial-stacked runner
@@ -416,14 +449,19 @@ class FastSimulation:
         (:meth:`Layer0Schedule.pulse_times_array`), replacing the old
         per-node/per-pulse ``pulse_time`` loop on every path -- including
         the scalar one, where the array rows hold bit-identical values.
+        ``layer0_times`` injects a pre-gathered ``(num_pulses, W)`` block
+        instead -- the trial stack slices each trial's rows out of one
+        stacked :func:`~repro.core.layer0.stacked_pulse_times` fill.
         """
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
         result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
         self._rate_cache = {}
-        self._layer0_times = self.layer0.pulse_times_array(
-            self.graph.base, num_pulses
-        )
+        if layer0_times is None:
+            layer0_times = self.layer0.pulse_times_array(
+                self.graph.base, num_pulses
+            )
+        self._layer0_times = layer0_times
         self._layer0_has_fault = any(
             layer == 0 for _, layer in self.fault_plan
         )
@@ -767,16 +805,11 @@ class _VectorSweep:
         # equal width and adjacency query exactly the same edge tuples, so
         # they may share a delay model's array cache.
         self.edge_signature = (width, tuple(self.nb_lists))
-        degrees = np.array([len(nbs) for nbs in self.nb_lists], dtype=np.int64)
-        self.max_deg = int(degrees.max()) if width else 0
-        cols = max(self.max_deg, 1)
-        self.nb_idx = np.zeros((width, cols), dtype=np.int64)
-        self.nb_valid = np.zeros((width, cols), dtype=bool)
-        for v, nbs in enumerate(self.nb_lists):
-            for j, w in enumerate(nbs):
-                self.nb_idx[v, j] = w
-                self.nb_valid[v, j] = True
-        self.has_neighbors = degrees > 0
+        self.max_deg = base.max_degree() if width else 0
+        # Padded gather indices come from the graph's own cache (adjacency
+        # is immutable), shared across trials, runs, and stacks.
+        self.nb_idx, self.nb_valid = base.neighbor_index_arrays()
+        self.has_neighbors = self.nb_valid.any(axis=1)
         faulty = sim.fault_plan.faulty_mask(graph)
         self.faulty = faulty
         # has_faulty_pred[l - 1] flags nodes of layer ``l`` with a faulty

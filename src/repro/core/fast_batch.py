@@ -5,12 +5,32 @@ across the ``W`` base vertices, but a parameter sweep still walks the
 pulse/layer recurrence (Lemma B.1) once per trial in Python.  Because the
 recurrence has no cross-trial coupling -- trial ``s``'s pulse ``k`` of
 layer ``l`` depends only on trial ``s``'s pulse ``k`` of layer ``l - 1`` --
-``S`` structurally identical trials can advance through the recurrence in
-lock-step, with every per-layer array op widened from shape ``(W,)`` to
-``(S, W)``.  That is what :class:`TrialStack` does: reception times,
-do-until exit test, correction, and pulse time are computed for the whole
-``(S, W)`` plane at once, so the Python-loop overhead per layer step is
-paid once per *batch* instead of once per *trial*.
+``S`` compatible trials can advance through the recurrence in lock-step,
+with every per-layer array op widened from shape ``(W,)`` to ``(S, W)``.
+That is what :class:`TrialStack` does: reception times, do-until exit
+test, correction, and pulse time are computed for the whole ``(S, W)``
+plane at once, so the Python-loop overhead per layer step is paid once per
+*batch* instead of once per *trial*.
+
+Heterogeneous geometries (padded stacking)
+------------------------------------------
+Trials do **not** need the same node count, adjacency structure, layer
+count, timing parameters, or correction strength to stack.  The stack
+pads every per-trial plane to ``(S, W_max)`` (``W_max`` = widest trial)
+and marks cells past a trial's width or depth *inert*: their state is
+NaN, their gather lanes are masked invalid, their eligibility is
+statically False, and the scalar fallback skips them -- so an inert cell
+can never influence a real one, and NaN (the simulator's own marker for
+"never pulsed") keeps them out of every downstream reducer.  Per-trial
+neighbor gathers run through padded ``(S, W_max, max_deg)`` index/valid
+tensors built from each base graph's cached
+:meth:`~repro.topology.base_graph.BaseGraph.neighbor_index_arrays`;
+numeric parameters (``kappa``/``vartheta``/``Lambda``/``d``) and the
+policy's ``jump_slack`` broadcast as per-trial ``(S, 1)`` columns.  The
+layer-0 schedules of the whole stack are gathered as one
+``(S, P, W_max)`` block by :func:`~repro.core.layer0.stacked_pulse_times`
+and written plane by plane, instead of ``S`` per-trial ``(P, W)``
+gathers and row loops.
 
 Stacking requirements (checked by :func:`stack_compatibility`)
 --------------------------------------------------------------
@@ -19,29 +39,30 @@ All stacked simulations must share
 * the algorithm semantics -- either all ``"full"`` (Algorithm 3) or all
   ``"simplified"`` (Algorithm 1) -- with the vectorized kernel enabled
   (the two algorithms differ only in the eligibility mask of the shared
-  :func:`~repro.core.fast._layer_step_kernel`, so both stack),
-* the timing :class:`~repro.params.Parameters` (``kappa``/``vartheta``
-  enter the eligibility thresholds and the correction grid),
-* the :class:`~repro.core.correction.CorrectionPolicy`, and
-* the grid structure: number of layers plus the base-graph adjacency
-  (the neighbor gather indices are built once and shared).
+  :func:`~repro.core.fast._layer_step_kernel`, so both stack), and
+* the *structural* correction-policy switches ``discretize`` and
+  ``stick_to_median``, which select Python-level branches of the kernel
+  (``jump_slack``, a numeric knob, may differ per trial).
 
-Everything else -- delay models, clock rates, layer-0 schedules, fault
-plans -- may differ per trial; those inputs become the leading-axis
-``(S, ...)`` arrays the kernel consumes.
+Everything else -- geometry, timing parameters, delay models, clock
+rates, layer-0 schedules, fault plans -- may differ per trial; those
+inputs become the padded leading-axis ``(S, ...)`` arrays the kernel
+consumes.
 
 Exactness
 ---------
 The stacked kernel evaluates *the same* NumPy expressions as
 :meth:`FastSimulation._run_layer_vectorized` -- both call the
 shape-generic :func:`~repro.core.fast._layer_step_kernel`, here with an
-extra leading axis -- so eligible cells produce bit-identical floats.
-The exact per-trial eligibility test of the per-trial kernel is applied
-cell by cell: fault-adjacent, via-``H_max``, and missing-message cells
-drop out of the array path and are replayed through the scalar
-:meth:`FastSimulation._run_node_and_record` of their own simulation, same
-as in a per-trial run.  The test suite asserts equality against both the
-per-trial vectorized and the scalar reference paths, for both algorithms.
+extra leading axis -- so eligible cells produce bit-identical floats
+(per-trial parameter columns broadcast elementwise and change no
+operation).  The exact per-trial eligibility test of the per-trial kernel
+is applied cell by cell: fault-adjacent, via-``H_max``, and
+missing-message cells drop out of the array path and are replayed through
+the scalar :meth:`FastSimulation._run_node_and_record` of their own
+simulation, same as in a per-trial run.  The test suite asserts equality
+against both the per-trial vectorized and the scalar reference paths, for
+both algorithms, over randomized mixed-geometry stacks.
 """
 
 from __future__ import annotations
@@ -57,26 +78,27 @@ from repro.core.fast import (
     _VectorSweep,
     _layer_step_kernel,
 )
+from repro.core.layer0 import stacked_pulse_times
 
 __all__ = ["TrialStack", "stack_compatibility"]
-
-
-def _adjacency_signature(sim: FastSimulation) -> Tuple[Tuple[int, ...], ...]:
-    return sim.graph.base.adjacency
 
 
 def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
     """Why ``sims`` cannot run stacked, or None when they can.
 
     The returned string names the first violated requirement; callers that
-    want an exception can raise on it (``TrialStack`` does).
+    want an exception can raise on it (``TrialStack`` does).  Geometry,
+    parameters, delay models, clock rates, layer-0 schedules, fault plans,
+    and the numeric ``jump_slack`` policy knob never disqualify a stack --
+    mixed-geometry trials run through the padded kernel (see the module
+    docstring).
     """
     if not sims:
         return "need at least one simulation"
     first = sims[0]
     if not first.vectorize:
         return "vectorize=False forces the per-trial scalar path"
-    signature = _adjacency_signature(first)
+    structure = (first.policy.discretize, first.policy.stick_to_median)
     for i, sim in enumerate(sims[1:], start=1):
         if sim.algorithm != first.algorithm:
             return (
@@ -85,15 +107,43 @@ def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
             )
         if not sim.vectorize:
             return f"trial {i}: vectorize=False forces the per-trial path"
-        if sim.params != first.params:
-            return f"trial {i}: parameters differ from trial 0"
-        if sim.policy != first.policy:
-            return f"trial {i}: correction policy differs from trial 0"
-        if sim.graph.num_layers != first.graph.num_layers:
-            return f"trial {i}: layer count differs from trial 0"
-        if _adjacency_signature(sim) != signature:
-            return f"trial {i}: base-graph adjacency differs from trial 0"
+        if (sim.policy.discretize, sim.policy.stick_to_median) != structure:
+            return (
+                f"trial {i}: correction-policy structure "
+                "(discretize/stick_to_median) differs from trial 0"
+            )
     return None
+
+
+class _StackedParams:
+    """Per-trial ``(S, 1)`` numeric parameter columns for the kernel.
+
+    Stands in for a shared :class:`~repro.params.Parameters` when the
+    stacked trials' parameters differ: every kernel use of ``kappa``/
+    ``vartheta``/``Lambda``/``d`` is elementwise, so broadcasting a
+    column of per-trial values computes bit-identical floats to a scalar
+    call with each trial's own value.
+    """
+
+    __slots__ = ("kappa", "vartheta", "Lambda", "d")
+
+    def __init__(self, sims: Sequence[FastSimulation]) -> None:
+        for name in self.__slots__:
+            column = np.array([getattr(sim.params, name) for sim in sims])
+            setattr(self, name, column[:, None])
+
+
+class _StackedPolicy:
+    """Per-trial policy for the kernel: structural bools + numeric column."""
+
+    __slots__ = ("discretize", "stick_to_median", "jump_slack")
+
+    def __init__(self, sims: Sequence[FastSimulation]) -> None:
+        self.discretize = sims[0].policy.discretize
+        self.stick_to_median = sims[0].policy.stick_to_median
+        self.jump_slack = np.array(
+            [sim.policy.jump_slack for sim in sims]
+        )[:, None]
 
 
 class TrialStack:
@@ -103,16 +153,19 @@ class TrialStack:
     ----------
     sims:
         The per-trial :class:`FastSimulation` objects.  They must satisfy
-        :func:`stack_compatibility`; a :class:`ValueError` names the first
-        violation otherwise.
+        :func:`stack_compatibility` (same algorithm, vectorized, same
+        structural policy switches); a :class:`ValueError` names the first
+        violation otherwise.  Geometries may differ -- narrower/shallower
+        trials are padded with inert cells.
 
     Notes
     -----
     :meth:`run` returns ordinary per-trial :class:`FastResult` objects
-    whose matrices are views into one shared ``(S, K, L, W)`` block, so
+    whose matrices are views into one shared ``(S, K, L_max, W_max)``
+    block (each trial seeing its own ``(K, L_s, W_s)`` window), so
     downstream code (skew reducers, ``fault_sends`` drill-in, the scalar
     fallback itself) sees exactly the per-trial layout while the kernel
-    reads and writes whole ``(S, W)`` planes without gathering.
+    reads and writes whole ``(S, W_max)`` planes without gathering.
     """
 
     def __init__(self, sims: Sequence[FastSimulation]) -> None:
@@ -135,16 +188,30 @@ class TrialStack:
 
         Each sweep's per-trial arrays come from (and fill) its simulation's
         own delay cache; the stacked copies are cached here per layer when
-        every model is pulse-invariant, else per ``(layer, k)``.
+        every model is pulse-invariant, else per ``(layer, k)``.  Trials
+        without this layer (padded depth) contribute inert NaN/zero rows
+        and are never queried, so delay models only ever see edges that
+        exist in their own graph.
         """
         key: object = layer if self._all_pulse_invariant else (layer, k)
         cached = cache.get(key)
         if cached is None:
-            per_trial = [sweep.delay_arrays(layer, k) for sweep in sweeps]
-            cached = (
-                np.stack([own for own, _ in per_trial]),
-                np.stack([nb for _, nb in per_trial]),
-            )
+            if self._uniform:
+                per_trial = [sweep.delay_arrays(layer, k) for sweep in sweeps]
+                cached = (
+                    np.stack([own for own, _ in per_trial]),
+                    np.stack([nb for _, nb in per_trial]),
+                )
+            else:
+                own = np.full((len(sweeps), self._width), np.nan)
+                nb = np.zeros((len(sweeps), self._width, self._max_deg))
+                for s, sweep in enumerate(sweeps):
+                    if layer >= self._depths[s]:
+                        continue
+                    own_s, nb_s = sweep.delay_arrays(layer, k)
+                    own[s, : own_s.shape[0]] = own_s
+                    nb[s, : nb_s.shape[0], : nb_s.shape[1]] = nb_s
+                cached = (own, nb)
             cache[key] = cached
         return cached
 
@@ -155,18 +222,29 @@ class TrialStack:
         layer: int,
         k: int,
     ) -> np.ndarray:
-        """Clock rates ``(S, W)`` of the layer's nodes during pulse ``k``."""
+        """Clock rates ``(S, W)`` of the layer's nodes during pulse ``k``.
+
+        Inert cells get rate 1 (never read through an eligible lane, but
+        a finite value keeps the whole-plane arithmetic NaN-clean).
+        """
         if self._rates_static:
             cached = cache.get(layer)
-            if cached is None:
-                cached = np.stack(
-                    [sweep.rate_array(layer, k) for sweep in sweeps]
-                )
-                cache[layer] = cached
-            return cached
+            if cached is not None:
+                return cached
         # Callable rate providers may depend on the pulse; query per step
         # exactly as the per-trial kernel does.
-        return np.stack([sweep.rate_array(layer, k) for sweep in sweeps])
+        if self._uniform:
+            stacked = np.stack([sweep.rate_array(layer, k) for sweep in sweeps])
+        else:
+            stacked = np.ones((len(sweeps), self._width))
+            for s, sweep in enumerate(sweeps):
+                if layer >= self._depths[s]:
+                    continue
+                row = sweep.rate_array(layer, k)
+                stacked[s, : row.shape[0]] = row
+        if self._rates_static:
+            cache[layer] = stacked
+        return stacked
 
     # ------------------------------------------------------------------
     # Main loop
@@ -174,25 +252,48 @@ class TrialStack:
     def run(self, num_pulses: int) -> List[FastResult]:
         """Simulate ``num_pulses`` pulses for every trial; per-trial results."""
         sims = self.sims
-        results = [sim._begin_run(num_pulses) for sim in sims]
-        graph = sims[0].graph
-        num_layers = graph.num_layers
-        width = graph.width
-        shape = (len(sims), num_pulses, num_layers, width)
+        num_trials = len(sims)
+        widths = [sim.graph.width for sim in sims]
+        depths = [sim.graph.num_layers for sim in sims]
+        width = max(widths)
+        num_layers = max(depths)
+        self._width = width
+        self._depths = depths
+        adjacency0 = sims[0].graph.base.adjacency
+        self._uniform = all(
+            depth == num_layers and sim.graph.base.adjacency == adjacency0
+            for depth, sim in zip(depths, sims)
+        )
+
+        # One (S, P, W_max) layer-0 gather for the whole stack; each trial's
+        # _begin_run receives its own (P, W_s) window as a view.
+        layer0_block = stacked_pulse_times(
+            [sim.layer0 for sim in sims],
+            [sim.graph.base for sim in sims],
+            num_pulses,
+        )
+        results = [
+            sim._begin_run(num_pulses, layer0_times=layer0_block[s, :, : widths[s]])
+            for s, sim in enumerate(sims)
+        ]
+        shape = (num_trials, num_pulses, num_layers, width)
 
         # One shared block per matrix; each FastResult holds the trial-s
-        # view, so scalar fallbacks and analysis code read/write through it.
+        # window view, so scalar fallbacks and analysis code read/write
+        # through it.  Cells outside a trial's window stay NaN (padding
+        # never turns eligible; the whole-plane fast path only runs on
+        # uniform stacks).
         times = np.full(shape, np.nan)
         protocol_times = np.full(shape, np.nan)
         corrections = np.full(shape, np.nan)
         effective = np.full(shape, np.nan)
         branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
         for s, result in enumerate(results):
-            result.times = times[s]
-            result.protocol_times = protocol_times[s]
-            result.corrections = corrections[s]
-            result.effective_corrections = effective[s]
-            result.branches = branches[s]
+            result.times = times[s, :, : depths[s], : widths[s]]
+            result.protocol_times = protocol_times[s, :, : depths[s], : widths[s]]
+            result.corrections = corrections[s, :, : depths[s], : widths[s]]
+            result.effective_corrections = effective[s, :, : depths[s], : widths[s]]
+            result.branches = branches[s, :, : depths[s], : widths[s]]
 
         sweeps = [_VectorSweep(sim) for sim in sims]
         self._all_pulse_invariant = all(
@@ -202,26 +303,82 @@ class TrialStack:
         delay_cache: Dict[object, Tuple[np.ndarray, np.ndarray]] = {}
         rate_cache: Dict[int, np.ndarray] = {}
 
-        # (S, L-1, W): per-trial static part of the eligibility test, and
-        # (S, L, W)/(L,) fault structure for the write masks below.
-        static_eligible = np.stack([sweep.static_eligible for sweep in sweeps])
-        faulty = np.stack([sweep.faulty for sweep in sweeps])
+        # Padded (S, ...) fault/eligibility structure.  ``active`` marks the
+        # real (non-padding) cells; None on uniform stacks (all real).
+        if self._uniform:
+            nb_idx = sweeps[0].nb_idx
+            nb_valid = sweeps[0].nb_valid
+            self._max_deg = nb_idx.shape[1]
+            static_eligible = np.stack([sweep.static_eligible for sweep in sweeps])
+            faulty = np.stack([sweep.faulty for sweep in sweeps])
+            active = None
+        else:
+            self._max_deg = max(sweep.nb_idx.shape[1] for sweep in sweeps)
+            nb_idx = np.zeros((num_trials, width, self._max_deg), dtype=np.int64)
+            nb_valid = np.zeros((num_trials, width, self._max_deg), dtype=bool)
+            static_eligible = np.zeros(
+                (num_trials, num_layers - 1, width), dtype=bool
+            )
+            faulty = np.zeros((num_trials, num_layers, width), dtype=bool)
+            for s, sweep in enumerate(sweeps):
+                w, cols = sweep.nb_idx.shape
+                nb_idx[s, :w, :cols] = sweep.nb_idx
+                nb_valid[s, :w, :cols] = sweep.nb_valid
+                static_eligible[s, : depths[s] - 1, :w] = sweep.static_eligible
+                faulty[s, : depths[s], :w] = sweep.faulty
+            layer_index = np.arange(num_layers)
+            active = (
+                (layer_index[None, :, None] < np.array(depths)[:, None, None])
+                & (np.arange(width)[None, None, :] < np.array(widths)[:, None, None])
+            )
         layer_has_fault = faulty.any(axis=(0, 2))
 
+        # Per-trial parameter/policy columns when trials disagree; the
+        # shared objects otherwise (scalar broadcasting, old fast path).
+        params0, policy0 = sims[0].params, sims[0].policy
+        self._params = (
+            params0
+            if all(sim.params == params0 for sim in sims)
+            else _StackedParams(sims)
+        )
+        self._policy = (
+            policy0
+            if all(sim.policy == policy0 for sim in sims)
+            else _StackedPolicy(sims)
+        )
+
+        # Stacked layer-0 plane writes (see _run_layer0_stacked).
+        self._layer0_block = layer0_block
+        self._l0_faulty = faulty[:, 0, :]
+        self._l0_fault_trials = [
+            s for s in range(num_trials) if bool(self._l0_faulty[s].any())
+        ]
+        width_mask = (
+            np.ones((num_trials, width), dtype=bool)
+            if self._uniform
+            else np.arange(width)[None, :] < np.array(widths)[:, None]
+        )
+        self._l0_branch_row = np.where(
+            width_mask, BRANCH_CODES["layer0"], BRANCH_CODES["none"]
+        ).astype(np.int8)
+
         for k in range(num_pulses):
-            for s, sim in enumerate(sims):
-                sim._run_layer0(results[s], k)
+            self._run_layer0_stacked(
+                results, times, protocol_times, branches, k
+            )
             for layer in range(1, num_layers):
                 self._run_layer_stacked(
                     results,
-                    sweeps,
                     times,
                     protocol_times,
                     corrections,
                     effective,
                     branches,
+                    nb_idx,
+                    nb_valid,
                     static_eligible,
                     faulty,
+                    active,
                     bool(layer_has_fault[layer]),
                     self._delay_stack(sweeps, delay_cache, layer, k),
                     self._rate_stack(sweeps, rate_cache, layer, k),
@@ -230,17 +387,44 @@ class TrialStack:
                 )
         return results
 
+    def _run_layer0_stacked(
+        self,
+        results: List[FastResult],
+        times: np.ndarray,
+        protocol_times: np.ndarray,
+        branches: np.ndarray,
+        k: int,
+    ) -> None:
+        """Write layer 0's pulse-``k`` plane for every trial at once.
+
+        Mirrors :meth:`FastSimulation._run_layer0` with a leading trial
+        axis over the stacked ``(S, P, W_max)`` schedule block; only
+        trials with layer-0 faults drop to a per-vertex loop (their
+        ``fault_sends`` bookkeeping is inherently per-edge).
+        """
+        row = self._layer0_block[:, k, :]  # (S, W), NaN on padding
+        protocol_times[:, k, 0, :] = row
+        branches[:, k, 0, :] = self._l0_branch_row
+        times[:, k, 0, :] = np.where(self._l0_faulty, np.nan, row)
+        for s in self._l0_fault_trials:
+            for v in np.nonzero(self._l0_faulty[s])[0]:
+                self.sims[s]._record_fault_sends(
+                    results[s], (int(v), 0), k, float(row[s, v])
+                )
+
     def _run_layer_stacked(
         self,
         results: List[FastResult],
-        sweeps: List[_VectorSweep],
         times: np.ndarray,
         protocol_times: np.ndarray,
         corrections: np.ndarray,
         effective: np.ndarray,
         branches_out: np.ndarray,
+        nb_idx: np.ndarray,
+        nb_valid: np.ndarray,
         static_eligible: np.ndarray,
         faulty: np.ndarray,
+        active: Optional[np.ndarray],
         layer_faulty: bool,
         delays: Tuple[np.ndarray, np.ndarray],
         rate: np.ndarray,
@@ -252,7 +436,9 @@ class TrialStack:
         Mirrors :meth:`FastSimulation._run_layer_vectorized` with a leading
         trial axis -- both delegate to the shape-generic
         :func:`~repro.core.fast._layer_step_kernel`; see the module
-        docstring for the exactness argument.
+        docstring for the exactness argument.  ``active`` (None on uniform
+        stacks) masks the padding: inert cells are never eligible, never
+        written, and never replayed by the scalar fallback.
         """
         sims = self.sims
         prev = times[:, k, layer - 1, :]  # (S, W) send times, NaN = missing
@@ -263,23 +449,42 @@ class TrialStack:
             own_delay,
             nb_delay,
             rate,
-            sweeps[0].nb_idx,
-            sweeps[0].nb_valid,
+            nb_idx,
+            nb_valid,
             static_eligible[:, layer - 1, :],
-            sims[0].params,
-            sims[0].policy,
+            self._params,
+            self._policy,
             sims[0].algorithm == "simplified",
         )
 
-        if not layer_faulty and eligible.all():
-            # Common case (no trial has a fault on this layer, every cell on
-            # the fast path): whole-plane assignments, no boolean gathers.
-            corrections[:, k, layer] = correction
-            branches_out[:, k, layer] = branches
-            effective[:, k, layer] = eff
-            protocol_times[:, k, layer] = pulse_time
-            times[:, k, layer] = pulse_time
-            return
+        if active is None:
+            fallback = ~eligible
+            if not layer_faulty and eligible.all():
+                # Common case (uniform stack, no trial has a fault on this
+                # layer, every cell on the fast path): whole-plane
+                # assignments, no boolean gathers.
+                corrections[:, k, layer] = correction
+                branches_out[:, k, layer] = branches
+                effective[:, k, layer] = eff
+                protocol_times[:, k, layer] = pulse_time
+                times[:, k, layer] = pulse_time
+                return
+        else:
+            fallback = active[:, layer, :] & ~eligible
+            if not layer_faulty and not fallback.any():
+                # Padded analogue of the fast path: every *real* cell is
+                # eligible, so one masked whole-plane select per matrix
+                # (inert cells keep their NaN/"none" padding).
+                corrections[:, k, layer] = np.where(eligible, correction, np.nan)
+                branches_out[:, k, layer] = np.where(
+                    eligible, branches, BRANCH_CODES["none"]
+                )
+                effective[:, k, layer] = np.where(eligible, eff, np.nan)
+                protocol_times[:, k, layer] = np.where(
+                    eligible, pulse_time, np.nan
+                )
+                times[:, k, layer] = np.where(eligible, pulse_time, np.nan)
+                return
 
         corrections[:, k, layer][eligible] = correction[eligible]
         branches_out[:, k, layer][eligible] = branches[eligible]
@@ -293,6 +498,6 @@ class TrialStack:
                 sims[s]._record_fault_sends(
                     results[s], (int(v), layer), k, float(pulse_time[s, v])
                 )
-        if not eligible.all():
-            for s, v in zip(*np.nonzero(~eligible)):
+        if fallback.any():
+            for s, v in zip(*np.nonzero(fallback)):
                 sims[s]._run_node_and_record(results[s], (int(v), layer), k)

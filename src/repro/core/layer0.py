@@ -36,7 +36,54 @@ __all__ = [
     "JitteredLayer0",
     "AlternatingLayer0",
     "ChainLayer0",
+    "stacked_pulse_times",
 ]
+
+
+def stacked_pulse_times(
+    schedules: Sequence["Layer0Schedule"],
+    bases: Sequence[BaseGraph],
+    pulses: int,
+) -> np.ndarray:
+    """All trials' layer-0 schedules as one ``(S, pulses, W_max)`` block.
+
+    The stacked-trial kernel's layer-0 fill: trial ``s``'s schedule over
+    its base graph occupies ``out[s, :, :W_s]``; cells past a trial's
+    width are NaN (inert padding -- the same marker the simulator uses
+    for "never pulsed", so padded cells are masked out everywhere NaN
+    is).  Schedules are grouped by concrete class and delegated to
+    ``_stack_pulse_times``, which Perfect/Jittered/Alternating override
+    with one whole-group array fill; the generic fallback (and
+    :class:`ChainLayer0`, whose fill is inherently per-chain) loops
+    :meth:`Layer0Schedule.pulse_times_array` per trial.  Every entry is
+    bit-identical to the per-trial array -- the vectorized group fills
+    evaluate the same elementwise expressions.
+    """
+    if len(schedules) != len(bases):
+        raise ValueError(
+            f"{len(schedules)} schedules for {len(bases)} base graphs"
+        )
+    if pulses < 0:
+        raise ValueError(f"pulses must be >= 0, got {pulses}")
+    if not schedules:
+        return np.empty((0, pulses, 0))
+    width = max(base.num_nodes for base in bases)
+    out = np.full((len(schedules), pulses, width), np.nan)
+    groups: Dict[type, List[int]] = {}
+    for s, schedule in enumerate(schedules):
+        groups.setdefault(type(schedule), []).append(s)
+    for cls, rows in groups.items():
+        cls._stack_pulse_times(
+            [schedules[s] for s in rows], [bases[s] for s in rows], pulses,
+            out, rows,
+        )
+    return out
+
+
+def _width_mask(bases: Sequence[BaseGraph], width: int) -> np.ndarray:
+    """Boolean ``(len(bases), width)``: True on each trial's real vertices."""
+    counts = np.array([base.num_nodes for base in bases], dtype=np.int64)
+    return np.arange(width)[None, :] < counts[:, None]
 
 
 class Layer0Schedule(ABC):
@@ -63,6 +110,26 @@ class Layer0Schedule(ABC):
             for v in base.nodes():
                 times[k, v] = self.pulse_time(v, k)
         return times
+
+    @classmethod
+    def _stack_pulse_times(
+        cls,
+        schedules: Sequence["Layer0Schedule"],
+        bases: Sequence[BaseGraph],
+        pulses: int,
+        out: np.ndarray,
+        rows: Sequence[int],
+    ) -> None:
+        """Fill ``out[rows]`` of a :func:`stacked_pulse_times` block.
+
+        The generic fallback gathers one trial at a time; subclasses
+        whose schedule is a closed-form function of ``(pulse, vertex)``
+        override it with a single vectorized fill of the whole group.
+        """
+        for row, schedule, base in zip(rows, schedules, bases):
+            out[row, :, : base.num_nodes] = schedule.pulse_times_array(
+                base, pulses
+            )
 
     def layer_times(self, base: BaseGraph, pulse: int) -> List[float]:
         """Pulse times across the whole layer."""
@@ -101,6 +168,14 @@ class PerfectLayer0(Layer0Schedule):
             raise ValueError(f"pulses must be >= 0, got {pulses}")
         column = np.arange(pulses, dtype=float) * self.Lambda
         return np.tile(column[:, None], (1, base.num_nodes))
+
+    @classmethod
+    def _stack_pulse_times(cls, schedules, bases, pulses, out, rows):
+        # k * Lambda per trial, broadcast over each trial's real vertices.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        columns = np.arange(pulses, dtype=float)[None, :] * lambdas  # (n, P)
+        mask = _width_mask(bases, out.shape[-1])
+        out[rows] = np.where(mask[:, None, :], columns[:, :, None], np.nan)
 
 
 class JitteredLayer0(Layer0Schedule):
@@ -146,6 +221,18 @@ class JitteredLayer0(Layer0Schedule):
         jitter = self._jitter[np.asarray(base.nodes(), dtype=np.int64)]
         return column[:, None] + jitter[None, :]
 
+    @classmethod
+    def _stack_pulse_times(cls, schedules, bases, pulses, out, rows):
+        # (k * Lambda + offset) per trial, plus NaN-padded jitter rows --
+        # the padding NaN propagates through the add, masking dead cells.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        offsets = np.array([s._base_offset for s in schedules])[:, None]
+        columns = np.arange(pulses, dtype=float)[None, :] * lambdas + offsets
+        jitter = np.full((len(schedules), out.shape[-1]), np.nan)
+        for i, (schedule, base) in enumerate(zip(schedules, bases)):
+            jitter[i, : base.num_nodes] = schedule._jitter[: base.num_nodes]
+        out[rows] = columns[:, :, None] + jitter[:, None, :]
+
 
 class AlternatingLayer0(Layer0Schedule):
     """Zigzag input: pulse ``k`` at ``k * Lambda + (-1)**v * amplitude``.
@@ -177,6 +264,18 @@ class AlternatingLayer0(Layer0Schedule):
         column = np.arange(pulses, dtype=float) * self.Lambda + self.amplitude
         signs = np.where(np.arange(base.num_nodes) % 2 == 0, 1.0, -1.0)
         return column[:, None] + (signs * self.amplitude)[None, :]
+
+    @classmethod
+    def _stack_pulse_times(cls, schedules, bases, pulses, out, rows):
+        # (k * Lambda + amplitude) + sign * amplitude, per trial at once.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        amplitudes = np.array([s.amplitude for s in schedules])[:, None]
+        columns = np.arange(pulses, dtype=float)[None, :] * lambdas + amplitudes
+        signs = np.where(np.arange(out.shape[-1]) % 2 == 0, 1.0, -1.0)
+        offsets = signs[None, :] * amplitudes  # (n, W_max)
+        mask = _width_mask(bases, out.shape[-1])
+        block = columns[:, :, None] + offsets[:, None, :]
+        out[rows] = np.where(mask[:, None, :], block, np.nan)
 
 
 class ChainLayer0(Layer0Schedule):

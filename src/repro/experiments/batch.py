@@ -7,16 +7,24 @@ module sweeps many trials in one call instead:
 * compatible trials advance through the pulse/layer recurrence *together*
   via the trial-stacked ``(S, W)`` kernel of
   :class:`~repro.core.fast_batch.TrialStack` -- one array op per layer
-  step for the whole batch instead of one per trial; both the full
-  Algorithm 3 and the ``simplified`` Algorithm 1 semantics stack (each in
-  its own group),
-* trials the stack cannot take (mismatched parameters/policies/
-  geometries, ``vectorize=False``) fall back to the per-trial vectorized
-  kernel of :class:`~repro.core.fast.FastSimulation`, and
+  step for the whole batch instead of one per trial.  Trials with
+  *different* geometries, parameters, and numeric policy knobs stack too
+  (padded to ``(S, W_max)`` with inert cells; see the ``fast_batch``
+  module docstring): grouping is by algorithm variant and the structural
+  policy switches only, so a mixed-width diameter sweep runs as one
+  stack.  ``stack_mixed_geometry=False`` opts out, restoring the old
+  structurally-identical grouping,
+* trials the stack cannot take (``vectorize=False``, ``stack=False``, or
+  a residual incompatibility) fall back to the per-trial vectorized
+  kernel of :class:`~repro.core.fast.FastSimulation`, with the reason
+  recorded per trial in :attr:`BatchResult.fallback_reasons` (no more
+  silent slow paths), and
 * the per-trial results are stacked along a leading *trial axis* --
-  ``times`` of shape ``(S, K, L, W)`` -- so skew and correction statistics
-  for the whole sweep reduce in single array sweeps through the
-  array-shaped entry points of :mod:`repro.analysis.skew`.
+  ``times`` of shape ``(S, K, L_max, W_max)``, NaN-padded when grids
+  differ -- so skew and correction statistics for the whole sweep reduce
+  in array sweeps through the entry points of :mod:`repro.analysis.skew`
+  (one sweep per distinct geometry; padding cells are NaN and therefore
+  invisible to every reducer).
 
 For fault-heavy sweeps whose cells mostly replay the scalar path,
 ``BatchRunner(executor="process", shards=N)`` splits the trial list into
@@ -63,6 +71,7 @@ from repro.analysis.skew import (
     global_skew_layers,
     inter_layer_skew_layers,
     local_skew_layers,
+    masked_max,
     overall_skew_layers,
 )
 
@@ -127,6 +136,11 @@ class BatchTrial:
         return 0 if self.fault_plan is None else len(self.fault_plan)
 
 
+def _rows_max(values: np.ndarray, empty: float = 0.0) -> np.ndarray:
+    """Last-axis max ignoring NaN padding; all-NaN/empty rows -> ``empty``."""
+    return masked_max(values, axis=-1, empty=empty)
+
+
 class BatchResult:
     """Stacked outcome of a multi-trial sweep.
 
@@ -135,62 +149,164 @@ class BatchResult:
     trials:
         The :class:`BatchTrial` specs, in run order.
     times, corrections, effective_corrections:
-        Arrays of shape ``(S, K, L, W)`` -- the per-trial
+        Arrays of shape ``(S, K, L_max, W_max)`` -- the per-trial
         :class:`~repro.core.fast.FastResult` matrices stacked along the
-        trial axis.
+        trial axis.  When trial grids differ, narrower/shallower trials
+        are NaN-padded past their own ``(L_s, W_s)`` window; NaN is the
+        simulator's "no pulse" marker, so padding is invisible to every
+        masked reducer.
     faulty_masks:
-        Boolean ``(S, L, W)``.
+        Boolean ``(S, L_max, W_max)`` (False-padded).
     results:
         The underlying per-trial :class:`FastResult` objects (for drill-in
         and for ``fault_sends``).
+    stack_groups:
+        Trial-index lists that advanced through one shared
+        :class:`~repro.core.fast_batch.TrialStack` each (empty for trials
+        that ran per-trial).
+    fallback_reasons:
+        ``{trial_index: reason}`` for every trial that did *not* run
+        stacked -- the runner records why (``stack=False``,
+        ``vectorize=False``, or the :func:`stack_compatibility` verdict)
+        instead of silently dropping to the slow path.
     """
 
     def __init__(
-        self, trials: Sequence[BatchTrial], results: Sequence[FastResult]
+        self,
+        trials: Sequence[BatchTrial],
+        results: Sequence[FastResult],
+        stack_groups: Optional[Sequence[Sequence[int]]] = None,
+        fallback_reasons: Optional[Dict[int, str]] = None,
     ) -> None:
         self.trials = list(trials)
         self.results = list(results)
         self.graph = results[0].graph
         self.num_pulses = results[0].num_pulses
-        self.times = np.stack([r.times for r in results])
-        self.corrections = np.stack([r.corrections for r in results])
-        self.effective_corrections = np.stack(
-            [r.effective_corrections for r in results]
-        )
-        self.faulty_masks = np.stack([r.faulty_mask for r in results])
+        if any(r.num_pulses != self.num_pulses for r in results):
+            raise ValueError("trials of one batch must share num_pulses")
+        self.stack_groups = [list(g) for g in (stack_groups or [])]
+        self.fallback_reasons = dict(fallback_reasons or {})
+
+        # Geometry (not array shape) decides whether skews must reduce per
+        # group: a cycle-9 and a complete-9 trial share (K, L, 9) matrices
+        # but not an edge set, so reducing both along trial 0's edges would
+        # silently mis-measure.  Equal shapes still stack without padding.
+        geometries = {
+            (r.graph.num_layers, r.graph.base.adjacency) for r in results
+        }
+        self.heterogeneous = len(geometries) > 1
+        if len({r.times.shape for r in results}) == 1:
+            self.times = np.stack([r.times for r in results])
+            self.corrections = np.stack([r.corrections for r in results])
+            self.effective_corrections = np.stack(
+                [r.effective_corrections for r in results]
+            )
+            self.faulty_masks = np.stack([r.faulty_mask for r in results])
+        else:
+            num_layers = max(r.graph.num_layers for r in results)
+            width = max(r.graph.width for r in results)
+            shape = (len(results), self.num_pulses, num_layers, width)
+            self.times = np.full(shape, np.nan)
+            self.corrections = np.full(shape, np.nan)
+            self.effective_corrections = np.full(shape, np.nan)
+            self.faulty_masks = np.zeros(
+                (len(results), num_layers, width), dtype=bool
+            )
+            for s, r in enumerate(results):
+                depth, w = r.graph.num_layers, r.graph.width
+                self.times[s, :, :depth, :w] = r.times
+                self.corrections[s, :, :depth, :w] = r.corrections
+                self.effective_corrections[s, :, :depth, :w] = (
+                    r.effective_corrections
+                )
+                self.faulty_masks[s, :depth, :w] = r.faulty_mask
 
     def __len__(self) -> int:
         return len(self.trials)
 
     # ------------------------------------------------------------------
-    # Stacked skew statistics (one array sweep across all trials)
+    # Stacked skew statistics (one array sweep per distinct geometry)
     # ------------------------------------------------------------------
+    def _geometry_groups(self) -> List[Tuple[object, List[int]]]:
+        """Trial indices grouped by grid structure (graph, index list).
+
+        The skew reducers gather along base-graph edges, so trials with
+        different geometries reduce in separate sweeps; within a group
+        one array sweep covers all its trials, as before.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        graphs: Dict[Tuple, object] = {}
+        for i, r in enumerate(self.results):
+            key = (r.graph.num_layers, r.graph.base.adjacency)
+            groups.setdefault(key, []).append(i)
+            graphs.setdefault(key, r.graph)
+        return [(graphs[key], indices) for key, indices in groups.items()]
+
+    def _per_layer_stat(self, fn, columns: int, empty: float) -> np.ndarray:
+        """Scatter a per-geometry ``(s, L-ish)`` reducer into ``(S, cols)``.
+
+        Rows are NaN past a trial's own layer count -- those layers do not
+        exist, which is distinct from ``empty`` ("layer exists but has no
+        comparable pulse pair").
+        """
+        out = np.full((len(self), columns), np.nan)
+        for graph, indices in self._geometry_groups():
+            depth, width = graph.num_layers, graph.width
+            sub = self.times[indices][:, :, :depth, :width]
+            values = fn(sub, graph, empty)
+            out[np.asarray(indices)[:, None], np.arange(values.shape[-1])] = values
+        return out
+
     def local_skews(self, empty: float = 0.0) -> np.ndarray:
-        """Per-trial, per-layer ``L_l``; shape ``(S, L)``."""
-        return local_skew_layers(self.times, self.graph, empty=empty)
+        """Per-trial, per-layer ``L_l``; shape ``(S, L_max)``.
+
+        Mixed-geometry batches report NaN for layers a trial does not
+        have.
+        """
+        if not self.heterogeneous:
+            return local_skew_layers(self.times, self.graph, empty=empty)
+        return self._per_layer_stat(
+            lambda sub, graph, e: local_skew_layers(sub, graph, empty=e),
+            self.times.shape[-2],
+            empty,
+        )
 
     def max_local_skews(self) -> np.ndarray:
         """Per-trial ``sup_l L_l``; shape ``(S,)``."""
-        return self.local_skews().max(axis=-1)
+        return _rows_max(self.local_skews())
 
     def inter_layer_skews(self, empty: float = 0.0) -> np.ndarray:
-        """Per-trial, per-boundary ``L_{l,l+1}``; shape ``(S, L - 1)``."""
-        return inter_layer_skew_layers(self.times, self.graph, empty=empty)
+        """Per-trial, per-boundary ``L_{l,l+1}``; shape ``(S, L_max - 1)``."""
+        if not self.heterogeneous:
+            return inter_layer_skew_layers(self.times, self.graph, empty=empty)
+        return self._per_layer_stat(
+            lambda sub, graph, e: inter_layer_skew_layers(sub, graph, empty=e),
+            max(self.times.shape[-2] - 1, 0),
+            empty,
+        )
 
     def max_inter_layer_skews(self) -> np.ndarray:
         """Per-trial ``sup_l L_{l,l+1}``; shape ``(S,)``."""
-        values = self.inter_layer_skews()
-        if values.shape[-1] == 0:
-            return np.zeros(len(self))
-        return values.max(axis=-1)
+        return _rows_max(self.inter_layer_skews())
 
     def overall_skews(self) -> np.ndarray:
         """Per-trial ``L = sup_l max(L_l, L_{l,l+1})``; shape ``(S,)``."""
-        return overall_skew_layers(self.times, self.graph)
+        if not self.heterogeneous:
+            return overall_skew_layers(self.times, self.graph)
+        out = np.empty(len(self))
+        for graph, indices in self._geometry_groups():
+            depth, width = graph.num_layers, graph.width
+            sub = self.times[indices][:, :, :depth, :width]
+            out[indices] = overall_skew_layers(sub, graph)
+        return out
 
     def global_skews(self) -> np.ndarray:
-        """Per-trial global skew; shape ``(S,)``."""
-        return global_skew_layers(self.times).max(axis=-1)
+        """Per-trial global skew; shape ``(S,)``.
+
+        Geometry-agnostic: padded cells are NaN and the per-layer spread
+        masks them, so the one-sweep reduction covers mixed grids too.
+        """
+        return _rows_max(global_skew_layers(self.times, empty=np.nan))
 
     # ------------------------------------------------------------------
     # Correction statistics
@@ -217,17 +333,25 @@ class BatchResult:
         return np.array([t.num_faults for t in self.trials], dtype=np.int64)
 
 
-def _stack_key(trial: BatchTrial) -> Tuple:
+def _stack_key(trial: BatchTrial, mixed_geometry: bool = True) -> Tuple:
     """Hashable grouping key for trials that can share a :class:`TrialStack`.
 
-    Groups by the structural requirements of
+    Groups by the requirements of
     :func:`repro.core.fast_batch.stack_compatibility`: algorithm (both
-    ``"full"`` and ``"simplified"`` stack, but not together), parameters,
-    policy, and grid structure.  The adjacency component is the tuple the
-    base graph caches at construction (``BaseGraph.adjacency``), not a
-    per-trial re-gather -- building it per trial was O(S * W * deg) of
-    redundant Python per batch.
+    ``"full"`` and ``"simplified"`` stack, but not together) and the
+    structural policy switches.  Geometry, parameters, and ``jump_slack``
+    ride along through the padded kernel -- a thm11-style mixed-width
+    sweep is one group.  With ``mixed_geometry=False`` (the
+    :class:`BatchRunner` opt-out) the key reverts to the strict PR-2
+    grouping: identical parameters, policy, layer count, and base-graph
+    adjacency (the tuple the graph caches at construction).
     """
+    if mixed_geometry:
+        return (
+            trial.algorithm,
+            trial.policy.discretize,
+            trial.policy.stick_to_median,
+        )
     graph = trial.config.graph
     return (
         trial.algorithm,
@@ -239,15 +363,24 @@ def _stack_key(trial: BatchTrial) -> Tuple:
 
 
 def _run_shard(
-    trials: List[BatchTrial], num_pulses: int, vectorize: bool, stack: bool
-) -> List[FastResult]:
+    trials: List[BatchTrial],
+    num_pulses: int,
+    vectorize: bool,
+    stack: bool,
+    stack_mixed_geometry: bool,
+) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
     """Process-executor worker: run one contiguous shard serially.
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it under every start method (fork, spawn, forkserver).
+    Returns the shard's results plus its shard-local stack-group indices
+    and fallback reasons (re-offset by the parent).
     """
     runner = BatchRunner(
-        num_pulses=num_pulses, vectorize=vectorize, stack=stack
+        num_pulses=num_pulses,
+        vectorize=vectorize,
+        stack=stack,
+        stack_mixed_geometry=stack_mixed_geometry,
     )
     return runner._run_serial(trials)
 
@@ -268,10 +401,15 @@ class BatchRunner:
         and the throughput benchmark) and disables trial stacking.
     stack:
         Run compatible trials through the trial-stacked ``(S, W)`` kernel
-        (:class:`~repro.core.fast_batch.TrialStack`); the default.  Trials
-        are grouped by (parameters, policy, geometry) so heterogeneous
-        batches still stack whatever subsets they can; ``False`` keeps the
-        per-trial loop of the vectorized kernel.
+        (:class:`~repro.core.fast_batch.TrialStack`); the default.
+        ``False`` keeps the per-trial loop of the vectorized kernel.
+    stack_mixed_geometry:
+        Let one stack take trials with *different* grids/parameters via
+        the padded ``(S, W_max)`` kernel (the default -- a mixed-width
+        diameter sweep runs as a single stack).  ``False`` opts out,
+        grouping only structurally identical trials (the pre-padding
+        behavior; useful when a few very deep trials would make the
+        padding overhead dominate a mostly-shallow batch).
     executor:
         ``"serial"`` (default) or ``"process"``.  The process executor
         shards the trial list across worker processes -- worthwhile for
@@ -287,6 +425,7 @@ class BatchRunner:
         num_pulses: int = 4,
         vectorize: bool = True,
         stack: bool = True,
+        stack_mixed_geometry: bool = True,
         executor: str = "serial",
         shards: Optional[int] = None,
     ) -> None:
@@ -301,57 +440,79 @@ class BatchRunner:
         self.num_pulses = num_pulses
         self.vectorize = vectorize
         self.stack = stack
+        self.stack_mixed_geometry = stack_mixed_geometry
         self.executor = executor
         self.shards = shards
 
     def run(self, trials: Sequence[BatchTrial]) -> BatchResult:
-        """Execute every trial and return the stacked :class:`BatchResult`."""
+        """Execute every trial and return the stacked :class:`BatchResult`.
+
+        Mixed grid shapes are welcome: the result matrices NaN-pad past
+        each trial's own window (see :class:`BatchResult`).
+        """
         trials = list(trials)
         if not trials:
             raise ValueError("need at least one trial")
-        shape0 = (trials[0].config.graph.num_layers, trials[0].config.graph.width)
-        for trial in trials[1:]:
-            shape = (trial.config.graph.num_layers, trial.config.graph.width)
-            if shape != shape0:
-                raise ValueError(
-                    f"trial grid shapes differ: {shape} vs {shape0}; "
-                    "run mismatched geometries in separate batches"
-                )
         if self.executor == "process":
-            results = self._run_process(trials)
+            results, groups, reasons = self._run_process(trials)
         else:
-            results = self._run_serial(trials)
-        return BatchResult(trials, results)
+            results, groups, reasons = self._run_serial(trials)
+        return BatchResult(
+            trials, results, stack_groups=groups, fallback_reasons=reasons
+        )
 
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
-    def _run_serial(self, trials: List[BatchTrial]) -> List[FastResult]:
-        """In-process execution: stacked groups, per-trial fallback."""
+    def _run_serial(
+        self, trials: List[BatchTrial]
+    ) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
+        """In-process execution: stacked groups, per-trial fallback.
+
+        Returns ``(results, stack_groups, fallback_reasons)`` -- every
+        trial either belongs to exactly one stack group or carries a
+        fallback reason, so "why didn't this stack?" is always on record.
+        """
         if not (self.stack and self.vectorize):
-            return [
+            reason = (
+                "stacking disabled (stack=False)"
+                if self.stack is False
+                else "vectorize=False forces the per-trial scalar path"
+            )
+            results = [
                 trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
                 for trial in trials
             ]
+            return results, [], {i: reason for i in range(len(trials))}
         results: List[Optional[FastResult]] = [None] * len(trials)
+        stack_groups: List[List[int]] = []
+        reasons: Dict[int, str] = {}
         groups: Dict[Tuple, List[int]] = {}
         for i, trial in enumerate(trials):
-            groups.setdefault(_stack_key(trial), []).append(i)
+            key = _stack_key(trial, mixed_geometry=self.stack_mixed_geometry)
+            groups.setdefault(key, []).append(i)
         for indices in groups.values():
             sims = [trials[i].simulation(vectorize=True) for i in indices]
-            if stack_compatibility(sims) is not None:
+            reason = stack_compatibility(sims)
+            if reason is not None:
                 for i, sim in zip(indices, sims):
                     results[i] = sim.run(self.num_pulses)
+                    reasons[i] = reason
                 continue
+            stack_groups.append(list(indices))
             for i, result in zip(indices, TrialStack(sims).run(self.num_pulses)):
                 results[i] = result
-        return results  # type: ignore[return-value]
+        return results, stack_groups, reasons  # type: ignore[return-value]
 
-    def _run_process(self, trials: List[BatchTrial]) -> List[FastResult]:
+    def _run_process(
+        self, trials: List[BatchTrial]
+    ) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
         """Shard the trial list across worker processes, preserving order.
 
         Per-trial execution is deterministic given the trial spec, so the
-        reassembled result list is independent of the shard count.
+        reassembled result list is independent of the shard count.  Stack
+        groups and fallback reasons come back shard-local and are
+        re-offset to batch indices here.
         """
         shards = self.shards or os.cpu_count() or 1
         shards = max(1, min(shards, len(trials)))
@@ -359,19 +520,37 @@ class BatchRunner:
             return self._run_serial(trials)
         bounds = np.linspace(0, len(trials), shards + 1).astype(int)
         chunks = [
-            trials[bounds[i]: bounds[i + 1]]
+            (int(bounds[i]), trials[bounds[i]: bounds[i + 1]])
             for i in range(shards)
             if bounds[i] < bounds[i + 1]
         ]
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             futures = [
                 pool.submit(
-                    _run_shard, chunk, self.num_pulses, self.vectorize, self.stack
+                    _run_shard,
+                    chunk,
+                    self.num_pulses,
+                    self.vectorize,
+                    self.stack,
+                    self.stack_mixed_geometry,
                 )
-                for chunk in chunks
+                for _, chunk in chunks
             ]
-            shard_results = [future.result() for future in futures]
-        return [result for shard in shard_results for result in shard]
+            shard_outputs = [future.result() for future in futures]
+        results: List[FastResult] = []
+        stack_groups: List[List[int]] = []
+        reasons: Dict[int, str] = {}
+        for (offset, _), (shard_results, shard_groups, shard_reasons) in zip(
+            chunks, shard_outputs
+        ):
+            results.extend(shard_results)
+            stack_groups.extend(
+                [offset + i for i in group] for group in shard_groups
+            )
+            reasons.update(
+                {offset + i: why for i, why in shard_reasons.items()}
+            )
+        return results, stack_groups, reasons
 
     # ------------------------------------------------------------------
     # Convenience constructors

@@ -101,12 +101,14 @@ def run_cor15(
     envelope_factor: float = 1.5,
     executor: str = "serial",
     shards: Optional[int] = None,
+    stack_mixed_geometry: bool = True,
 ) -> Cor15Result:
     """Run with per-pulse delay/rate drift and a mutating fault.
 
-    ``executor``/``shards`` are forwarded to :class:`BatchRunner` so
-    multi-seed variants of this study shard like the other drivers (the
-    default single-trial run gains nothing from sharding).
+    ``executor``/``shards``/``stack_mixed_geometry`` are forwarded to
+    :class:`BatchRunner` so multi-seed/multi-diameter variants of this
+    study shard and stack like the other drivers (the default
+    single-trial run gains nothing from either).
     """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     params = config.params
@@ -136,7 +138,10 @@ def run_cor15(
     changes = sum(plan.count_behavior_changes(k) for k in range(num_pulses))
 
     batch = BatchRunner(
-        num_pulses=num_pulses, executor=executor, shards=shards
+        num_pulses=num_pulses,
+        executor=executor,
+        shards=shards,
+        stack_mixed_geometry=stack_mixed_geometry,
     ).run(
         [
             BatchTrial(

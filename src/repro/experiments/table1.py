@@ -114,14 +114,19 @@ def run_table1(
     hex_crash: bool = True,
     executor: str = "serial",
     shards: Optional[int] = None,
+    stack_mixed_geometry: bool = True,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
 
     Skews are maxima over ``seeds`` (worst case over sampled delay/drift
     assignments).  ``hex_crash`` additionally reports HEX with one crashed
-    node, the regime in which its additive-``d`` weakness shows.  The
-    Gradient TRIX batches forward ``executor``/``shards`` to
-    :class:`BatchRunner`; the baseline simulations stay serial.
+    node, the regime in which its additive-``d`` weakness shows.  All
+    Gradient TRIX cells -- every diameter, both the random and the
+    Figure 1 adversarial delay regime -- run as *one* :class:`BatchRunner`
+    batch through the padded mixed-geometry stack (delay models are
+    per-trial inputs, so the two regimes share the stack); ``executor``/
+    ``shards``/``stack_mixed_geometry`` are forwarded to
+    :class:`BatchRunner` and the baseline simulations stay serial.
     """
     def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
         # The Figure 1 worst case: rightward/straight edges at maximum
@@ -130,25 +135,47 @@ def run_table1(
 
     rows: List[Table1Row] = []
     runner = BatchRunner(
-        num_pulses=num_pulses, executor=executor, shards=shards
+        num_pulses=num_pulses,
+        executor=executor,
+        shards=shards,
+        stack_mixed_geometry=stack_mixed_geometry,
     )
-    for diameter in diameters:
-        configs = [
+    all_configs = {
+        diameter: [
             standard_config(diameter, seed=seed, num_pulses=num_pulses)
             for seed in seeds
         ]
-        # Gradient TRIX cells: one batch over seeds with the config's
-        # random delays, one with the Figure 1 adversarial split.
-        normal = runner.run([BatchTrial(config=c) for c in configs])
-        gt_local = float(normal.max_local_skews().max())
-        gt_global = float(normal.global_skews().max())
-        worst_case = runner.run(
-            [
-                BatchTrial(config=c, delay_model=adversarial_delays(c.params))
-                for c in configs
-            ]
-        )
-        gt_worst = float(worst_case.max_local_skews().max())
+        for diameter in diameters
+    }
+    # Gradient TRIX cells: random-delay and adversarial-delay trials for
+    # every diameter, interleaved into one mixed-geometry batch.
+    gt_trials: List[BatchTrial] = []
+    gt_cells: Dict[Tuple[int, str], List[int]] = {}
+    for diameter in diameters:
+        for kind, factory in (
+            ("normal", lambda c: BatchTrial(config=c)),
+            (
+                "worst",
+                lambda c: BatchTrial(
+                    config=c, delay_model=adversarial_delays(c.params)
+                ),
+            ),
+        ):
+            cell = gt_cells.setdefault((diameter, kind), [])
+            for config in all_configs[diameter]:
+                cell.append(len(gt_trials))
+                gt_trials.append(factory(config))
+    gt_batch = runner.run(gt_trials)
+    gt_max_local = gt_batch.max_local_skews()
+    gt_max_global = gt_batch.global_skews()
+
+    for diameter in diameters:
+        configs = all_configs[diameter]
+        normal_cell = gt_cells[(diameter, "normal")]
+        worst_cell = gt_cells[(diameter, "worst")]
+        gt_local = float(gt_max_local[normal_cell].max())
+        gt_global = float(gt_max_global[normal_cell].max())
+        gt_worst = float(gt_max_local[worst_cell].max())
 
         trix_local, trix_global, trix_worst = 0.0, 0.0, 0.0
         hex_local, hex_crash_local = 0.0, 0.0

@@ -110,6 +110,7 @@ def run_thm13(
     seeds: Sequence[int] | None = None,
     executor: str = "serial",
     shards: Optional[int] = None,
+    stack_mixed_geometry: bool = True,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
 
@@ -117,7 +118,10 @@ def run_thm13(
     single :class:`BatchRunner` batch; the per-trial skew maxima reduce in
     one sweep over the stacked pulse-time stack.  Fault-heavy cells replay
     the scalar fallback, which is exactly the regime
-    ``executor="process"`` shards across cores.
+    ``executor="process"`` shards across cores.  The reference trial's
+    pulse budget differs from the fault trials', not its geometry, so the
+    whole batch is one stack group either way; ``stack_mixed_geometry``
+    is forwarded for parity with the other drivers.
     """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes
@@ -155,7 +159,10 @@ def run_thm13(
         )
 
     batch = BatchRunner(
-        num_pulses=num_pulses, executor=executor, shards=shards
+        num_pulses=num_pulses,
+        executor=executor,
+        shards=shards,
+        stack_mixed_geometry=stack_mixed_geometry,
     ).run(batch_trials)
     skews = batch.max_local_skews()
     fault_free_skew = float(skews[0])

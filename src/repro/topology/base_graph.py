@@ -76,6 +76,7 @@ class BaseGraph:
         self._distances: Dict[int, List[int]] = {}
         self._diameter: int | None = None
         self._edge_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._neighbor_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if not self._is_connected():
             raise ValueError("base graph must be connected")
         if require_min_degree_2 and num_nodes > 1:
@@ -134,6 +135,26 @@ class BaseGraph:
             right = np.array([e[1] for e in self._edges], dtype=np.int64)
             self._edge_index_arrays = (left, right)
         return self._edge_index_arrays
+
+    def neighbor_index_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``(W, max_deg)`` neighbor gather indices and validity mask.
+
+        ``idx[v, j]`` is the ``j``-th (sorted) neighbor of ``v`` where
+        ``valid[v, j]`` is True, and 0 (an inert placeholder never read
+        through an unmasked lane) elsewhere.  ``max_deg`` is at least 1 so
+        downstream gathers always have a last axis.  Cached on the graph
+        (adjacency is immutable): the vectorized simulator kernels used to
+        rebuild these per run per trial with a Python double loop.
+        """
+        if self._neighbor_index_arrays is None:
+            cols = max(self.max_degree(), 1)
+            idx = np.zeros((self._num_nodes, cols), dtype=np.int64)
+            valid = np.zeros((self._num_nodes, cols), dtype=bool)
+            for v, nbs in enumerate(self._adjacency):
+                idx[v, : len(nbs)] = nbs
+                valid[v, : len(nbs)] = True
+            self._neighbor_index_arrays = (idx, valid)
+        return self._neighbor_index_arrays
 
     def nodes(self) -> range:
         """Iterable over vertices."""

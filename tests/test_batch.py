@@ -115,13 +115,24 @@ class TestBatchRunnerValidation:
         with pytest.raises(ValueError):
             BatchRunner(num_pulses=0)
 
-    def test_rejects_mismatched_grids(self):
+    def test_mismatched_grids_pad_instead_of_raising(self):
+        # Mixed geometries used to be rejected; they now run as one
+        # padded stack with NaN past each trial's own (L, W) window.
         trials = [
             BatchTrial(config=standard_config(4)),
             BatchTrial(config=standard_config(6)),
         ]
-        with pytest.raises(ValueError, match="grid shapes differ"):
-            BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        batch = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        assert batch.heterogeneous
+        assert batch.stack_groups == [[0, 1]]
+        small = trials[0].config.graph
+        assert np.isnan(batch.times[0, :, small.num_layers:, :]).all()
+        assert np.isnan(batch.times[0, :, :, small.width:]).all()
+        reference = trials[0].config.simulation().run(NUM_PULSES)
+        np.testing.assert_array_equal(
+            batch.times[0, :, : small.num_layers, : small.width],
+            reference.times,
+        )
 
     def test_trial_overrides(self):
         config = standard_config(4, num_pulses=NUM_PULSES)

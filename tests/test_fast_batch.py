@@ -180,29 +180,53 @@ class TestStackCompatibility:
         sims = [BatchTrial(config=config).simulation(vectorize=False)]
         assert "vectorize=False" in stack_compatibility(sims)
 
-    def test_mismatched_params_rejected(self):
+    def test_mismatched_params_stack_bit_identically(self):
+        # Parameters used to split stacks; they now broadcast as (S, 1)
+        # per-trial columns through the shared kernel.
         a = standard_config(4, num_pulses=NUM_PULSES)
         b = standard_config(
             4, num_pulses=NUM_PULSES, params=a.params.with_lambda(3.0)
         )
-        sims = [BatchTrial(config=c).simulation() for c in (a, b)]
-        assert "parameters differ" in stack_compatibility(sims)
+        trials = [BatchTrial(config=c) for c in (a, b)]
+        sims = [t.simulation() for t in trials]
+        assert stack_compatibility(sims) is None
+        stacked = TrialStack(sims).run(NUM_PULSES)
+        assert_results_equal(stacked, reference_results(trials))
 
-    def test_mismatched_policy_rejected(self):
+    def test_mismatched_jump_slack_stacks_bit_identically(self):
+        # jump_slack is numeric (a (S, 1) column in the kernel); only the
+        # structural discretize/stick_to_median switches split stacks.
+        config = standard_config(4, num_pulses=NUM_PULSES)
+        trials = [
+            BatchTrial(config=config),
+            BatchTrial(config=config, policy=CorrectionPolicy(jump_slack=0.0)),
+        ]
+        sims = [t.simulation() for t in trials]
+        assert stack_compatibility(sims) is None
+        stacked = TrialStack(sims).run(NUM_PULSES)
+        assert_results_equal(stacked, reference_results(trials))
+
+    def test_mismatched_policy_structure_rejected(self):
         config = standard_config(4, num_pulses=NUM_PULSES)
         sims = [
             BatchTrial(config=config).simulation(),
             BatchTrial(
-                config=config, policy=CorrectionPolicy(jump_slack=0.0)
+                config=config, policy=CorrectionPolicy(discretize=False)
             ).simulation(),
         ]
-        assert "policy differs" in stack_compatibility(sims)
+        assert "policy structure" in stack_compatibility(sims)
+        with pytest.raises(ValueError, match="cannot be stacked"):
+            TrialStack(sims)
 
-    def test_mismatched_layers_rejected(self):
+    def test_mismatched_layers_stack_bit_identically(self):
+        # Depth differences pad with inert layers instead of splitting.
         a = standard_config(4, num_pulses=NUM_PULSES)
         b = standard_config(4, num_layers=3, num_pulses=NUM_PULSES)
-        sims = [BatchTrial(config=c).simulation() for c in (a, b)]
-        assert "layer count differs" in stack_compatibility(sims)
+        trials = [BatchTrial(config=c) for c in (a, b)]
+        sims = [t.simulation() for t in trials]
+        assert stack_compatibility(sims) is None
+        stacked = TrialStack(sims).run(NUM_PULSES)
+        assert_results_equal(stacked, reference_results(trials))
 
 
 class TestHeterogeneousBatches:
