@@ -16,6 +16,12 @@ Four micro-benchmarks track the performance trajectory across PRs:
   mixed-geometry stack vs the per-trial loop and the per-geometry
   grouping, asserting a single stack group, bit-identical times, and
   the >= 1.3x floor over the per-trial loop.
+* ``test_depth_skewed_compaction_speedup``: the workload the padded
+  stack used to *lose* -- S = 16 mixed widths with 1-vs-512 layer
+  skew -- through the depth-compacted stack vs per-geometry grouping
+  and the uncompacted padded stack, asserting bit-identical times and
+  the >= 1.3x floor over per-geometry grouping (the previous best mode
+  on this shape).
 
 The batch benches record their modes into ``BENCH_batch.json`` next to
 this file (merge-updating their own section, so running a subset keeps
@@ -459,6 +465,145 @@ def test_heterogeneous_stacked_speedup():
     assert speedup >= 1.3, (
         f"padded mixed-geometry stack only {speedup:.1f}x faster than the "
         f"per-trial loop ({stacked_time:.4f}s vs {per_trial_time:.4f}s)"
+    )
+
+
+#: The depth-skew acceptance cell: S = 16 mixed-width trials where a few
+#: deep outliers (up to 512 layers, each a distinct geometry) tower over
+#: a field of depth-1 trials.  Before compaction this was the shape where
+#: per-geometry grouping beat the padded stack (ROADMAP PR-4 note): the
+#: padded loop dragged 15 inert rows through ~500 layers.
+DEPTH_SKEW_DIAMETERS = (16, 32, 64)
+DEPTH_SKEW_DEEP = {0: 512, 3: 448, 6: 384, 9: 320, 12: 256, 15: 512}
+DEPTH_SKEW_TRIALS = 16
+
+
+def depth_skew_trials():
+    """Mixed widths, depths 1 vs {256..512}: maximally skewed stacking."""
+    trials = []
+    for i in range(DEPTH_SKEW_TRIALS):
+        diameter = DEPTH_SKEW_DIAMETERS[i % len(DEPTH_SKEW_DIAMETERS)]
+        trials.extend(
+            BatchRunner.seed_sweep(
+                diameter,
+                [i],
+                num_pulses=NUM_PULSES,
+                num_layers=DEPTH_SKEW_DEEP.get(i, 1),
+            )
+        )
+    return trials
+
+
+def test_depth_skewed_compaction_speedup():
+    """Depth-compacted stack >= 1.3x over per-geometry grouping.
+
+    Grouping was the best pre-compaction mode on this shape (each deep
+    outlier runs alone, no padding waste) but fragments the batch into
+    one stack per distinct geometry; the compacted stack keeps the
+    single padded stack and simply retires finished rows, so it pays the
+    same layer steps as grouping with the Python/launch overhead of one
+    stack.  Records all three modes (plus the uncompacted padded stack,
+    which still loses to grouping here -- the regression this feature
+    closes) under the ``"depth_skewed"`` section of
+    ``BENCH_batch.json``.
+    """
+    trials = depth_skew_trials()
+    node_pulses = sum(
+        t.config.graph.num_nodes * NUM_PULSES for t in trials
+    ) / len(trials)
+
+    compacted_runner = BatchRunner(num_pulses=NUM_PULSES)
+    grouped_runner = BatchRunner(
+        num_pulses=NUM_PULSES, stack_mixed_geometry=False
+    )
+    padded_runner = BatchRunner(num_pulses=NUM_PULSES, compact_depth=False)
+
+    # Warm the per-edge and per-layer delay caches once; also pin the
+    # single-stack + compaction bookkeeping while we are at it.
+    warm = compacted_runner.run(trials)
+    assert warm.stack_groups == [list(range(len(trials)))], (
+        "depth-skewed sweep must still run as a single padded stack"
+    )
+    (stats,) = warm.compaction_stats
+    assert stats["enabled"] and stats["dropped_fraction"] > 0.5, (
+        "compaction should reclaim most of the depth padding here"
+    )
+    for repeats in (3, 5):
+        compacted_time, compacted_batch = timed(
+            lambda: compacted_runner.run(trials), repeats=repeats
+        )
+        grouped_time, grouped_batch = timed(
+            lambda: grouped_runner.run(trials), repeats=repeats
+        )
+        if grouped_time / compacted_time >= 1.3:
+            break
+    padded_time, padded_batch = timed(
+        lambda: padded_runner.run(trials), repeats=1
+    )
+
+    # Acceptance: compaction changes the work done, never the results.
+    np.testing.assert_array_equal(compacted_batch.times, grouped_batch.times)
+    np.testing.assert_array_equal(compacted_batch.times, padded_batch.times)
+
+    speedup = grouped_time / compacted_time
+    _merge_bench_json(
+        {
+            "depth_skewed": {
+                "grid": {
+                    "diameters": list(DEPTH_SKEW_DIAMETERS),
+                    "deep_layers": sorted(
+                        set(DEPTH_SKEW_DEEP.values()), reverse=True
+                    ),
+                    "shallow_layers": 1,
+                    "num_pulses": NUM_PULSES,
+                    "trials": len(trials),
+                    "faults": 0,
+                },
+                "compaction": {
+                    "dropped_fraction": stats["dropped_fraction"],
+                    "padded_row_steps": stats["padded_row_steps"],
+                    "active_row_steps": stats["active_row_steps"],
+                },
+                "modes": {
+                    "geometry_grouped": _mode_record(
+                        len(trials), grouped_time, node_pulses,
+                        groups=len(grouped_batch.stack_groups),
+                    ),
+                    "padded_uncompacted": _mode_record(
+                        len(trials), padded_time, node_pulses, groups=1
+                    ),
+                    "depth_compacted": _mode_record(
+                        len(trials), compacted_time, node_pulses, groups=1
+                    ),
+                },
+                "speedups": {
+                    "compacted_vs_grouped": speedup,
+                    "compacted_vs_padded": padded_time / compacted_time,
+                    "grouped_vs_padded": padded_time / grouped_time,
+                },
+            }
+        }
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                ("geometry_grouped", len(trials), grouped_time,
+                 len(trials) * node_pulses / grouped_time),
+                ("padded_uncompacted", len(trials), padded_time,
+                 len(trials) * node_pulses / padded_time),
+                ("depth_compacted", len(trials), compacted_time,
+                 len(trials) * node_pulses / compacted_time),
+            ],
+            title=f"Depth-skewed stack, S={len(trials)}, 1-vs-512 layers, "
+            f"{NUM_PULSES} pulses (compacted {speedup:.1f}x vs grouped)",
+        )
+    )
+    assert speedup >= 1.3, (
+        f"depth-compacted stack only {speedup:.1f}x faster than per-geometry "
+        f"grouping ({compacted_time:.4f}s vs {grouped_time:.4f}s)"
     )
 
 

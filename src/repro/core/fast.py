@@ -305,6 +305,25 @@ class FastResult:
         self.effective_corrections = np.full(shape, np.nan)
         self.branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
         self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
+        # Set by the trial-stacked runner: the shared (S, K, L_max, W_max)
+        # block this result's matrices are windows of, plus this trial's
+        # row.  BatchResult uses them to adopt the block without re-copying
+        # (single-stack batches); everyone else can ignore them.
+        self.stack_block = None
+        self.stack_row: Optional[int] = None
+
+    def __getstate__(self) -> dict:
+        """Drop the shared-block backref when pickling.
+
+        The per-trial matrices pickle as their own (window-sized) arrays;
+        carrying ``stack_block`` too would serialize the whole ``S``-trial
+        block once *per result* -- an ``S``-fold blowup on the process
+        executor's return path.
+        """
+        state = self.__dict__.copy()
+        state["stack_block"] = None
+        state["stack_row"] = None
+        return state
 
     @cached_property
     def faulty_mask(self) -> np.ndarray:

@@ -32,6 +32,34 @@ layer-0 schedules of the whole stack are gathered as one
 and written plane by plane, instead of ``S`` per-trial ``(P, W)``
 gathers and row loops.
 
+Depth-aware compaction (dropping finished rows)
+-----------------------------------------------
+Depth padding makes mixed-depth stacks *correct*, but without further
+care a shallow trial keeps riding the layer loop as a dead NaN row until
+the deepest trial finishes -- on a strongly depth-skewed batch most of
+the ``(S, W_max)`` plane is then inert ballast.  With ``compact_depth``
+(the default) the stack instead *drops* a trial's row from the working
+plane as soon as the trial has nothing left to compute:
+
+* **depth exhausted** -- ``layer >= num_layers_s``: the trial's window
+  simply has no such layer, or
+* **gone dead** -- no node of the trial's previous layer produced a
+  pulse for the current iteration (possible only with faults, e.g. a
+  fully crashed layer), so no message will ever reach this or any deeper
+  layer of this pulse; today's code would replay every such cell through
+  the scalar fallback just to record "no pulse".
+
+The surviving trials are re-gathered through an ``active_rows`` index
+into compact ``(S_active, W_max)`` state/parameter/neighbor arrays
+(cached per distinct row set -- the depth-driven sets are nested, so
+there are at most as many as distinct depths), the kernel runs on the
+compact plane, and the results scatter back to the original trial slots
+-- bit-identical to the uncompacted stack, which in turn is bit-identical
+to per-trial runs.  A depth-skewed batch therefore pays for the layer
+steps its trials actually run (``sum_s L_s``) instead of ``S * L_max``.
+:attr:`TrialStack.compaction_stats` records the padded vs executed
+row-step counts after each :meth:`TrialStack.run`.
+
 Stacking requirements (checked by :func:`stack_compatibility`)
 --------------------------------------------------------------
 All stacked simulations must share
@@ -83,6 +111,33 @@ from repro.core.layer0 import stacked_pulse_times
 __all__ = ["TrialStack", "stack_compatibility"]
 
 
+class _StackBlock:
+    """The shared padded matrices one :meth:`TrialStack.run` writes.
+
+    Handed to every returned :class:`FastResult` (``stack_block`` /
+    ``stack_row``) so :class:`~repro.experiments.batch.BatchResult` can
+    adopt the block directly instead of re-stacking ``S`` window copies
+    -- the single-stack no-copy construction.  All arrays are frozen
+    (``writeable=False``) before the results are returned, so neither a
+    per-trial result nor a batch adopting the block can corrupt the
+    other's view of the shared memory.
+    """
+
+    __slots__ = ("times", "corrections", "effective_corrections", "faulty")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        corrections: np.ndarray,
+        effective_corrections: np.ndarray,
+        faulty: np.ndarray,
+    ) -> None:
+        self.times = times
+        self.corrections = corrections
+        self.effective_corrections = effective_corrections
+        self.faulty = faulty
+
+
 def stack_compatibility(sims: Sequence[FastSimulation]) -> Optional[str]:
     """Why ``sims`` cannot run stacked, or None when they can.
 
@@ -132,6 +187,13 @@ class _StackedParams:
             column = np.array([getattr(sim.params, name) for sim in sims])
             setattr(self, name, column[:, None])
 
+    def take(self, rows: np.ndarray) -> "_StackedParams":
+        """The columns of the compacted row subset (same broadcast shape)."""
+        taken = object.__new__(type(self))
+        for name in self.__slots__:
+            setattr(taken, name, getattr(self, name)[rows])
+        return taken
+
 
 class _StackedPolicy:
     """Per-trial policy for the kernel: structural bools + numeric column."""
@@ -145,6 +207,14 @@ class _StackedPolicy:
             [sim.policy.jump_slack for sim in sims]
         )[:, None]
 
+    def take(self, rows: np.ndarray) -> "_StackedPolicy":
+        """The policy restricted to the compacted row subset."""
+        taken = object.__new__(type(self))
+        taken.discretize = self.discretize
+        taken.stick_to_median = self.stick_to_median
+        taken.jump_slack = self.jump_slack[rows]
+        return taken
+
 
 class TrialStack:
     """Advance ``S`` compatible simulations through the recurrence together.
@@ -157,6 +227,13 @@ class TrialStack:
         structural policy switches); a :class:`ValueError` names the first
         violation otherwise.  Geometries may differ -- narrower/shallower
         trials are padded with inert cells.
+    compact_depth:
+        Drop finished trials out of the layer loop (depth exhausted, or
+        provably silent for the rest of the iteration) and run the kernel
+        on the compacted ``(S_active, W_max)`` plane; see the module
+        docstring.  The default.  ``False`` keeps every row riding the
+        full ``L_max`` loop (the pre-compaction behavior); output is
+        bit-identical either way.
 
     Notes
     -----
@@ -165,14 +242,27 @@ class TrialStack:
     block (each trial seeing its own ``(K, L_s, W_s)`` window), so
     downstream code (skew reducers, ``fault_sends`` drill-in, the scalar
     fallback itself) sees exactly the per-trial layout while the kernel
-    reads and writes whole ``(S, W_max)`` planes without gathering.
+    reads and writes whole ``(S, W_max)`` planes without gathering.  The
+    block is attached to each result (``stack_block``/``stack_row``) and
+    frozen once the run completes: stacked results are immutable
+    snapshots, so no caller can corrupt the memory every trial of the
+    stack shares (``BatchResult`` adopts the block without copying).
+
+    After :meth:`run`, :attr:`compaction_stats` holds the padded vs
+    executed row-step accounting of the last run.
     """
 
-    def __init__(self, sims: Sequence[FastSimulation]) -> None:
+    def __init__(
+        self, sims: Sequence[FastSimulation], compact_depth: bool = True
+    ) -> None:
         reason = stack_compatibility(sims)
         if reason is not None:
             raise ValueError(f"trials cannot be stacked: {reason}")
         self.sims: List[FastSimulation] = list(sims)
+        self.compact_depth = bool(compact_depth)
+        #: Row-step accounting of the last :meth:`run`; see the module
+        #: docstring.  ``None`` until the first run completes.
+        self.compaction_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Stacked per-layer inputs
@@ -183,34 +273,44 @@ class TrialStack:
         cache: Dict[object, Tuple[np.ndarray, np.ndarray]],
         layer: int,
         k: int,
+        rows: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Own ``(S, W)`` and neighbor ``(S, W, max_deg)`` delay arrays.
 
         Each sweep's per-trial arrays come from (and fill) its simulation's
         own delay cache; the stacked copies are cached here per layer when
-        every model is pulse-invariant, else per ``(layer, k)``.  Trials
-        without this layer (padded depth) contribute inert NaN/zero rows
-        and are never queried, so delay models only ever see edges that
-        exist in their own graph.
+        every model is pulse-invariant, else per ``(layer, k)``.  With
+        compaction, ``rows`` selects the active trials and only their
+        arrays are gathered (the cache key then carries the row set --
+        depth-driven sets are nested, so at most one entry per distinct
+        depth survives).  Trials without this layer (padded depth)
+        contribute inert NaN/zero rows and are never queried, so delay
+        models only ever see edges that exist in their own graph.
         """
         key: object = layer if self._all_pulse_invariant else (layer, k)
+        if rows is not None:
+            key = (key, rows.tobytes())
         cached = cache.get(key)
         if cached is None:
             if self._uniform:
-                per_trial = [sweep.delay_arrays(layer, k) for sweep in sweeps]
+                selected = (
+                    sweeps if rows is None else [sweeps[s] for s in rows]
+                )
+                per_trial = [sw.delay_arrays(layer, k) for sw in selected]
                 cached = (
                     np.stack([own for own, _ in per_trial]),
                     np.stack([nb for _, nb in per_trial]),
                 )
             else:
-                own = np.full((len(sweeps), self._width), np.nan)
-                nb = np.zeros((len(sweeps), self._width, self._max_deg))
-                for s, sweep in enumerate(sweeps):
+                indices = np.arange(len(sweeps)) if rows is None else rows
+                own = np.full((len(indices), self._width), np.nan)
+                nb = np.zeros((len(indices), self._width, self._max_deg))
+                for i, s in enumerate(indices):
                     if layer >= self._depths[s]:
                         continue
-                    own_s, nb_s = sweep.delay_arrays(layer, k)
-                    own[s, : own_s.shape[0]] = own_s
-                    nb[s, : nb_s.shape[0], : nb_s.shape[1]] = nb_s
+                    own_s, nb_s = sweeps[s].delay_arrays(layer, k)
+                    own[i, : own_s.shape[0]] = own_s
+                    nb[i, : nb_s.shape[0], : nb_s.shape[1]] = nb_s
                 cached = (own, nb)
             cache[key] = cached
         return cached
@@ -218,32 +318,38 @@ class TrialStack:
     def _rate_stack(
         self,
         sweeps: Sequence[_VectorSweep],
-        cache: Dict[int, np.ndarray],
+        cache: Dict[object, np.ndarray],
         layer: int,
         k: int,
+        rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Clock rates ``(S, W)`` of the layer's nodes during pulse ``k``.
+        """Clock rates of the (active) trials' nodes during pulse ``k``.
 
         Inert cells get rate 1 (never read through an eligible lane, but
         a finite value keeps the whole-plane arithmetic NaN-clean).
         """
+        key: object = (
+            layer if rows is None else (layer, rows.tobytes())
+        )
         if self._rates_static:
-            cached = cache.get(layer)
+            cached = cache.get(key)
             if cached is not None:
                 return cached
         # Callable rate providers may depend on the pulse; query per step
         # exactly as the per-trial kernel does.
         if self._uniform:
-            stacked = np.stack([sweep.rate_array(layer, k) for sweep in sweeps])
+            selected = sweeps if rows is None else [sweeps[s] for s in rows]
+            stacked = np.stack([sw.rate_array(layer, k) for sw in selected])
         else:
-            stacked = np.ones((len(sweeps), self._width))
-            for s, sweep in enumerate(sweeps):
+            indices = np.arange(len(sweeps)) if rows is None else rows
+            stacked = np.ones((len(indices), self._width))
+            for i, s in enumerate(indices):
                 if layer >= self._depths[s]:
                     continue
-                row = sweep.rate_array(layer, k)
-                stacked[s, : row.shape[0]] = row
+                row = sweeps[s].rate_array(layer, k)
+                stacked[i, : row.shape[0]] = row
         if self._rates_static:
-            cache[layer] = stacked
+            cache[key] = stacked
         return stacked
 
     # ------------------------------------------------------------------
@@ -362,11 +468,51 @@ class TrialStack:
             width_mask, BRANCH_CODES["layer0"], BRANCH_CODES["none"]
         ).astype(np.int8)
 
+        # Depth-aware compaction bookkeeping (see the module docstring):
+        # at layer ``l`` only trials with ``depth > l`` that have not gone
+        # dead this iteration keep a row in the working plane.  ``dead``
+        # can only ever trigger with faults -- a fault-free trial's layers
+        # always pulse -- so the all-NaN probe is skipped entirely on
+        # fault-free stacks.
+        compact = self.compact_depth
+        depths_arr = np.array(depths)
+        any_fault = bool(faulty.any())
+        dead = np.zeros(num_trials, dtype=bool)
+        self._row_cache: Dict[bytes, Dict[str, object]] = {}
+        padded_row_steps = num_pulses * max(num_layers - 1, 0) * num_trials
+        active_row_steps = 0
+
         for k in range(num_pulses):
             self._run_layer0_stacked(
                 results, times, protocol_times, branches, k
             )
+            if compact and any_fault:
+                dead[:] = False
             for layer in range(1, num_layers):
+                rows: Optional[np.ndarray] = None
+                if compact:
+                    mask = depths_arr > layer
+                    if any_fault:
+                        # A trial goes dead for the rest of this iteration
+                        # when *no* node of its previous layer produced a
+                        # pulse (protocol row all-NaN): correct nodes sent
+                        # nothing and faulty nodes recorded no sends, so
+                        # no message can reach this or any deeper layer.
+                        candidates = np.flatnonzero(mask & ~dead)
+                        if candidates.size:
+                            silent = np.isnan(
+                                protocol_times[candidates, k, layer - 1, :]
+                            ).all(axis=1)
+                            if silent.any():
+                                dead[candidates[silent]] = True
+                        mask &= ~dead
+                    if not mask.all():
+                        if not mask.any():
+                            continue
+                        rows = np.flatnonzero(mask)
+                active_row_steps += (
+                    num_trials if rows is None else int(rows.size)
+                )
                 self._run_layer_stacked(
                     results,
                     times,
@@ -380,11 +526,43 @@ class TrialStack:
                     faulty,
                     active,
                     bool(layer_has_fault[layer]),
-                    self._delay_stack(sweeps, delay_cache, layer, k),
-                    self._rate_stack(sweeps, rate_cache, layer, k),
+                    self._delay_stack(sweeps, delay_cache, layer, k, rows),
+                    self._rate_stack(sweeps, rate_cache, layer, k, rows),
                     k,
                     layer,
+                    rows,
                 )
+
+        self.compaction_stats = {
+            "enabled": compact,
+            "trials": num_trials,
+            "num_layers": num_layers,
+            "min_depth": int(min(depths)),
+            "max_depth": int(max(depths)),
+            "padded_row_steps": padded_row_steps,
+            "active_row_steps": active_row_steps,
+            "dropped_fraction": (
+                1.0 - active_row_steps / padded_row_steps
+                if padded_row_steps
+                else 0.0
+            ),
+        }
+
+        # Freeze the shared block and hand it to every result: stacked
+        # results are immutable snapshots (a write through any window
+        # would silently corrupt its siblings and any adopting
+        # BatchResult), and the attached block is what lets a single-stack
+        # BatchResult skip re-materializing (S, K, L_max, W_max) copies.
+        block = _StackBlock(times, corrections, effective, faulty)
+        for array in (times, protocol_times, corrections, effective,
+                      branches, faulty):
+            array.flags.writeable = False
+        for s, result in enumerate(results):
+            for attr in ("times", "protocol_times", "corrections",
+                         "effective_corrections", "branches"):
+                getattr(result, attr).flags.writeable = False
+            result.stack_block = block
+            result.stack_row = s
         return results
 
     def _run_layer0_stacked(
@@ -412,6 +590,115 @@ class TrialStack:
                     results[s], (int(v), 0), k, float(row[s, v])
                 )
 
+    def _row_structs(
+        self,
+        rows: np.ndarray,
+        nb_idx: np.ndarray,
+        nb_valid: np.ndarray,
+        static_eligible: np.ndarray,
+        faulty: np.ndarray,
+        active: Optional[np.ndarray],
+    ) -> Dict[str, object]:
+        """Compacted per-row-set kernel inputs, cached by the row set.
+
+        Depth-driven active sets are nested (they only shrink as the
+        layer index grows), so at most one entry per distinct depth is
+        ever built; dead-trial sets add at most a handful more.  Shared
+        2-D gather tables (uniform stacks) are row-independent and pass
+        through untouched.
+        """
+        key = rows.tobytes()
+        cached = self._row_cache.get(key)
+        if cached is None:
+            cached = {
+                "nb_idx": nb_idx[rows] if nb_idx.ndim == 3 else nb_idx,
+                "nb_valid": nb_valid[rows] if nb_valid.ndim == 3 else nb_valid,
+                "static_eligible": static_eligible[rows],
+                "faulty": faulty[rows],
+                "active": None if active is None else active[rows],
+                "params": (
+                    self._params.take(rows)
+                    if isinstance(self._params, _StackedParams)
+                    else self._params
+                ),
+                "policy": (
+                    self._policy.take(rows)
+                    if isinstance(self._policy, _StackedPolicy)
+                    else self._policy
+                ),
+            }
+            self._row_cache[key] = cached
+        return cached
+
+    def _run_layer_compacted(
+        self,
+        results: List[FastResult],
+        times: np.ndarray,
+        protocol_times: np.ndarray,
+        corrections: np.ndarray,
+        effective: np.ndarray,
+        branches_out: np.ndarray,
+        structs: Dict[str, object],
+        delays: Tuple[np.ndarray, np.ndarray],
+        rate: np.ndarray,
+        k: int,
+        layer: int,
+        rows: np.ndarray,
+    ) -> None:
+        """Pulse ``k`` of ``layer`` on the compacted ``(S_active, W)`` plane.
+
+        The same kernel expressions as the uncompacted path, evaluated on
+        the active rows only and scattered back through ``rows``.  Cells
+        the uncompacted path would have left at their initial padding
+        values (``NaN``/``"none"``) are re-written with exactly those
+        values by the masked scatter, so the output is bit-identical; the
+        dropped rows are untouched and keep their initial padding, which
+        is also what the uncompacted path produces for them (inert or
+        silent rows are never eligible and their scalar replays record
+        nothing).
+        """
+        sims = self.sims
+        prev = times[rows, k, layer - 1, :]  # (A, W) gather, NaN = missing
+        own_delay, nb_delay = delays
+
+        eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
+            prev,
+            own_delay,
+            nb_delay,
+            rate,
+            structs["nb_idx"],
+            structs["nb_valid"],
+            structs["static_eligible"][:, layer - 1, :],
+            structs["params"],
+            structs["policy"],
+            sims[0].algorithm == "simplified",
+        )
+
+        faulty_here = structs["faulty"][:, layer, :]
+        corrections[rows, k, layer] = np.where(eligible, correction, np.nan)
+        branches_out[rows, k, layer] = np.where(
+            eligible, branches, BRANCH_CODES["none"]
+        )
+        effective[rows, k, layer] = np.where(eligible, eff, np.nan)
+        protocol_times[rows, k, layer] = np.where(eligible, pulse_time, np.nan)
+        times[rows, k, layer] = np.where(
+            eligible & ~faulty_here, pulse_time, np.nan
+        )
+        if faulty_here.any():
+            for si, v in zip(*np.nonzero(eligible & faulty_here)):
+                s = int(rows[si])
+                sims[s]._record_fault_sends(
+                    results[s], (int(v), layer), k, float(pulse_time[si, v])
+                )
+        active = structs["active"]
+        fallback = (
+            ~eligible if active is None else active[:, layer, :] & ~eligible
+        )
+        if fallback.any():
+            for si, v in zip(*np.nonzero(fallback)):
+                s = int(rows[si])
+                sims[s]._run_node_and_record(results[s], (int(v), layer), k)
+
     def _run_layer_stacked(
         self,
         results: List[FastResult],
@@ -430,6 +717,7 @@ class TrialStack:
         rate: np.ndarray,
         k: int,
         layer: int,
+        rows: Optional[np.ndarray] = None,
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``S x W`` cells at once.
 
@@ -438,8 +726,29 @@ class TrialStack:
         :func:`~repro.core.fast._layer_step_kernel`; see the module
         docstring for the exactness argument.  ``active`` (None on uniform
         stacks) masks the padding: inert cells are never eligible, never
-        written, and never replayed by the scalar fallback.
+        written, and never replayed by the scalar fallback.  ``rows``
+        (compaction) routes the step through the gathered
+        ``(S_active, W)`` plane of :meth:`_run_layer_compacted`; the
+        ``delays``/``rate`` arrays are then already row-compacted.
         """
+        if rows is not None:
+            self._run_layer_compacted(
+                results,
+                times,
+                protocol_times,
+                corrections,
+                effective,
+                branches_out,
+                self._row_structs(
+                    rows, nb_idx, nb_valid, static_eligible, faulty, active
+                ),
+                delays,
+                rate,
+                k,
+                layer,
+                rows,
+            )
+            return
         sims = self.sims
         prev = times[:, k, layer - 1, :]  # (S, W) send times, NaN = missing
         own_delay, nb_delay = delays

@@ -53,11 +53,16 @@ def stacked_pulse_times(
     for "never pulsed", so padded cells are masked out everywhere NaN
     is).  Schedules are grouped by concrete class and delegated to
     ``_stack_pulse_times``, which Perfect/Jittered/Alternating override
-    with one whole-group array fill; the generic fallback (and
-    :class:`ChainLayer0`, whose fill is inherently per-chain) loops
-    :meth:`Layer0Schedule.pulse_times_array` per trial.  Every entry is
-    bit-identical to the per-trial array -- the vectorized group fills
-    evaluate the same elementwise expressions.
+    with one whole-group array fill; the generic fallback loops
+    :meth:`Layer0Schedule.pulse_times_array` per trial.
+    :class:`ChainLayer0` fills are inherently per-chain (each trial has
+    its own edge delays), but each chain's fill is itself vectorized
+    over the pulse axis for pulse-invariant delay models -- one array op
+    per chain hop instead of a per-entry Python loop, which on
+    5000-node chains is the difference between milliseconds and
+    seconds.  Every entry is bit-identical to the per-trial array -- the
+    vectorized fills evaluate the same elementwise expressions in the
+    same association.
     """
     if len(schedules) != len(bases):
         raise ValueError(
@@ -402,16 +407,19 @@ class ChainLayer0(Layer0Schedule):
         return self.chain_pulse_time(position, chain_pulse)
 
     def pulse_times_array(self, base: BaseGraph, pulses: int) -> np.ndarray:
-        """Grid pulse times ``(pulses, W)`` from one cached iterative fill.
+        """Grid pulse times ``(pulses, W)`` from one front-to-back fill.
 
-        Extends the cached chain times once with a *triangular*
-        front-to-back fill -- position ``pos`` only needs chain pulses
-        through ``pulses - 1 + (P - 1 - pos)``, and the required depth
-        shrinks by one per hop, so each position is exactly deep enough
-        for its successor -- then slices out the pipelined re-indexing
-        ``chain_pulse = k + P - 1 - position`` row by row (O(P * pulses)
-        total, no rectangular ``(P, P + pulses)`` intermediate).  Entries
-        are bit-identical to per-node :meth:`pulse_time` queries.
+        Pulse-invariant delay models (the common static/uniform case) go
+        through :meth:`_pulse_rows_invariant`: every chain hop advances
+        the *whole* pulse axis as one array op, so a cold 5000-node
+        chain fills in milliseconds where the per-entry Python loop took
+        seconds (the regression the fast kernels hit on every cold
+        ``ChainLayer0`` run).  Pulse-varying models keep the cached
+        per-entry fill (:meth:`_pulse_rows_cached`).  Both paths slice
+        out the pipelined re-indexing ``chain_pulse = k + P - 1 -
+        position`` and produce bit-identical entries to per-node
+        :meth:`pulse_time` queries -- the vectorized sweep evaluates the
+        same expressions in the same association.
         """
         if pulses < 0:
             raise ValueError(f"pulses must be >= 0, got {pulses}")
@@ -423,18 +431,75 @@ class ChainLayer0(Layer0Schedule):
             positions.append(position)
         if pulses == 0:
             return np.empty((0, base.num_nodes))
+        if getattr(self.delay_model, "pulse_invariant", False):
+            rows = self._pulse_rows_invariant(positions, pulses)
+        else:
+            rows = self._pulse_rows_cached(positions, pulses)
+        return np.ascontiguousarray(rows.T)
+
+    def _pulse_rows_cached(
+        self, positions: Sequence[int], pulses: int
+    ) -> np.ndarray:
+        """Per-entry reference fill: grid rows ``(W, pulses)``.
+
+        Extends the cached chain times with a *triangular* front-to-back
+        fill -- position ``pos`` only needs chain pulses through
+        ``pulses - 1 + (P - 1 - pos)``, and the required depth shrinks
+        by one per hop, so each position is exactly deep enough for its
+        successor (O(P * pulses + P^2) entries, no rectangular
+        ``(P, P + pulses)`` intermediate).
+        """
         length = len(self.chain_order)
         for pos in range(length):
             self._extend_position(pos, pulses - 1 + (length - 1 - pos))
-        rows = np.array(
+        return np.array(
             [
                 self._chain_times[pos][
                     length - 1 - pos: length - 1 - pos + pulses
                 ]
                 for pos in positions
             ]
-        )  # (W, pulses)
-        return np.ascontiguousarray(rows.T)
+        )
+
+    def _pulse_rows_invariant(
+        self, positions: Sequence[int], pulses: int
+    ) -> np.ndarray:
+        """Pulse-axis-vectorized fill: grid rows ``(W, pulses)``.
+
+        Valid only for pulse-invariant delay models (one ``delay`` query
+        per chain edge stands in for all pulses).  The sweep carries one
+        chain-pulse row forward hop by hop, evaluating exactly the
+        per-entry fill's expressions -- ``(prev + delay) + wait``
+        elementwise, in that association -- so entries are bit-identical
+        to :meth:`_pulse_rows_cached`; the row shrinks by one pulse per
+        hop, mirroring the triangular depth requirement.
+        """
+        length = len(self.chain_order)
+        params = self.params
+        vertex = self.chain_order[0]
+        wait = (params.Lambda - params.d) / self._rate(vertex)
+        delay = self.delay_model.delay((("source", -1), (vertex, 0)), 0)
+        row = (
+            np.arange(pulses + length - 1, dtype=float) * self.source_period
+            + delay
+        ) + wait
+        start = length - 1
+        windows = {}
+        needed = set(positions)
+        if 0 in needed:
+            windows[0] = row[start:]
+        for pos in range(1, max(needed) + 1):
+            prev_vertex = self.chain_order[pos - 1]
+            vertex = self.chain_order[pos]
+            delay = self.delay_model.delay(
+                ((prev_vertex, 0), (vertex, 0)), 0
+            )
+            wait = (params.Lambda - params.d) / self._rate(vertex)
+            row = (row[:-1] + delay) + wait
+            start -= 1
+            if pos in needed:
+                windows[pos] = row[start:]
+        return np.array([windows[pos] for pos in positions])
 
     def lemma_a1_envelope(self, position: int, chain_pulse: int) -> tuple:
         """Lemma A.1's envelope for chain pulse times.

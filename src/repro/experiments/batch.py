@@ -164,11 +164,27 @@ class BatchResult:
         Trial-index lists that advanced through one shared
         :class:`~repro.core.fast_batch.TrialStack` each (empty for trials
         that ran per-trial).
+    compaction_stats:
+        One dict per stack group (parallel to ``stack_groups``): the
+        depth-compaction row-step accounting of that group's
+        :class:`~repro.core.fast_batch.TrialStack` run -- padded vs
+        executed row steps, min/max depth, and whether compaction was
+        enabled -- so "how much padding did compaction reclaim?" is on
+        record next to "which trials stacked".
     fallback_reasons:
         ``{trial_index: reason}`` for every trial that did *not* run
         stacked -- the runner records why (``stack=False``,
         ``vectorize=False``, or the :func:`stack_compatibility` verdict)
         instead of silently dropping to the slow path.
+
+    Notes
+    -----
+    When the whole batch ran as **one** stack, the matrices above *are*
+    the stack's shared block (no re-copy; ``np.shares_memory`` with every
+    per-trial result) and are frozen read-only, as are the per-trial
+    result windows -- so no consumer can corrupt another's view of the
+    shared memory.  Multi-group and per-trial batches materialize fresh
+    (writable) stacked copies as before.
     """
 
     def __init__(
@@ -177,6 +193,7 @@ class BatchResult:
         results: Sequence[FastResult],
         stack_groups: Optional[Sequence[Sequence[int]]] = None,
         fallback_reasons: Optional[Dict[int, str]] = None,
+        compaction_stats: Optional[Sequence[Dict]] = None,
     ) -> None:
         self.trials = list(trials)
         self.results = list(results)
@@ -185,6 +202,7 @@ class BatchResult:
         if any(r.num_pulses != self.num_pulses for r in results):
             raise ValueError("trials of one batch must share num_pulses")
         self.stack_groups = [list(g) for g in (stack_groups or [])]
+        self.compaction_stats = [dict(c) for c in (compaction_stats or [])]
         self.fallback_reasons = dict(fallback_reasons or {})
 
         # Geometry (not array shape) decides whether skews must reduce per
@@ -195,7 +213,24 @@ class BatchResult:
             (r.graph.num_layers, r.graph.base.adjacency) for r in results
         }
         self.heterogeneous = len(geometries) > 1
-        if len({r.times.shape for r in results}) == 1:
+        block = getattr(results[0], "stack_block", None)
+        if (
+            block is not None
+            and block.times.shape[0] == len(results)
+            and all(
+                getattr(r, "stack_block", None) is block and r.stack_row == s
+                for s, r in enumerate(results)
+            )
+        ):
+            # Single-stack batch: the TrialStack already materialized the
+            # padded (S, K, L_max, W_max) block these results window into;
+            # adopt it instead of re-copying (the ROADMAP's known
+            # double-materialization).  The block arrives frozen.
+            self.times = block.times
+            self.corrections = block.corrections
+            self.effective_corrections = block.effective_corrections
+            self.faulty_masks = block.faulty
+        elif len({r.times.shape for r in results}) == 1:
             self.times = np.stack([r.times for r in results])
             self.corrections = np.stack([r.corrections for r in results])
             self.effective_corrections = np.stack(
@@ -368,19 +403,21 @@ def _run_shard(
     vectorize: bool,
     stack: bool,
     stack_mixed_geometry: bool,
-) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
+    compact_depth: bool,
+) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
     """Process-executor worker: run one contiguous shard serially.
 
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it under every start method (fork, spawn, forkserver).
-    Returns the shard's results plus its shard-local stack-group indices
-    and fallback reasons (re-offset by the parent).
+    Returns the shard's results plus its shard-local stack-group indices,
+    compaction stats, and fallback reasons (re-offset by the parent).
     """
     runner = BatchRunner(
         num_pulses=num_pulses,
         vectorize=vectorize,
         stack=stack,
         stack_mixed_geometry=stack_mixed_geometry,
+        compact_depth=compact_depth,
     )
     return runner._run_serial(trials)
 
@@ -408,8 +445,16 @@ class BatchRunner:
         the padded ``(S, W_max)`` kernel (the default -- a mixed-width
         diameter sweep runs as a single stack).  ``False`` opts out,
         grouping only structurally identical trials (the pre-padding
-        behavior; useful when a few very deep trials would make the
-        padding overhead dominate a mostly-shallow batch).
+        behavior; with depth compaction on, the padded stack no longer
+        loses to this grouping on depth-skewed batches).
+    compact_depth:
+        Drop finished trials out of the stacked layer loop
+        (:class:`TrialStack` ``compact_depth``; the default) so
+        mixed-depth groups pay for the layers each trial actually runs.
+        Auto-degenerates to a no-op on uniform-depth fault-free groups;
+        ``False`` opts out (every row rides the full padded loop).
+        Results are bit-identical either way; per-group accounting lands
+        in :attr:`BatchResult.compaction_stats`.
     executor:
         ``"serial"`` (default) or ``"process"``.  The process executor
         shards the trial list across worker processes -- worthwhile for
@@ -426,6 +471,7 @@ class BatchRunner:
         vectorize: bool = True,
         stack: bool = True,
         stack_mixed_geometry: bool = True,
+        compact_depth: bool = True,
         executor: str = "serial",
         shards: Optional[int] = None,
     ) -> None:
@@ -441,6 +487,7 @@ class BatchRunner:
         self.vectorize = vectorize
         self.stack = stack
         self.stack_mixed_geometry = stack_mixed_geometry
+        self.compact_depth = compact_depth
         self.executor = executor
         self.shards = shards
 
@@ -454,11 +501,15 @@ class BatchRunner:
         if not trials:
             raise ValueError("need at least one trial")
         if self.executor == "process":
-            results, groups, reasons = self._run_process(trials)
+            results, groups, compaction, reasons = self._run_process(trials)
         else:
-            results, groups, reasons = self._run_serial(trials)
+            results, groups, compaction, reasons = self._run_serial(trials)
         return BatchResult(
-            trials, results, stack_groups=groups, fallback_reasons=reasons
+            trials,
+            results,
+            stack_groups=groups,
+            fallback_reasons=reasons,
+            compaction_stats=compaction,
         )
 
     # ------------------------------------------------------------------
@@ -466,12 +517,14 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def _run_serial(
         self, trials: List[BatchTrial]
-    ) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
+    ) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
         """In-process execution: stacked groups, per-trial fallback.
 
-        Returns ``(results, stack_groups, fallback_reasons)`` -- every
-        trial either belongs to exactly one stack group or carries a
-        fallback reason, so "why didn't this stack?" is always on record.
+        Returns ``(results, stack_groups, compaction_stats,
+        fallback_reasons)`` -- every trial either belongs to exactly one
+        stack group (whose compaction accounting is recorded) or carries
+        a fallback reason, so "why didn't this stack?" is always on
+        record.
         """
         if not (self.stack and self.vectorize):
             reason = (
@@ -483,9 +536,10 @@ class BatchRunner:
                 trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
                 for trial in trials
             ]
-            return results, [], {i: reason for i in range(len(trials))}
+            return results, [], [], {i: reason for i in range(len(trials))}
         results: List[Optional[FastResult]] = [None] * len(trials)
         stack_groups: List[List[int]] = []
+        compaction: List[Dict] = []
         reasons: Dict[int, str] = {}
         groups: Dict[Tuple, List[int]] = {}
         for i, trial in enumerate(trials):
@@ -500,19 +554,21 @@ class BatchRunner:
                     reasons[i] = reason
                 continue
             stack_groups.append(list(indices))
-            for i, result in zip(indices, TrialStack(sims).run(self.num_pulses)):
+            stack = TrialStack(sims, compact_depth=self.compact_depth)
+            for i, result in zip(indices, stack.run(self.num_pulses)):
                 results[i] = result
-        return results, stack_groups, reasons  # type: ignore[return-value]
+            compaction.append(dict(stack.compaction_stats))
+        return results, stack_groups, compaction, reasons  # type: ignore[return-value]
 
     def _run_process(
         self, trials: List[BatchTrial]
-    ) -> Tuple[List[FastResult], List[List[int]], Dict[int, str]]:
+    ) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
         """Shard the trial list across worker processes, preserving order.
 
         Per-trial execution is deterministic given the trial spec, so the
         reassembled result list is independent of the shard count.  Stack
-        groups and fallback reasons come back shard-local and are
-        re-offset to batch indices here.
+        groups, compaction stats, and fallback reasons come back
+        shard-local and are re-offset to batch indices here.
         """
         shards = self.shards or os.cpu_count() or 1
         shards = max(1, min(shards, len(trials)))
@@ -533,24 +589,27 @@ class BatchRunner:
                     self.vectorize,
                     self.stack,
                     self.stack_mixed_geometry,
+                    self.compact_depth,
                 )
                 for _, chunk in chunks
             ]
             shard_outputs = [future.result() for future in futures]
         results: List[FastResult] = []
         stack_groups: List[List[int]] = []
+        compaction: List[Dict] = []
         reasons: Dict[int, str] = {}
-        for (offset, _), (shard_results, shard_groups, shard_reasons) in zip(
-            chunks, shard_outputs
-        ):
+        for (offset, _), (
+            shard_results, shard_groups, shard_compaction, shard_reasons
+        ) in zip(chunks, shard_outputs):
             results.extend(shard_results)
             stack_groups.extend(
                 [offset + i for i in group] for group in shard_groups
             )
+            compaction.extend(shard_compaction)
             reasons.update(
                 {offset + i: why for i, why in shard_reasons.items()}
             )
-        return results, stack_groups, reasons
+        return results, stack_groups, compaction, reasons
 
     # ------------------------------------------------------------------
     # Convenience constructors

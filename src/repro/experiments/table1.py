@@ -115,6 +115,7 @@ def run_table1(
     executor: str = "serial",
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
+    compact_depth: bool = True,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
 
@@ -124,9 +125,11 @@ def run_table1(
     Gradient TRIX cells -- every diameter, both the random and the
     Figure 1 adversarial delay regime -- run as *one* :class:`BatchRunner`
     batch through the padded mixed-geometry stack (delay models are
-    per-trial inputs, so the two regimes share the stack); ``executor``/
-    ``shards``/``stack_mixed_geometry`` are forwarded to
-    :class:`BatchRunner` and the baseline simulations stay serial.
+    per-trial inputs, so the two regimes share the stack; depth
+    compaction retires each diameter's rows as its shallower grid
+    finishes).  ``executor``/``shards``/``stack_mixed_geometry``/
+    ``compact_depth`` are forwarded to :class:`BatchRunner` and the
+    baseline simulations stay serial.
     """
     def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
         # The Figure 1 worst case: rightward/straight edges at maximum
@@ -139,6 +142,7 @@ def run_table1(
         executor=executor,
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
+        compact_depth=compact_depth,
     )
     all_configs = {
         diameter: [

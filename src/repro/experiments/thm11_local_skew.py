@@ -82,6 +82,7 @@ def run_thm11(
     executor: str = "serial",
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
+    compact_depth: bool = True,
 ) -> Thm11Result:
     """Measure the fault-free local skew sweep.
 
@@ -90,10 +91,13 @@ def run_thm11(
     trials advance together through the padded heterogeneous
     ``(S, W_max)`` kernel (one stack instead of one width-``len(seeds)``
     stack per diameter; ``stack_mixed_geometry=False`` restores the
-    per-geometry grouping).  The per-diameter maxima come out of the
-    stacked skew statistics, sliced per diameter.  ``executor``/``shards``
-    are forwarded to :class:`BatchRunner` (``executor="process"`` shards
-    the batch across worker processes).
+    per-geometry grouping).  The sweep's depths differ per diameter too
+    (square grids), so depth compaction drops each diameter's trials out
+    of the layer loop as they finish instead of padding everyone to the
+    deepest grid (``compact_depth=False`` opts out).  The per-diameter
+    maxima come out of the stacked skew statistics, sliced per diameter.
+    ``executor``/``shards`` are forwarded to :class:`BatchRunner`
+    (``executor="process"`` shards the batch across worker processes).
     """
     rows: List[Thm11Row] = []
     kappa = standard_config(4).params.kappa
@@ -102,6 +106,7 @@ def run_thm11(
         executor=executor,
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
+        compact_depth=compact_depth,
     )
     trials = []
     for diameter in diameters:

@@ -111,6 +111,7 @@ def run_thm13(
     executor: str = "serial",
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
+    compact_depth: bool = True,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
 
@@ -121,7 +122,9 @@ def run_thm13(
     ``executor="process"`` shards across cores.  The reference trial's
     pulse budget differs from the fault trials', not its geometry, so the
     whole batch is one stack group either way; ``stack_mixed_geometry``
-    is forwarded for parity with the other drivers.
+    and ``compact_depth`` (which also retires trials whose layers a
+    fault plan has silenced outright) are forwarded for parity with the
+    other drivers.
     """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes
@@ -163,6 +166,7 @@ def run_thm13(
         executor=executor,
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
+        compact_depth=compact_depth,
     ).run(batch_trials)
     skews = batch.max_local_skews()
     fault_free_skew = float(skews[0])

@@ -1,0 +1,25 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+The property suites (``test_fast_hetero``, ``test_differential``,
+``test_properties``, ...) drive randomized scenarios through the
+simulator equivalence promises.  Locally that randomness is welcome; in
+CI it must be reproducible, so the ``ci`` profile derandomizes example
+selection (examples are derived from the test body, identical on every
+run) and disables per-example deadlines (shared runners jitter).  CI
+selects it with ``--hypothesis-profile=ci``; the ``dev`` profile is the
+library default and stays active otherwise.
+
+Per-test ``@settings(...)`` decorators compose with the active profile:
+they override only the fields they name, so ``max_examples`` choices in
+the suites survive while ``derandomize`` comes from the profile.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", settings.default)

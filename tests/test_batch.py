@@ -106,6 +106,94 @@ class TestBatchResult:
         assert (stats["mean_abs"] <= stats["max_abs"] + 1e-15).all()
 
 
+class TestNoCopySingleStack:
+    """Single-stack batches adopt the TrialStack block without copying.
+
+    The stacked kernel already materializes the padded
+    ``(S, K, L_max, W_max)`` block the per-trial results window into;
+    re-stacking it in the BatchResult constructor was the ROADMAP's known
+    double-materialization.  The adopted block is frozen, so mutation
+    through any handle -- a per-trial result or the batch matrices --
+    raises instead of silently corrupting every other view.
+    """
+
+    def test_matrices_share_memory_with_trial_results(self):
+        trials, batch = seed_batch()
+        for attr in ("times", "corrections", "effective_corrections"):
+            stacked = getattr(batch, attr)
+            for result in batch.results:
+                assert np.shares_memory(stacked, getattr(result, attr)), attr
+
+    def test_mixed_geometry_single_stack_is_also_no_copy(self):
+        trials = [
+            BatchTrial(config=standard_config(4, num_pulses=NUM_PULSES)),
+            BatchTrial(
+                config=standard_config(
+                    6, num_layers=3, num_pulses=NUM_PULSES
+                )
+            ),
+        ]
+        batch = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        assert batch.stack_groups == [[0, 1]]
+        assert np.shares_memory(batch.times, batch.results[0].times)
+        assert np.shares_memory(batch.times, batch.results[1].times)
+
+    def test_mutation_cannot_corrupt_the_stack(self):
+        _, batch = seed_batch()
+        with pytest.raises(ValueError):
+            batch.results[0].times[0, 0, 0] = 123.0
+        with pytest.raises(ValueError):
+            batch.times[0, 0, 0, 0] = 123.0
+        with pytest.raises(ValueError):
+            batch.results[1].corrections[0] = 0.0
+
+    def test_faulty_masks_adopted_from_stack(self):
+        config = standard_config(4, num_pulses=NUM_PULSES)
+        plan = FaultPlan.from_nodes({(1, 2): CrashFault()})
+        batch = BatchRunner(num_pulses=NUM_PULSES).run(
+            [BatchTrial(config=config, fault_plan=plan), BatchTrial(config=config)]
+        )
+        assert batch.faulty_masks[0, 2, 1]
+        assert not batch.faulty_masks[1].any()
+        np.testing.assert_array_equal(
+            batch.faulty_masks[0], batch.results[0].faulty_mask
+        )
+
+    def test_multi_group_batches_still_copy(self):
+        # Two algorithm groups -> two blocks -> the stacked matrices must
+        # be materialized fresh (and per-trial values stay correct).
+        config = standard_config(4, num_pulses=NUM_PULSES)
+        trials = [
+            BatchTrial(config=config),
+            BatchTrial(config=config, algorithm="simplified"),
+        ]
+        batch = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        assert len(batch.stack_groups) == 2
+        for i, trial in enumerate(trials):
+            reference = trial.simulation().run(NUM_PULSES)
+            np.testing.assert_array_equal(batch.times[i], reference.times)
+
+    def test_process_executor_still_assembles_correctly(self):
+        # Shard results cross a pickle boundary, so no shared block: the
+        # assembled copy must equal the serial no-copy batch exactly.
+        trials = BatchRunner.seed_sweep(4, range(4), num_pulses=NUM_PULSES)
+        serial = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        sharded = BatchRunner(
+            num_pulses=NUM_PULSES, executor="process", shards=2
+        ).run(trials)
+        np.testing.assert_array_equal(serial.times, sharded.times)
+        np.testing.assert_array_equal(
+            serial.faulty_masks, sharded.faulty_masks
+        )
+        assert len(sharded.compaction_stats) == len(sharded.stack_groups)
+
+    def test_per_trial_batches_remain_writable_copies(self):
+        trials, batch = seed_batch(stack=False)
+        assert batch.times.flags.writeable
+        for result in batch.results:
+            assert not np.shares_memory(batch.times, result.times)
+
+
 class TestBatchRunnerValidation:
     def test_rejects_empty_batch(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,362 @@
+"""Differential harness: every execution path against every other.
+
+The fast family has grown many layers -- per-trial vectorized kernel,
+scalar replay, homogeneous trial stack, padded heterogeneous stack, and
+now the depth-compacted stack -- each promising bit-identical output to
+the previous one, with the slow event-driven ``engine/`` simulator as the
+independent ground truth underneath all of them.  This module pins the
+whole tower with one shared helper: a hypothesis-drawn scenario
+(topology, depth, delays, clock rates, layer-0 schedule, fault plan) is
+run through every path, asserting
+
+* **bitwise agreement within the vectorized fast family** (per-trial ==
+  homogeneous stack == padded heterogeneous stack == compacted stack --
+  they evaluate the same NumPy expressions, so any drift is a bug),
+* **1e-9 agreement with the scalar replay** (same arithmetic, different
+  association), and
+* **1e-9 agreement with the event-driven engine** (independent
+  event-queue execution; Lemma B.1 guarantees the pulse alignment).
+
+The stacking decoys deliberately disagree with the scenario in width
+*and* depth, so the padding and compaction machinery is engaged on every
+example, never just the degenerate all-uniform case.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.skew import times_from_trace
+from repro.clocks import uniform_random_rates
+from repro.core.fast import FastSimulation
+from repro.core.fast_batch import TrialStack, stack_compatibility
+from repro.core.layer0 import (
+    AlternatingLayer0,
+    ChainLayer0,
+    JitteredLayer0,
+    PerfectLayer0,
+)
+from repro.core.network_sim import GridSimulation
+from repro.delays.models import StaticDelayModel, UniformDelayModel
+from repro.faults.injection import FaultPlan
+from repro.faults.model import (
+    AdversarialLateFault,
+    CrashFault,
+    FixedOffsetFault,
+)
+from repro.params import Parameters
+from repro.topology.base_graph import (
+    complete_graph,
+    cycle_graph,
+    replicated_line,
+)
+from repro.topology.layered import LayeredGraph
+
+NUM_PULSES = 3
+
+PARAMS_CHOICES = (
+    Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0),
+    Parameters(d=1.0, u=0.05, vartheta=1.01, Lambda=2.5),
+)
+
+FAMILY_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+# The engine replays every message through the event queue; keep its leg
+# of the harness on fewer, smaller examples.
+ENGINE_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scenarios(draw):
+    """One engine-compatible cell: geometry, delays, rates, layer 0, faults.
+
+    Engine-compatible means constant-rate clocks and pulse-invariant
+    delays (the event/fast coupling requires both); every fast-family
+    path accepts strictly more, so one strategy serves the whole harness.
+    """
+    kind = draw(st.sampled_from(["line", "cycle", "complete"]))
+    if kind == "line":
+        base = replicated_line(draw(st.integers(2, 5)))
+    elif kind == "cycle":
+        base = cycle_graph(draw(st.integers(3, 7)))
+    else:
+        base = complete_graph(draw(st.integers(3, 5)))
+    num_layers = draw(st.integers(2, 4))
+    graph = LayeredGraph(base, num_layers)
+    params = draw(st.sampled_from(PARAMS_CHOICES))
+    seed = draw(st.integers(0, 2**16))
+
+    if draw(st.booleans()):
+        delay_model = StaticDelayModel(params.d, params.u, seed=seed)
+    else:
+        delay_model = UniformDelayModel(params.d, params.u)
+
+    layer0_kind = draw(
+        st.sampled_from(["perfect", "jittered", "alternating", "chain"])
+    )
+    if layer0_kind == "perfect":
+        layer0 = PerfectLayer0(params.Lambda)
+    elif layer0_kind == "jittered":
+        layer0 = JitteredLayer0(
+            params.Lambda, base.num_nodes, params.kappa / 2.0, seed=seed
+        )
+    elif layer0_kind == "alternating":
+        layer0 = AlternatingLayer0(params.Lambda, params.kappa)
+    else:
+        layer0 = ChainLayer0(
+            params,
+            list(base.nodes()),
+            delay_model=StaticDelayModel(params.d, params.u, seed=seed + 7),
+        )
+
+    clocks = uniform_random_rates(
+        list(graph.nodes()), params.vartheta, rng_or_seed=seed + 1
+    )
+    rates = {node: clock.rate for node, clock in clocks.items()}
+
+    fault_plan = None
+    num_faults = draw(st.integers(0, 2))
+    if num_faults:
+        rng = np.random.default_rng(seed + 2)
+        behaviors = {}
+        for _ in range(num_faults):
+            node = (
+                int(rng.integers(base.num_nodes)),
+                int(rng.integers(num_layers)),
+            )
+            roll = rng.random()
+            if roll < 0.4:
+                behavior = CrashFault()
+            elif roll < 0.7:
+                behavior = AdversarialLateFault(float(rng.uniform(2.0, 10.0)))
+            else:
+                behavior = FixedOffsetFault(float(rng.uniform(0.05, 0.4)))
+            behaviors[node] = behavior
+        fault_plan = FaultPlan.from_nodes(behaviors)
+
+    return {
+        "graph": graph,
+        "params": params,
+        "delay_model": delay_model,
+        "layer0": layer0,
+        "clocks": clocks,
+        "rates": rates,
+        "fault_plan": fault_plan,
+    }
+
+
+def fast_simulation(scenario, algorithm="full", vectorize=True):
+    """A fresh FastSimulation realizing ``scenario`` (rebuild per path)."""
+    return FastSimulation(
+        scenario["graph"],
+        scenario["params"],
+        delay_model=scenario["delay_model"],
+        clock_rates=scenario["rates"],
+        fault_plan=scenario["fault_plan"],
+        layer0=scenario["layer0"],
+        algorithm=algorithm,
+        vectorize=vectorize,
+    )
+
+
+def _decoy(scenario, num_layers, algorithm):
+    """A stack mate with different width *and* depth than the scenario.
+
+    Forces the padded gather tensors (mixed width) and, in the compacted
+    stack, a non-trivial active-row schedule (mixed depth) on every
+    example.
+    """
+    width = scenario["graph"].width
+    base = cycle_graph(width + 2 if width >= 3 else 5)
+    params = scenario["params"]
+    return FastSimulation(
+        LayeredGraph(base, num_layers),
+        params,
+        delay_model=StaticDelayModel(params.d, params.u, seed=1234),
+        layer0=PerfectLayer0(params.Lambda),
+        algorithm=algorithm,
+    )
+
+
+def run_fast_family(scenario, algorithm="full"):
+    """The scenario's result on every vectorized fast path, plus scalar.
+
+    Returns ``{path_name: FastResult}``; each stack rebuilds its own
+    simulations, so no state leaks between paths.
+    """
+    family = {"per_trial": fast_simulation(scenario, algorithm).run(NUM_PULSES)}
+
+    twins = [fast_simulation(scenario, algorithm) for _ in range(2)]
+    assert stack_compatibility(twins) is None
+    family["homogeneous_stack"] = TrialStack(twins).run(NUM_PULSES)[0]
+
+    depth = scenario["graph"].num_layers
+    padded = [fast_simulation(scenario, algorithm), _decoy(scenario, depth + 2, algorithm)]
+    family["padded_stack"] = TrialStack(
+        padded, compact_depth=False
+    ).run(NUM_PULSES)[0]
+
+    # Compaction must engage from both sides: the scenario outlived by a
+    # deeper decoy, and the scenario outliving a shallower one.
+    deep = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, depth + 3, algorithm)],
+        compact_depth=True,
+    )
+    family["compacted_stack_deep_mate"] = deep.run(NUM_PULSES)[0]
+    assert deep.compaction_stats["enabled"]
+    assert (
+        deep.compaction_stats["active_row_steps"]
+        < deep.compaction_stats["padded_row_steps"]
+    )
+    shallow = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, 1, algorithm)],
+        compact_depth=True,
+    )
+    family["compacted_stack_shallow_mate"] = shallow.run(NUM_PULSES)[0]
+
+    family["scalar"] = fast_simulation(
+        scenario, algorithm, vectorize=False
+    ).run(NUM_PULSES)
+    return family
+
+
+def assert_results_equal(got, want, exact=True, label=""):
+    for attr in (
+        "times",
+        "protocol_times",
+        "corrections",
+        "effective_corrections",
+    ):
+        got_arr, want_arr = getattr(got, attr), getattr(want, attr)
+        if exact:
+            np.testing.assert_array_equal(
+                got_arr, want_arr, err_msg=f"{label}: {attr}"
+            )
+        else:
+            np.testing.assert_allclose(
+                got_arr, want_arr, rtol=0.0, atol=1e-9,
+                equal_nan=True, err_msg=f"{label}: {attr}",
+            )
+    if exact:
+        np.testing.assert_array_equal(
+            got.branches, want.branches, err_msg=f"{label}: branches"
+        )
+        assert got.fault_sends == want.fault_sends, label
+
+
+class TestFastFamilyDifferential:
+    """All vectorized fast paths bitwise equal; scalar within 1e-9."""
+
+    @FAMILY_SETTINGS
+    @given(data=st.data())
+    def test_all_paths_agree(self, data):
+        algorithm = data.draw(st.sampled_from(["full", "simplified"]))
+        scenario = data.draw(scenarios())
+        family = run_fast_family(scenario, algorithm)
+        reference = family.pop("per_trial")
+        scalar = family.pop("scalar")
+        for label, result in family.items():
+            assert_results_equal(result, reference, exact=True, label=label)
+        assert_results_equal(scalar, reference, exact=False, label="scalar")
+
+
+class TestEngineDifferential:
+    """The fast family against the event-driven ground truth."""
+
+    def _engine_times(self, scenario):
+        grid = GridSimulation(
+            scenario["graph"],
+            scenario["params"],
+            delay_model=scenario["delay_model"],
+            clocks=dict(scenario["clocks"]),
+            fault_plan=scenario["fault_plan"],
+            layer0=scenario["layer0"],
+        )
+        trace = grid.run(NUM_PULSES)
+        return times_from_trace(trace, scenario["graph"], NUM_PULSES)
+
+    @ENGINE_SETTINGS
+    @given(scenario=scenarios())
+    def test_engine_matches_fast_within_tolerance(self, scenario):
+        fast = fast_simulation(scenario).run(NUM_PULSES)
+        event = self._engine_times(scenario)
+        np.testing.assert_array_equal(
+            np.isnan(event), np.isnan(fast.times),
+            err_msg="engine/fast disagree on which nodes pulsed",
+        )
+        np.testing.assert_allclose(
+            event, fast.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+    @ENGINE_SETTINGS
+    @given(scenario=scenarios())
+    def test_engine_matches_compacted_stack_within_tolerance(self, scenario):
+        """Transitivity made explicit: engine vs the newest fast path."""
+        depth = scenario["graph"].num_layers
+        stack = TrialStack(
+            [fast_simulation(scenario), _decoy(scenario, depth + 3, "full")],
+            compact_depth=True,
+        )
+        stacked = stack.run(NUM_PULSES)[0]
+        event = self._engine_times(scenario)
+        np.testing.assert_array_equal(np.isnan(event), np.isnan(stacked.times))
+        np.testing.assert_allclose(
+            event, stacked.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+
+def test_deterministic_scenario_smoke():
+    """One fixed cell through every path (fails loudly without hypothesis)."""
+    params = PARAMS_CHOICES[0]
+    base = replicated_line(4)
+    graph = LayeredGraph(base, 4)
+    scenario = {
+        "graph": graph,
+        "params": params,
+        "delay_model": StaticDelayModel(params.d, params.u, seed=11),
+        "layer0": JitteredLayer0(
+            params.Lambda, base.num_nodes, params.kappa / 2.0, seed=11
+        ),
+        "clocks": uniform_random_rates(
+            list(graph.nodes()), params.vartheta, rng_or_seed=12
+        ),
+        "rates": None,
+        "fault_plan": FaultPlan.from_nodes({(2, 1): CrashFault()}),
+    }
+    scenario["rates"] = {
+        node: clock.rate for node, clock in scenario["clocks"].items()
+    }
+    family = run_fast_family(scenario)
+    reference = family.pop("per_trial")
+    scalar = family.pop("scalar")
+    for label, result in family.items():
+        assert_results_equal(result, reference, exact=True, label=label)
+    assert_results_equal(scalar, reference, exact=False, label="scalar")
+    event = times_from_trace(
+        GridSimulation(
+            graph,
+            params,
+            delay_model=scenario["delay_model"],
+            clocks=dict(scenario["clocks"]),
+            fault_plan=scenario["fault_plan"],
+            layer0=scenario["layer0"],
+        ).run(NUM_PULSES),
+        graph,
+        NUM_PULSES,
+    )
+    np.testing.assert_array_equal(np.isnan(event), np.isnan(reference.times))
+    np.testing.assert_allclose(
+        event, reference.times, rtol=0.0, atol=1e-9, equal_nan=True
+    )
+    # Downstream reducers see identical values through every path too.
+    assert family["compacted_stack_deep_mate"].max_local_skew() == (
+        pytest.approx(reference.max_local_skew(), abs=0.0)
+    )

@@ -399,6 +399,135 @@ class TestHeterogeneousGrouping:
             assert flattened == list(range(len(trials)))
 
 
+class TestDepthSkewCompaction:
+    """Depth compaction never changes results, only the work done.
+
+    Randomized and extreme (1-vs-512) per-trial layer counts through the
+    compacted stack vs the uncompacted padded stack vs per-trial runs --
+    all bit-identical -- plus the bookkeeping invariants: stack_groups /
+    fallback_reasons survive row dropping, the per-group compaction
+    stats account exactly for the layers each trial owns, and the skew
+    reducers never see a compacted-away cell (layers a trial does not
+    have stay NaN in its per-layer statistics).
+    """
+
+    @staticmethod
+    def _depth_trials(depths, diameter=4, num_pulses=2):
+        return [
+            BatchTrial(
+                config=standard_config(
+                    diameter, seed=s, num_layers=d, num_pulses=num_pulses
+                )
+            )
+            for s, d in enumerate(depths)
+        ]
+
+    @HETERO_SETTINGS
+    @given(
+        depths=st.lists(st.integers(1, 9), min_size=2, max_size=6),
+        diameter=st.sampled_from([3, 5]),
+    )
+    def test_compaction_bit_identical_and_accounted(self, depths, diameter):
+        trials = self._depth_trials(depths, diameter=diameter)
+        compact = BatchRunner(num_pulses=2).run(trials)
+        padded = BatchRunner(num_pulses=2, compact_depth=False).run(trials)
+        per_trial = BatchRunner(num_pulses=2, stack=False).run(trials)
+        np.testing.assert_array_equal(compact.times, padded.times)
+        np.testing.assert_array_equal(compact.times, per_trial.times)
+        np.testing.assert_array_equal(
+            compact.corrections, per_trial.corrections
+        )
+        # Bookkeeping survives row dropping: still one stack group over
+        # every trial, no fallbacks, and the stats account exactly for
+        # the layer steps the trials own (fault-free: no dead rows).
+        assert compact.stack_groups == [list(range(len(trials)))]
+        assert compact.fallback_reasons == {}
+        (stats,) = compact.compaction_stats
+        assert stats["enabled"]
+        assert stats["padded_row_steps"] == (
+            2 * (max(depths) - 1) * len(depths)
+        )
+        assert stats["active_row_steps"] == 2 * sum(d - 1 for d in depths)
+        (padded_stats,) = padded.compaction_stats
+        assert not padded_stats["enabled"]
+        assert (
+            padded_stats["active_row_steps"]
+            == padded_stats["padded_row_steps"]
+        )
+
+    @HETERO_SETTINGS
+    @given(depths=st.lists(st.integers(1, 7), min_size=2, max_size=5))
+    def test_skew_reducers_never_see_compacted_cells(self, depths):
+        trials = self._depth_trials(depths)
+        batch = BatchRunner(num_pulses=2).run(trials)
+        local = batch.local_skews()
+        for i, trial in enumerate(trials):
+            depth = trial.config.graph.num_layers
+            reference = trial.simulation().run(2)
+            assert batch.max_local_skews()[i] == pytest.approx(
+                max_local_skew(reference), abs=0.0
+            )
+            assert batch.overall_skews()[i] == pytest.approx(
+                overall_skew(reference), abs=0.0
+            )
+            # Layers this trial never ran exist only as padding: NaN in
+            # its per-layer statistics, never a fabricated 0.
+            if depth < local.shape[1]:
+                assert np.isnan(local[i, depth:]).all()
+            assert np.isnan(batch.times[i, :, depth:, :]).all()
+
+    def test_extreme_1_vs_512_layer_skew(self):
+        """The acceptance cell: depths {1, 512} in one stack, bit-identical."""
+        trials = self._depth_trials([1, 512, 1, 3])
+        compact = BatchRunner(num_pulses=2).run(trials)
+        per_trial = BatchRunner(num_pulses=2, stack=False).run(trials)
+        np.testing.assert_array_equal(compact.times, per_trial.times)
+        np.testing.assert_array_equal(
+            compact.effective_corrections, per_trial.effective_corrections
+        )
+        (stats,) = compact.compaction_stats
+        # 511 + 0 + 0 + 2 owned layer steps per pulse out of 511 * 4.
+        assert stats["active_row_steps"] == 2 * (511 + 2)
+        assert stats["padded_row_steps"] == 2 * 511 * 4
+        assert stats["min_depth"] == 1 and stats["max_depth"] == 512
+        # The depth-1 trials own no computed layers at all, yet their
+        # layer-0 row and skew statistics are intact.
+        assert np.isfinite(compact.times[0, :, 0, :5]).all()
+        assert compact.max_local_skews().shape == (4,)
+
+    def test_compaction_with_faults_matches_everywhere(self):
+        """Dead-row dropping (a fully crashed layer) stays bit-identical."""
+        config = standard_config(4, seed=9, num_layers=6, num_pulses=3)
+        wipe = FaultPlan.from_nodes(
+            {(v, 1): CrashFault() for v in range(config.graph.width)}
+        )
+        trials = [
+            BatchTrial(config=config, fault_plan=wipe, label="wiped"),
+            BatchTrial(
+                config=standard_config(4, seed=10, num_layers=2, num_pulses=3)
+            ),
+            BatchTrial(
+                config=standard_config(6, seed=11, num_layers=6, num_pulses=3)
+            ),
+        ]
+        compact = BatchRunner(num_pulses=3).run(trials)
+        padded = BatchRunner(num_pulses=3, compact_depth=False).run(trials)
+        per_trial = BatchRunner(num_pulses=3, stack=False).run(trials)
+        for reference in (padded, per_trial):
+            np.testing.assert_array_equal(compact.times, reference.times)
+            np.testing.assert_array_equal(
+                compact.corrections, reference.corrections
+            )
+        for got, want in zip(compact.results, per_trial.results):
+            assert got.fault_sends == want.fault_sends
+            np.testing.assert_array_equal(got.branches, want.branches)
+        (stats,) = compact.compaction_stats
+        # The wiped trial goes dead above layer 1, so it executes fewer
+        # row steps than its depth alone would grant.
+        fault_free_budget = 3 * ((6 - 1) + (2 - 1) + (6 - 1))
+        assert stats["active_row_steps"] < fault_free_budget
+
+
 class TestFallbackReasons:
     """Per-trial fallbacks always leave a trace on BatchResult."""
 
