@@ -22,6 +22,11 @@ Four micro-benchmarks track the performance trajectory across PRs:
   and the uncompacted padded stack, asserting bit-identical times and
   the >= 1.3x floor over per-geometry grouping (the previous best mode
   on this shape).
+* ``test_streaming_memory_reduction``: the streaming result pipeline
+  (``store_times=False``) vs the materialized ``(S, K, L, W)`` block on
+  an S = 64, 32-pulse cell, tracking peak memory with ``tracemalloc``
+  and asserting the >= 4x reduction floor (and that the streamed peak
+  stays under a single block -- CI fails if the block ever comes back).
 
 The batch benches record their modes into ``BENCH_batch.json`` next to
 this file (merge-updating their own section, so running a subset keeps
@@ -35,6 +40,7 @@ Select just these with ``pytest benchmarks/test_batch_speed.py -m bench``;
 
 import json
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -604,6 +610,128 @@ def test_depth_skewed_compaction_speedup():
     assert speedup >= 1.3, (
         f"depth-compacted stack only {speedup:.1f}x faster than per-geometry "
         f"grouping ({compacted_time:.4f}s vs {grouped_time:.4f}s)"
+    )
+
+
+#: The streaming acceptance cell: S = 64 trials, 32 pulses -- deep enough
+#: in the pulse axis that the (S, K, L, W) block dominates the footprint.
+STREAM_TRIALS = 64
+STREAM_PULSES = 32
+STREAM_DIAMETER = 32
+#: Floor on materialized-peak / streaming-peak; the block is ~5 matrices
+#: deep, so anything under this means streaming materialized the block.
+STREAM_MEMORY_FLOOR = 4.0
+
+
+def test_streaming_memory_reduction():
+    """Streaming folds >= 4x less peak memory than the materialized block.
+
+    ``store_times=False`` promises the ``(S, K, L, W)`` pulse-time block
+    is never allocated; this bench pins that with :mod:`tracemalloc` on
+    the S = 64, K = 32 cell, asserts the >= 4x peak-memory floor (CI
+    fails if the streaming path ever allocates the full block again),
+    checks the streamed statistics still match the materialized reducers
+    bitwise, and records both modes under the ``"streaming"`` section of
+    ``BENCH_batch.json``.
+    """
+    trials = BatchRunner.seed_sweep(
+        STREAM_DIAMETER, range(STREAM_TRIALS), num_pulses=STREAM_PULSES
+    )
+    graph = trials[0].config.graph
+    node_pulses = graph.num_nodes * STREAM_PULSES
+    block_bytes = (
+        STREAM_TRIALS * STREAM_PULSES * graph.num_layers * graph.width * 8
+    )
+
+    streaming_runner = BatchRunner(num_pulses=STREAM_PULSES, store_times=False)
+    materialized_runner = BatchRunner(num_pulses=STREAM_PULSES)
+
+    # Warm the per-edge delay/rate caches (they live on the shared trial
+    # configs and scale with S*L*W, not K) so the traced peaks compare
+    # the result pipelines, not one-time RNG setup.
+    streaming_runner.run(trials)
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    stream_start = time.perf_counter()
+    streamed = streaming_runner.run(trials)
+    stream_time = time.perf_counter() - stream_start
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    full_start = time.perf_counter()
+    materialized = materialized_runner.run(trials)
+    full_time = time.perf_counter() - full_start
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    # Acceptance: streamed statistics equal the materialized reducers.
+    np.testing.assert_array_equal(
+        streamed.local_skews(), materialized.local_skews()
+    )
+    np.testing.assert_array_equal(
+        streamed.overall_skews(), materialized.overall_skews()
+    )
+    np.testing.assert_array_equal(
+        streamed.global_skews(), materialized.global_skews()
+    )
+    want, got = materialized.correction_stats(), streamed.correction_stats()
+    for key in want:
+        np.testing.assert_array_equal(want[key], got[key], err_msg=key)
+
+    reduction = full_peak / stream_peak
+    _merge_bench_json(
+        {
+            "streaming": {
+                "grid": {
+                    "diameter": STREAM_DIAMETER,
+                    "num_layers": graph.num_layers,
+                    "width": graph.width,
+                    "num_pulses": STREAM_PULSES,
+                    "trials": STREAM_TRIALS,
+                    "faults": 0,
+                },
+                "block_bytes": block_bytes,
+                "modes": {
+                    "materialized": dict(
+                        _mode_record(STREAM_TRIALS, full_time, node_pulses),
+                        peak_bytes=full_peak,
+                    ),
+                    "streamed": dict(
+                        _mode_record(STREAM_TRIALS, stream_time, node_pulses),
+                        peak_bytes=stream_peak,
+                    ),
+                },
+                "memory_reduction": reduction,
+            }
+        }
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "seconds", "peak MiB", "node-pulses/s"],
+            [
+                ("materialized", full_time, full_peak / 2**20,
+                 STREAM_TRIALS * node_pulses / full_time),
+                ("streamed", stream_time, stream_peak / 2**20,
+                 STREAM_TRIALS * node_pulses / stream_time),
+            ],
+            title=f"Streaming reducers, S={STREAM_TRIALS}, "
+            f"D={STREAM_DIAMETER}, {STREAM_PULSES} pulses "
+            f"({reduction:.1f}x less peak memory)",
+        )
+    )
+    assert stream_peak < block_bytes, (
+        f"streaming peak {stream_peak} bytes exceeds one (S, K, L, W) "
+        f"block ({block_bytes} bytes) -- the block leaked back in"
+    )
+    assert reduction >= STREAM_MEMORY_FLOOR, (
+        f"streaming only reduced peak memory {reduction:.1f}x "
+        f"({stream_peak} vs {full_peak} bytes); floor is "
+        f"{STREAM_MEMORY_FLOOR}x"
     )
 
 

@@ -4,6 +4,10 @@
   ``L_{l,l+1}``, ``L``, global skew) over simulation results.
 * :mod:`repro.analysis.potentials` -- the potential functions of
   Definition 4.1 (``psi``, ``Psi``, ``xi``, ``Xi``).
+* :mod:`repro.analysis.streaming` -- online (streaming) counterparts of
+  the skew/potential reducers plus an incremental low-rank sketch, for
+  ``store_times=False`` sweeps that never materialize the pulse-time
+  block.
 * :mod:`repro.analysis.stats` -- regression helpers (log/linear/power fits)
   used to check growth *shapes* against the paper's bounds.
 * :mod:`repro.analysis.report` -- ASCII tables for benchmark output.
@@ -26,17 +30,42 @@ from repro.analysis.potentials import (
     Xi,
     psi,
     xi,
+    potential_layers,
     local_skew_bound_from_potential,
+)
+from repro.analysis.streaming import (
+    CorrectionStatsStream,
+    GlobalSkewStream,
+    IncrementalSketch,
+    InterLayerSkewStream,
+    LocalSkewStream,
+    PotentialStream,
+    StreamedStats,
+    StreamingReducer,
+    StreamLayout,
+    default_reducers,
+    fold_correction_planes,
 )
 from repro.analysis.stats import fit_linear, fit_log2, fit_power
 from repro.analysis.report import format_table
 
 __all__ = [
+    "CorrectionStatsStream",
+    "GlobalSkewStream",
+    "IncrementalSketch",
+    "InterLayerSkewStream",
+    "LocalSkewStream",
+    "PotentialStream",
     "Psi",
+    "StreamLayout",
+    "StreamedStats",
+    "StreamingReducer",
     "Xi",
+    "default_reducers",
     "fit_linear",
     "fit_log2",
     "fit_power",
+    "fold_correction_planes",
     "format_table",
     "global_skew",
     "global_skew_layers",
@@ -48,6 +77,7 @@ __all__ = [
     "max_inter_layer_skew",
     "max_local_skew",
     "overall_skew",
+    "potential_layers",
     "psi",
     "times_from_trace",
     "xi",

@@ -19,8 +19,16 @@ import math
 import numpy as np
 
 from repro.core.fast import FastResult
+from repro.topology.layered import LayeredGraph
 
-__all__ = ["psi", "Psi", "xi", "Xi", "local_skew_bound_from_potential"]
+__all__ = [
+    "psi",
+    "Psi",
+    "xi",
+    "Xi",
+    "potential_layers",
+    "local_skew_bound_from_potential",
+]
 
 
 def _pair_weights(result: FastResult, coefficient: float) -> np.ndarray:
@@ -81,6 +89,39 @@ def Xi(result: FastResult, s: int, layer: int, pulse: int) -> float:
     """``Xi^s(layer)`` at a given pulse."""
     weights = _pair_weights(result, (4.0 * s - 2.0) * result.params.kappa)
     return _potential(result, layer, pulse, weights)
+
+
+def potential_layers(
+    times: np.ndarray,
+    graph: LayeredGraph,
+    coefficient: float,
+    empty: float = math.nan,
+) -> np.ndarray:
+    """Per-layer potential sup from raw times ``(..., K, L, W)``.
+
+    The array-shaped sibling of :func:`Psi` / :func:`Xi`: the supremum of
+    ``t_v - t_w - coefficient * d(v, w)`` over all pairs *and* pulses per
+    layer (pass ``coefficient = 4 s kappa`` for ``Psi^s``,
+    ``(4 s - 2) kappa`` for ``Xi^s``); shape ``(..., L)``.  Layers with
+    no correct pair report ``empty`` (default NaN, matching the scalar
+    entry points).  This is the materialized reference that
+    :class:`repro.analysis.streaming.PotentialStream` folds incrementally
+    -- a max-only reduction, so the two agree bitwise.
+    """
+    times = np.asarray(times, dtype=float)
+    base = graph.base
+    n = base.num_nodes
+    dist = np.empty((n, n))
+    for v in range(n):
+        dist[v, :] = base.distances_from(v)
+    weights = coefficient * dist
+    diffs = (times[..., :, None] - times[..., None, :]) - weights
+    valid = np.isfinite(diffs)
+    any_valid = valid.any(axis=(-4, -2, -1))
+    out = np.where(valid, diffs, -np.inf).max(
+        axis=(-4, -2, -1), initial=-np.inf
+    )
+    return np.where(any_valid, out, empty)
 
 
 def local_skew_bound_from_potential(

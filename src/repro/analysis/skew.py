@@ -96,12 +96,6 @@ def masked_max(
     return np.where(any_valid, out, empty)
 
 
-def _edge_arrays(graph: LayeredGraph) -> Tuple[np.ndarray, np.ndarray]:
-    # Cached on the base graph: the skew reducers run once per batch of
-    # trials, so regathering the edge tuples per call was pure overhead.
-    return graph.base.edge_index_arrays()
-
-
 # ----------------------------------------------------------------------
 # Array-shaped entry points: times of shape (..., K, L, W)
 # ----------------------------------------------------------------------
@@ -114,7 +108,7 @@ def local_skew_layers(
     runs over the pulse axis and every base-graph edge.
     """
     times = np.asarray(times, dtype=float)
-    left, right = _edge_arrays(graph)
+    left, right = graph.base.edge_index_arrays()
     diffs = np.abs(times[..., left] - times[..., right])  # (..., K, L, E)
     return masked_max(diffs, axis=(-3, -1), empty=empty)
 
@@ -136,7 +130,7 @@ def inter_layer_skew_layers(
         return np.full(out_shape, empty)
     upper = times[..., 1:, :-1, :]  # pulse k+1, layer l
     lower = times[..., :-1, 1:, :]  # pulse k,   layer l+1
-    left, right = _edge_arrays(graph)
+    left, right = graph.base.edge_index_arrays()
     diffs = np.concatenate(
         [
             np.abs(upper - lower),

@@ -285,6 +285,13 @@ class FastResult:
         ``int8`` codes per :data:`BRANCH_CODES`.
     fault_sends:
         ``{(faulty_node, successor): {pulse: send_time_or_None}}``.
+
+    Streamed runs (``store_times=False``) keep only a rolling one-pulse
+    window of these matrices while running and release even that at the
+    end: the matrices are then ``None`` and the statistics live in
+    ``streamed`` (a :class:`~repro.analysis.streaming.StreamedStats`,
+    shared across a stack) with this trial's row in ``streamed_row``.
+    The skew accessors below transparently serve from it.
     """
 
     def __init__(
@@ -293,17 +300,32 @@ class FastResult:
         params: Parameters,
         fault_plan: FaultPlan,
         num_pulses: int,
+        allocate: bool = True,
+        storage_pulses: Optional[int] = None,
     ) -> None:
-        shape = (num_pulses, graph.num_layers, graph.width)
+        if storage_pulses is None:
+            storage_pulses = num_pulses
+        shape = (storage_pulses, graph.num_layers, graph.width)
         self.graph = graph
         self.params = params
         self.fault_plan = fault_plan
         self.num_pulses = num_pulses
-        self.times = np.full(shape, np.nan)
-        self.protocol_times = np.full(shape, np.nan)
-        self.corrections = np.full(shape, np.nan)
-        self.effective_corrections = np.full(shape, np.nan)
-        self.branches = np.full(shape, BRANCH_CODES["none"], dtype=np.int8)
+        if allocate:
+            self.times = np.full(shape, np.nan)
+            self.protocol_times = np.full(shape, np.nan)
+            self.corrections = np.full(shape, np.nan)
+            self.effective_corrections = np.full(shape, np.nan)
+            self.branches = np.full(
+                shape, BRANCH_CODES["none"], dtype=np.int8
+            )
+        else:
+            # The caller (the trial stack, or a streaming run) attaches
+            # its own windows/rolling planes before the first layer step.
+            self.times = None
+            self.protocol_times = None
+            self.corrections = None
+            self.effective_corrections = None
+            self.branches = None
         self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
         # Set by the trial-stacked runner: the shared (S, K, L_max, W_max)
         # block this result's matrices are windows of, plus this trial's
@@ -311,6 +333,10 @@ class FastResult:
         # (single-stack batches); everyone else can ignore them.
         self.stack_block = None
         self.stack_row: Optional[int] = None
+        # Set by streamed runs: the folded statistics of the run (shared
+        # across a stack) and this trial's row in their accumulators.
+        self.streamed = None
+        self.streamed_row: Optional[int] = None
 
     def __getstate__(self) -> dict:
         """Drop the shared-block backref when pickling.
@@ -318,7 +344,10 @@ class FastResult:
         The per-trial matrices pickle as their own (window-sized) arrays;
         carrying ``stack_block`` too would serialize the whole ``S``-trial
         block once *per result* -- an ``S``-fold blowup on the process
-        executor's return path.
+        executor's return path.  ``streamed`` is *kept*: its accumulators
+        are the entire payload of a streamed run, and pickle's memo
+        serializes the shared object once per shard payload, not once per
+        result.
         """
         state = self.__dict__.copy()
         state["stack_block"] = None
@@ -338,22 +367,49 @@ class FastResult:
         v, layer = node
         return float(self.times[pulse, layer, v])
 
+    def _streamed_reducer(self, name: str):
+        """The named streamed reducer, or raise when it is unavailable."""
+        if self.streamed is None or name not in self.streamed:
+            raise ValueError(
+                "result holds no pulse-time matrices and no streamed "
+                f"{name!r} reducer; run with store_times=True or include "
+                "the reducer"
+            )
+        return self.streamed[name]
+
     # Convenience delegates into the analysis package (lazy import to keep
-    # the dependency direction core <- analysis).
+    # the dependency direction core <- analysis).  Streamed results (no
+    # materialized ``times``) serve the same numbers -- bitwise, see
+    # :mod:`repro.analysis.streaming` -- from their accumulators.
     def local_skew(self, layer: int) -> float:
         """Measured ``L_layer`` over all recorded pulses."""
+        if self.times is None:
+            values = self._streamed_reducer("local").trial_values(
+                self.streamed_row
+            )
+            return float(values[layer])
         from repro.analysis.skew import local_skew_per_layer
 
         return local_skew_per_layer(self)[layer]
 
     def max_local_skew(self) -> float:
         """Measured ``sup_l L_l``."""
+        if self.times is None:
+            values = self._streamed_reducer("local").trial_values(
+                self.streamed_row
+            )
+            return float(np.max(values))
         from repro.analysis.skew import max_local_skew
 
         return max_local_skew(self)
 
     def global_skew(self) -> float:
         """Measured global skew ``max_l Psi^0``-style same-layer spread."""
+        if self.times is None:
+            values = self._streamed_reducer("global").trial_values(
+                self.streamed_row
+            )
+            return float(np.max(values))
         from repro.analysis.skew import global_skew
 
         return global_skew(self)
@@ -441,23 +497,88 @@ class FastSimulation:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, num_pulses: int) -> FastResult:
-        """Simulate ``num_pulses`` pulses through all layers."""
-        result = self._begin_run(num_pulses)
+    def run(
+        self,
+        num_pulses: int,
+        reducers: Optional[list] = None,
+        store_times: bool = True,
+    ) -> FastResult:
+        """Simulate ``num_pulses`` pulses through all layers.
+
+        ``reducers`` (a list of
+        :class:`~repro.analysis.streaming.StreamingReducer`) folds
+        statistics online, one layer plane at a time.  With
+        ``store_times=False`` the run keeps only a rolling *one-pulse*
+        window of the result matrices -- memory O(L, W) instead of
+        O(K, L, W) -- and releases even that at the end: the returned
+        result serves its skew accessors from ``result.streamed``
+        (bitwise identical to the materialized reducers; ``reducers``
+        defaults to :func:`~repro.analysis.streaming.default_reducers`).
+        """
+        stream = None
+        if reducers is not None or not store_times:
+            from repro.analysis.streaming import (
+                StreamLayout,
+                StreamedStats,
+                default_reducers,
+            )
+
+            if reducers is None:
+                reducers = default_reducers()
+            stream = StreamedStats(
+                StreamLayout.from_sims([self], num_pulses), reducers
+            )
+        result = self._begin_run(
+            num_pulses, storage_pulses=num_pulses if store_times else 1
+        )
         # The sweep structures depend on the fault plan, so they are built
         # per run (tests mutate ``fault_plan`` between construction and run).
         sweep = _VectorSweep(self) if self.vectorize else None
+        num_layers = self.graph.num_layers
         for k in range(num_pulses):
-            self._run_layer0(result, k)
-            for layer in range(1, self.graph.num_layers):
+            rk = k if store_times else 0
+            if not store_times and k > 0:
+                # Recycle the rolling one-pulse window for this iteration.
+                result.times[0] = np.nan
+                result.protocol_times[0] = np.nan
+                result.corrections[0] = np.nan
+                result.effective_corrections[0] = np.nan
+                result.branches[0] = BRANCH_CODES["none"]
+            self._run_layer0(result, k, rk)
+            if stream is not None:
+                stream.update(
+                    k, 0, result.times[rk, 0][None],
+                    result.corrections[rk, 0][None],
+                )
+            for layer in range(1, num_layers):
                 if sweep is not None:
-                    self._run_layer_vectorized(result, k, layer, sweep)
+                    self._run_layer_vectorized(result, k, layer, sweep, rk)
                 else:
-                    self._run_layer(result, k, layer)
+                    self._run_layer(result, k, layer, rk)
+                if stream is not None:
+                    stream.update(
+                        k, layer, result.times[rk, layer][None],
+                        result.corrections[rk, layer][None],
+                    )
+        if stream is not None:
+            stream.finalize()
+            result.streamed = stream
+            result.streamed_row = 0
+        if not store_times:
+            result.times = None
+            result.protocol_times = None
+            result.corrections = None
+            result.effective_corrections = None
+            result.branches = None
         return result
 
     def _begin_run(
-        self, num_pulses: int, layer0_times: Optional[np.ndarray] = None
+        self,
+        num_pulses: int,
+        layer0_times: Optional[np.ndarray] = None,
+        storage_pulses: Optional[int] = None,
+        allocate: bool = True,
+        gather_layer0: bool = True,
     ) -> FastResult:
         """Validate, reset the per-run caches, and allocate the result.
 
@@ -470,13 +591,27 @@ class FastSimulation:
         the scalar one, where the array rows hold bit-identical values.
         ``layer0_times`` injects a pre-gathered ``(num_pulses, W)`` block
         instead -- the trial stack slices each trial's rows out of one
-        stacked :func:`~repro.core.layer0.stacked_pulse_times` fill.
+        stacked :func:`~repro.core.layer0.stacked_pulse_times` fill --
+        and ``gather_layer0=False`` skips the gather entirely (streamed
+        stacks refill one ``(S, W)`` row per pulse instead).
+        ``storage_pulses``/``allocate`` shape the result matrices:
+        streamed runs keep a one-pulse rolling window, and the trial
+        stack attaches window views of its own shared block
+        (``allocate=False`` avoids allocating per-trial matrices that
+        would be thrown away immediately).
         """
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
-        result = FastResult(self.graph, self.params, self.fault_plan, num_pulses)
+        result = FastResult(
+            self.graph,
+            self.params,
+            self.fault_plan,
+            num_pulses,
+            allocate=allocate,
+            storage_pulses=storage_pulses,
+        )
         self._rate_cache = {}
-        if layer0_times is None:
+        if layer0_times is None and gather_layer0:
             layer0_times = self.layer0.pulse_times_array(
                 self.graph.base, num_pulses
             )
@@ -486,12 +621,15 @@ class FastSimulation:
         )
         return result
 
-    def _run_layer0(self, result: FastResult, k: int) -> None:
+    def _run_layer0(
+        self, result: FastResult, k: int, row_index: Optional[int] = None
+    ) -> None:
+        rk = k if row_index is None else row_index
         row = self._layer0_times[k]
-        result.protocol_times[k, 0, :] = row
-        result.branches[k, 0, :] = BRANCH_CODES["layer0"]
+        result.protocol_times[rk, 0, :] = row
+        result.branches[rk, 0, :] = BRANCH_CODES["layer0"]
         if not self._layer0_has_fault:
-            result.times[k, 0, :] = row
+            result.times[rk, 0, :] = row
             return
         for v in self.graph.base.nodes():
             node = (v, 0)
@@ -499,41 +637,64 @@ class FastSimulation:
             if self.fault_plan.is_faulty(node):
                 self._record_fault_sends(result, node, k, t)
             else:
-                result.times[k, 0, v] = t
+                result.times[rk, 0, v] = t
 
-    def _run_layer(self, result: FastResult, k: int, layer: int) -> None:
+    def _run_layer(
+        self,
+        result: FastResult,
+        k: int,
+        layer: int,
+        row_index: Optional[int] = None,
+    ) -> None:
         for v in self.graph.base.nodes():
-            self._run_node_and_record(result, (v, layer), k)
+            self._run_node_and_record(result, (v, layer), k, row_index)
 
     def _run_node_and_record(
-        self, result: FastResult, node: NodeId, k: int
+        self,
+        result: FastResult,
+        node: NodeId,
+        k: int,
+        row_index: Optional[int] = None,
     ) -> None:
-        """Scalar path: replay one node's loop and record the outcome."""
+        """Scalar path: replay one node's loop and record the outcome.
+
+        ``row_index`` is the storage row the result matrices keep pulse
+        ``k`` in -- ``k`` itself for fully materialized runs (the
+        default), ``0`` for streamed runs whose matrices are a rolling
+        one-pulse window.  The *logical* pulse ``k`` still keys every
+        rate/delay/fault-behavior query.
+        """
+        rk = k if row_index is None else row_index
         v, layer = node
-        outcome = self._run_node(result, node, k)
-        result.corrections[k, layer, v] = outcome.correction
-        result.branches[k, layer, v] = BRANCH_CODES[outcome.branch]
+        outcome = self._run_node(result, node, k, row_index)
+        result.corrections[rk, layer, v] = outcome.correction
+        result.branches[rk, layer, v] = BRANCH_CODES[outcome.branch]
         if outcome.pulse_time is None:
             return
         if math.isfinite(outcome.h_own):
             rate = self.rate(node, k)
-            result.effective_corrections[k, layer, v] = (
+            result.effective_corrections[rk, layer, v] = (
                 outcome.h_own
                 + self.params.Lambda
                 - self.params.d
                 - rate * outcome.pulse_time
             )
-        result.protocol_times[k, layer, v] = outcome.pulse_time
+        result.protocol_times[rk, layer, v] = outcome.pulse_time
         if self.fault_plan.is_faulty(node):
             self._record_fault_sends(result, node, k, outcome.pulse_time)
         else:
-            result.times[k, layer, v] = outcome.pulse_time
+            result.times[rk, layer, v] = outcome.pulse_time
 
     # ------------------------------------------------------------------
     # Vectorized layer sweep
     # ------------------------------------------------------------------
     def _run_layer_vectorized(
-        self, result: FastResult, k: int, layer: int, sweep: "_VectorSweep"
+        self,
+        result: FastResult,
+        k: int,
+        layer: int,
+        sweep: "_VectorSweep",
+        row_index: Optional[int] = None,
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``W`` nodes at once.
 
@@ -543,8 +704,11 @@ class FastSimulation:
         to :meth:`_run_node_and_record`.  The arithmetic lives in the
         shape-generic :func:`_layer_step_kernel`, which mirrors the scalar
         path operation-for-operation so both produce bit-identical floats.
+        ``row_index`` maps pulse ``k`` to its storage row (rolling-window
+        streamed runs store every pulse in row 0).
         """
-        prev = result.times[k, layer - 1, :]  # (W,) send times, NaN = missing
+        rk = k if row_index is None else row_index
+        prev = result.times[rk, layer - 1, :]  # (W,) send times, NaN = missing
         own_delay, nb_delay = sweep.delay_arrays(layer, k)
         rate = sweep.rate_array(layer, k)
 
@@ -567,20 +731,20 @@ class FastSimulation:
         if not layer_faulty and eligible.all():
             # Common case (fault-free layer, every node on the fast path):
             # whole-row assignments, no boolean gathers.
-            result.corrections[k, layer] = correction
-            result.branches[k, layer] = branches
-            result.effective_corrections[k, layer] = effective
-            result.protocol_times[k, layer] = pulse_time
-            result.times[k, layer] = pulse_time
+            result.corrections[rk, layer] = correction
+            result.branches[rk, layer] = branches
+            result.effective_corrections[rk, layer] = effective
+            result.protocol_times[rk, layer] = pulse_time
+            result.times[rk, layer] = pulse_time
             return
 
-        result.corrections[k, layer, eligible] = correction[eligible]
-        result.branches[k, layer, eligible] = branches[eligible]
-        result.effective_corrections[k, layer, eligible] = effective[eligible]
-        result.protocol_times[k, layer, eligible] = pulse_time[eligible]
+        result.corrections[rk, layer, eligible] = correction[eligible]
+        result.branches[rk, layer, eligible] = branches[eligible]
+        result.effective_corrections[rk, layer, eligible] = effective[eligible]
+        result.protocol_times[rk, layer, eligible] = pulse_time[eligible]
         faulty_here = sweep.faulty[layer]
         correct = eligible & ~faulty_here
-        result.times[k, layer, correct] = pulse_time[correct]
+        result.times[rk, layer, correct] = pulse_time[correct]
         if layer_faulty:
             for v in np.nonzero(eligible & faulty_here)[0]:
                 self._record_fault_sends(
@@ -588,7 +752,9 @@ class FastSimulation:
                 )
         if not eligible.all():
             for v in np.nonzero(~eligible)[0]:
-                self._run_node_and_record(result, (int(v), layer), k)
+                self._run_node_and_record(
+                    result, (int(v), layer), k, row_index
+                )
 
     def _record_fault_sends(
         self, result: FastResult, node: NodeId, k: int, correct_time: float
@@ -606,29 +772,38 @@ class FastSimulation:
     # Reception times
     # ------------------------------------------------------------------
     def _send_time(
-        self, result: FastResult, pred: NodeId, node: NodeId, k: int
+        self,
+        result: FastResult,
+        pred: NodeId,
+        node: NodeId,
+        k: int,
+        row_index: Optional[int] = None,
     ) -> Optional[float]:
         """Time ``pred``'s pulse-``k`` message toward ``node`` leaves."""
         pv, pl = pred
         if self.fault_plan.is_faulty(pred):
             return result.fault_sends.get((pred, node), {}).get(k)
-        t = result.times[k, pl, pv]
+        t = result.times[k if row_index is None else row_index, pl, pv]
         if math.isnan(t):
             return None
         return float(t)
 
     def _arrivals(
-        self, result: FastResult, node: NodeId, k: int
+        self,
+        result: FastResult,
+        node: NodeId,
+        k: int,
+        row_index: Optional[int] = None,
     ) -> Tuple[Optional[float], List[float]]:
         """Real reception times: (own arrival, sorted neighbor arrivals)."""
         own_pred = (node[0], node[1] - 1)
-        own_send = self._send_time(result, own_pred, node, k)
+        own_send = self._send_time(result, own_pred, node, k, row_index)
         own_arrival = None
         if own_send is not None:
             own_arrival = own_send + self.delay_model.delay((own_pred, node), k)
         neighbor_arrivals = []
         for pred in self.graph.neighbor_predecessors(node):
-            send = self._send_time(result, pred, node, k)
+            send = self._send_time(result, pred, node, k, row_index)
             if send is None:
                 continue
             neighbor_arrivals.append(
@@ -640,8 +815,16 @@ class FastSimulation:
     # ------------------------------------------------------------------
     # Algorithm 3 loop replay
     # ------------------------------------------------------------------
-    def _run_node(self, result: FastResult, node: NodeId, k: int) -> NodeOutcome:
-        own_arrival, neighbor_arrivals = self._arrivals(result, node, k)
+    def _run_node(
+        self,
+        result: FastResult,
+        node: NodeId,
+        k: int,
+        row_index: Optional[int] = None,
+    ) -> NodeOutcome:
+        own_arrival, neighbor_arrivals = self._arrivals(
+            result, node, k, row_index
+        )
         rate = self.rate(node, k)
         num_neighbors = len(self.graph.neighbor_predecessors(node))
         if self.algorithm == "simplified":

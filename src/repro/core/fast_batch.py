@@ -106,9 +106,14 @@ from repro.core.fast import (
     _VectorSweep,
     _layer_step_kernel,
 )
-from repro.core.layer0 import stacked_pulse_times
+from repro.core.layer0 import stacked_pulse_row, stacked_pulse_times
 
 __all__ = ["TrialStack", "stack_compatibility"]
+
+#: Rows hint for layer steps the compacted loop skipped outright: the
+#: streaming reducers still need the update (the inter-layer reducer
+#: retires its previous-pulse plane), just with no active trial.
+_NO_ROWS = np.zeros(0, dtype=np.int64)
 
 
 class _StackBlock:
@@ -355,8 +360,27 @@ class TrialStack:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, num_pulses: int) -> List[FastResult]:
-        """Simulate ``num_pulses`` pulses for every trial; per-trial results."""
+    def run(
+        self,
+        num_pulses: int,
+        reducers: Optional[list] = None,
+        store_times: bool = True,
+    ) -> List[FastResult]:
+        """Simulate ``num_pulses`` pulses for every trial; per-trial results.
+
+        ``reducers`` (a list of
+        :class:`~repro.analysis.streaming.StreamingReducer`) folds
+        statistics online as the kernel writes each ``(S, W)`` plane.
+        With ``store_times=False`` the shared matrices shrink to a
+        rolling *one-pulse* window -- memory O(S, L, W) instead of
+        O(S, K, L, W), and the layer-0 schedule is gathered one
+        ``(S, W)`` row per pulse instead of the whole ``(S, K, W)``
+        block -- and the returned results carry only the streamed
+        accumulators (``result.streamed`` / ``streamed_row``; the
+        matrices are ``None``).  Streamed statistics are bitwise
+        identical to the materialized reducers (see
+        :mod:`repro.analysis.streaming`).
+        """
         sims = self.sims
         num_trials = len(sims)
         widths = [sim.graph.width for sim in sims]
@@ -371,18 +395,54 @@ class TrialStack:
             for depth, sim in zip(depths, sims)
         )
 
-        # One (S, P, W_max) layer-0 gather for the whole stack; each trial's
-        # _begin_run receives its own (P, W_s) window as a view.
-        layer0_block = stacked_pulse_times(
-            [sim.layer0 for sim in sims],
-            [sim.graph.base for sim in sims],
-            num_pulses,
-        )
-        results = [
-            sim._begin_run(num_pulses, layer0_times=layer0_block[s, :, : widths[s]])
-            for s, sim in enumerate(sims)
-        ]
-        shape = (num_trials, num_pulses, num_layers, width)
+        stream = None
+        if reducers is not None or not store_times:
+            from repro.analysis.streaming import (
+                StreamLayout,
+                StreamedStats,
+                default_reducers,
+            )
+
+            if reducers is None:
+                reducers = default_reducers()
+            stream = StreamedStats(
+                StreamLayout.from_sims(sims, num_pulses), reducers
+            )
+
+        if store_times:
+            # One (S, P, W_max) layer-0 gather for the whole stack; each
+            # trial's _begin_run receives its own (P, W_s) window as a view.
+            layer0_block = stacked_pulse_times(
+                [sim.layer0 for sim in sims],
+                [sim.graph.base for sim in sims],
+                num_pulses,
+            )
+            results = [
+                sim._begin_run(
+                    num_pulses,
+                    layer0_times=layer0_block[s, :, : widths[s]],
+                    allocate=False,
+                )
+                for s, sim in enumerate(sims)
+            ]
+            self._layer0_block = layer0_block
+            self._l0_row_buffer = None
+        else:
+            # Streaming: no (S, P, W_max) block -- one reusable (S, W_max)
+            # row refilled per pulse by stacked_pulse_row (bit-identical
+            # entries; see layer0.py).
+            results = [
+                sim._begin_run(
+                    num_pulses, allocate=False, gather_layer0=False
+                )
+                for sim in sims
+            ]
+            self._layer0_block = None
+            self._l0_row_buffer = np.full((num_trials, width), np.nan)
+            self._l0_schedules = [sim.layer0 for sim in sims]
+            self._l0_bases = [sim.graph.base for sim in sims]
+        store_pulses = num_pulses if store_times else 1
+        shape = (num_trials, store_pulses, num_layers, width)
 
         # One shared block per matrix; each FastResult holds the trial-s
         # window view, so scalar fallbacks and analysis code read/write
@@ -453,8 +513,8 @@ class TrialStack:
             else _StackedPolicy(sims)
         )
 
-        # Stacked layer-0 plane writes (see _run_layer0_stacked).
-        self._layer0_block = layer0_block
+        # Stacked layer-0 plane writes (see _run_layer0_stacked);
+        # self._layer0_block / self._l0_row_buffer were set above.
         self._l0_faulty = faulty[:, 0, :]
         self._l0_fault_trials = [
             s for s in range(num_trials) if bool(self._l0_faulty[s].any())
@@ -483,13 +543,26 @@ class TrialStack:
         active_row_steps = 0
 
         for k in range(num_pulses):
+            rk = k if store_times else 0
+            if not store_times and k > 0:
+                # Recycle the rolling one-pulse window for this iteration.
+                times[:, 0] = np.nan
+                protocol_times[:, 0] = np.nan
+                corrections[:, 0] = np.nan
+                effective[:, 0] = np.nan
+                branches[:, 0] = BRANCH_CODES["none"]
             self._run_layer0_stacked(
-                results, times, protocol_times, branches, k
+                results, times, protocol_times, branches, k, rk
             )
+            if stream is not None:
+                stream.update(
+                    k, 0, times[:, rk, 0, :], corrections[:, rk, 0, :]
+                )
             if compact and any_fault:
                 dead[:] = False
             for layer in range(1, num_layers):
                 rows: Optional[np.ndarray] = None
+                skipped = False
                 if compact:
                     mask = depths_arr > layer
                     if any_fault:
@@ -501,37 +574,50 @@ class TrialStack:
                         candidates = np.flatnonzero(mask & ~dead)
                         if candidates.size:
                             silent = np.isnan(
-                                protocol_times[candidates, k, layer - 1, :]
+                                protocol_times[candidates, rk, layer - 1, :]
                             ).all(axis=1)
                             if silent.any():
                                 dead[candidates[silent]] = True
                         mask &= ~dead
                     if not mask.all():
                         if not mask.any():
-                            continue
-                        rows = np.flatnonzero(mask)
-                active_row_steps += (
-                    num_trials if rows is None else int(rows.size)
-                )
-                self._run_layer_stacked(
-                    results,
-                    times,
-                    protocol_times,
-                    corrections,
-                    effective,
-                    branches,
-                    nb_idx,
-                    nb_valid,
-                    static_eligible,
-                    faulty,
-                    active,
-                    bool(layer_has_fault[layer]),
-                    self._delay_stack(sweeps, delay_cache, layer, k, rows),
-                    self._rate_stack(sweeps, rate_cache, layer, k, rows),
-                    k,
-                    layer,
-                    rows,
-                )
+                            skipped = True
+                        else:
+                            rows = np.flatnonzero(mask)
+                if not skipped:
+                    active_row_steps += (
+                        num_trials if rows is None else int(rows.size)
+                    )
+                    self._run_layer_stacked(
+                        results,
+                        times,
+                        protocol_times,
+                        corrections,
+                        effective,
+                        branches,
+                        nb_idx,
+                        nb_valid,
+                        static_eligible,
+                        faulty,
+                        active,
+                        bool(layer_has_fault[layer]),
+                        self._delay_stack(sweeps, delay_cache, layer, k, rows),
+                        self._rate_stack(sweeps, rate_cache, layer, k, rows),
+                        k,
+                        layer,
+                        rows,
+                        rk,
+                    )
+                if stream is not None:
+                    # Skipped steps still update with an empty rows hint so
+                    # the inter-layer reducer retires its buffer plane.
+                    stream.update(
+                        k,
+                        layer,
+                        times[:, rk, layer, :],
+                        corrections[:, rk, layer, :],
+                        _NO_ROWS if skipped else rows,
+                    )
 
         self.compaction_stats = {
             "enabled": compact,
@@ -547,6 +633,24 @@ class TrialStack:
                 else 0.0
             ),
         }
+
+        if stream is not None:
+            stream.finalize()
+            for s, result in enumerate(results):
+                result.streamed = stream
+                result.streamed_row = s
+        if not store_times:
+            # The rolling window holds only the last pulse -- meaningless
+            # as a result matrix.  Drop every matrix reference so the
+            # memory goes with it; the statistics live in ``streamed``.
+            for result in results:
+                result.times = None
+                result.protocol_times = None
+                result.corrections = None
+                result.effective_corrections = None
+                result.branches = None
+            self._l0_row_buffer = None
+            return results
 
         # Freeze the shared block and hand it to every result: stacked
         # results are immutable snapshots (a write through any window
@@ -572,18 +676,31 @@ class TrialStack:
         protocol_times: np.ndarray,
         branches: np.ndarray,
         k: int,
+        rk: int,
     ) -> None:
         """Write layer 0's pulse-``k`` plane for every trial at once.
 
         Mirrors :meth:`FastSimulation._run_layer0` with a leading trial
-        axis over the stacked ``(S, P, W_max)`` schedule block; only
+        axis over the stacked ``(S, P, W_max)`` schedule block -- or, on
+        streamed runs, over one reusable ``(S, W_max)`` row refilled per
+        pulse by :func:`~repro.core.layer0.stacked_pulse_row`
+        (bit-identical entries).  ``rk`` is the block's storage row for
+        pulse ``k`` (``k`` itself, or 0 on the rolling window).  Only
         trials with layer-0 faults drop to a per-vertex loop (their
         ``fault_sends`` bookkeeping is inherently per-edge).
         """
-        row = self._layer0_block[:, k, :]  # (S, W), NaN on padding
-        protocol_times[:, k, 0, :] = row
-        branches[:, k, 0, :] = self._l0_branch_row
-        times[:, k, 0, :] = np.where(self._l0_faulty, np.nan, row)
+        if self._layer0_block is not None:
+            row = self._layer0_block[:, k, :]  # (S, W), NaN on padding
+        else:
+            row = stacked_pulse_row(
+                self._l0_schedules,
+                self._l0_bases,
+                k,
+                out=self._l0_row_buffer,
+            )
+        protocol_times[:, rk, 0, :] = row
+        branches[:, rk, 0, :] = self._l0_branch_row
+        times[:, rk, 0, :] = np.where(self._l0_faulty, np.nan, row)
         for s in self._l0_fault_trials:
             for v in np.nonzero(self._l0_faulty[s])[0]:
                 self.sims[s]._record_fault_sends(
@@ -644,6 +761,7 @@ class TrialStack:
         k: int,
         layer: int,
         rows: np.ndarray,
+        rk: int,
     ) -> None:
         """Pulse ``k`` of ``layer`` on the compacted ``(S_active, W)`` plane.
 
@@ -655,10 +773,10 @@ class TrialStack:
         dropped rows are untouched and keep their initial padding, which
         is also what the uncompacted path produces for them (inert or
         silent rows are never eligible and their scalar replays record
-        nothing).
+        nothing).  ``rk`` is the block's storage row for pulse ``k``.
         """
         sims = self.sims
-        prev = times[rows, k, layer - 1, :]  # (A, W) gather, NaN = missing
+        prev = times[rows, rk, layer - 1, :]  # (A, W) gather, NaN = missing
         own_delay, nb_delay = delays
 
         eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
@@ -675,13 +793,13 @@ class TrialStack:
         )
 
         faulty_here = structs["faulty"][:, layer, :]
-        corrections[rows, k, layer] = np.where(eligible, correction, np.nan)
-        branches_out[rows, k, layer] = np.where(
+        corrections[rows, rk, layer] = np.where(eligible, correction, np.nan)
+        branches_out[rows, rk, layer] = np.where(
             eligible, branches, BRANCH_CODES["none"]
         )
-        effective[rows, k, layer] = np.where(eligible, eff, np.nan)
-        protocol_times[rows, k, layer] = np.where(eligible, pulse_time, np.nan)
-        times[rows, k, layer] = np.where(
+        effective[rows, rk, layer] = np.where(eligible, eff, np.nan)
+        protocol_times[rows, rk, layer] = np.where(eligible, pulse_time, np.nan)
+        times[rows, rk, layer] = np.where(
             eligible & ~faulty_here, pulse_time, np.nan
         )
         if faulty_here.any():
@@ -697,7 +815,9 @@ class TrialStack:
         if fallback.any():
             for si, v in zip(*np.nonzero(fallback)):
                 s = int(rows[si])
-                sims[s]._run_node_and_record(results[s], (int(v), layer), k)
+                sims[s]._run_node_and_record(
+                    results[s], (int(v), layer), k, rk
+                )
 
     def _run_layer_stacked(
         self,
@@ -718,6 +838,7 @@ class TrialStack:
         k: int,
         layer: int,
         rows: Optional[np.ndarray] = None,
+        rk: Optional[int] = None,
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``S x W`` cells at once.
 
@@ -730,7 +851,11 @@ class TrialStack:
         (compaction) routes the step through the gathered
         ``(S_active, W)`` plane of :meth:`_run_layer_compacted`; the
         ``delays``/``rate`` arrays are then already row-compacted.
+        ``rk`` is the storage row of pulse ``k`` in the shared block
+        (``k`` itself on materialized runs, 0 on the rolling window).
         """
+        if rk is None:
+            rk = k
         if rows is not None:
             self._run_layer_compacted(
                 results,
@@ -747,10 +872,11 @@ class TrialStack:
                 k,
                 layer,
                 rows,
+                rk,
             )
             return
         sims = self.sims
-        prev = times[:, k, layer - 1, :]  # (S, W) send times, NaN = missing
+        prev = times[:, rk, layer - 1, :]  # (S, W) send times, NaN = missing
         own_delay, nb_delay = delays
 
         eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
@@ -772,11 +898,11 @@ class TrialStack:
                 # Common case (uniform stack, no trial has a fault on this
                 # layer, every cell on the fast path): whole-plane
                 # assignments, no boolean gathers.
-                corrections[:, k, layer] = correction
-                branches_out[:, k, layer] = branches
-                effective[:, k, layer] = eff
-                protocol_times[:, k, layer] = pulse_time
-                times[:, k, layer] = pulse_time
+                corrections[:, rk, layer] = correction
+                branches_out[:, rk, layer] = branches
+                effective[:, rk, layer] = eff
+                protocol_times[:, rk, layer] = pulse_time
+                times[:, rk, layer] = pulse_time
                 return
         else:
             fallback = active[:, layer, :] & ~eligible
@@ -784,24 +910,24 @@ class TrialStack:
                 # Padded analogue of the fast path: every *real* cell is
                 # eligible, so one masked whole-plane select per matrix
                 # (inert cells keep their NaN/"none" padding).
-                corrections[:, k, layer] = np.where(eligible, correction, np.nan)
-                branches_out[:, k, layer] = np.where(
+                corrections[:, rk, layer] = np.where(eligible, correction, np.nan)
+                branches_out[:, rk, layer] = np.where(
                     eligible, branches, BRANCH_CODES["none"]
                 )
-                effective[:, k, layer] = np.where(eligible, eff, np.nan)
-                protocol_times[:, k, layer] = np.where(
+                effective[:, rk, layer] = np.where(eligible, eff, np.nan)
+                protocol_times[:, rk, layer] = np.where(
                     eligible, pulse_time, np.nan
                 )
-                times[:, k, layer] = np.where(eligible, pulse_time, np.nan)
+                times[:, rk, layer] = np.where(eligible, pulse_time, np.nan)
                 return
 
-        corrections[:, k, layer][eligible] = correction[eligible]
-        branches_out[:, k, layer][eligible] = branches[eligible]
-        effective[:, k, layer][eligible] = eff[eligible]
-        protocol_times[:, k, layer][eligible] = pulse_time[eligible]
+        corrections[:, rk, layer][eligible] = correction[eligible]
+        branches_out[:, rk, layer][eligible] = branches[eligible]
+        effective[:, rk, layer][eligible] = eff[eligible]
+        protocol_times[:, rk, layer][eligible] = pulse_time[eligible]
         faulty_here = faulty[:, layer, :]
         correct = eligible & ~faulty_here
-        times[:, k, layer][correct] = pulse_time[correct]
+        times[:, rk, layer][correct] = pulse_time[correct]
         if layer_faulty:
             for s, v in zip(*np.nonzero(eligible & faulty_here)):
                 sims[s]._record_fault_sends(
@@ -809,4 +935,6 @@ class TrialStack:
                 )
         if fallback.any():
             for s, v in zip(*np.nonzero(fallback)):
-                sims[s]._run_node_and_record(results[s], (int(v), layer), k)
+                sims[s]._run_node_and_record(
+                    results[s], (int(v), layer), k, rk
+                )

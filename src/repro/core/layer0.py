@@ -37,6 +37,7 @@ __all__ = [
     "AlternatingLayer0",
     "ChainLayer0",
     "stacked_pulse_times",
+    "stacked_pulse_row",
 ]
 
 
@@ -80,6 +81,51 @@ def stacked_pulse_times(
     for cls, rows in groups.items():
         cls._stack_pulse_times(
             [schedules[s] for s in rows], [bases[s] for s in rows], pulses,
+            out, rows,
+        )
+    return out
+
+
+def stacked_pulse_row(
+    schedules: Sequence["Layer0Schedule"],
+    bases: Sequence[BaseGraph],
+    pulse: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One grid pulse of every trial's schedule as an ``(S, W_max)`` row.
+
+    The streaming (``store_times=False``) counterpart of
+    :func:`stacked_pulse_times`: instead of materializing the whole
+    ``(S, pulses, W_max)`` layer-0 block up front, the stacked kernel
+    asks for one pulse's row at a time and reuses the same ``out``
+    buffer, keeping layer-0 memory at O(S, W).  Entries are bit-identical
+    to the corresponding ``stacked_pulse_times`` plane -- the per-class
+    overrides evaluate the same expressions in the same association, and
+    :class:`ChainLayer0` gathers from the same front-to-back cache --
+    so streamed and materialized runs see the same floats.
+    """
+    if len(schedules) != len(bases):
+        raise ValueError(
+            f"{len(schedules)} schedules for {len(bases)} base graphs"
+        )
+    if pulse < 0:
+        raise ValueError(f"pulse must be >= 0, got {pulse}")
+    if out is None:
+        width = max((base.num_nodes for base in bases), default=0)
+        out = np.full((len(schedules), width), np.nan)
+    else:
+        if out.shape[0] != len(schedules):
+            raise ValueError(
+                f"row buffer has {out.shape[0]} rows for "
+                f"{len(schedules)} schedules"
+            )
+        out[:] = np.nan
+    groups: Dict[type, List[int]] = {}
+    for s, schedule in enumerate(schedules):
+        groups.setdefault(type(schedule), []).append(s)
+    for cls, rows in groups.items():
+        cls._stack_pulse_row(
+            [schedules[s] for s in rows], [bases[s] for s in rows], pulse,
             out, rows,
         )
     return out
@@ -136,6 +182,25 @@ class Layer0Schedule(ABC):
                 base, pulses
             )
 
+    @classmethod
+    def _stack_pulse_row(
+        cls,
+        schedules: Sequence["Layer0Schedule"],
+        bases: Sequence[BaseGraph],
+        pulse: int,
+        out: np.ndarray,
+        rows: Sequence[int],
+    ) -> None:
+        """Fill ``out[rows]`` of a :func:`stacked_pulse_row` buffer.
+
+        Generic fallback: per-node :meth:`pulse_time` queries (exact by
+        definition).  Closed-form schedules override with one vectorized
+        group fill mirroring their ``_stack_pulse_times`` association.
+        """
+        for row, schedule, base in zip(rows, schedules, bases):
+            for v in base.nodes():
+                out[row, v] = schedule.pulse_time(v, pulse)
+
     def layer_times(self, base: BaseGraph, pulse: int) -> List[float]:
         """Pulse times across the whole layer."""
         return [self.pulse_time(v, pulse) for v in base.nodes()]
@@ -181,6 +246,13 @@ class PerfectLayer0(Layer0Schedule):
         columns = np.arange(pulses, dtype=float)[None, :] * lambdas  # (n, P)
         mask = _width_mask(bases, out.shape[-1])
         out[rows] = np.where(mask[:, None, :], columns[:, :, None], np.nan)
+
+    @classmethod
+    def _stack_pulse_row(cls, schedules, bases, pulse, out, rows):
+        # k * Lambda per trial, broadcast over each trial's real vertices.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        mask = _width_mask(bases, out.shape[-1])
+        out[rows] = np.where(mask, float(pulse) * lambdas, np.nan)
 
 
 class JitteredLayer0(Layer0Schedule):
@@ -238,6 +310,17 @@ class JitteredLayer0(Layer0Schedule):
             jitter[i, : base.num_nodes] = schedule._jitter[: base.num_nodes]
         out[rows] = columns[:, :, None] + jitter[:, None, :]
 
+    @classmethod
+    def _stack_pulse_row(cls, schedules, bases, pulse, out, rows):
+        # (k * Lambda + offset) + jitter, NaN-padded past each trial.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        offsets = np.array([s._base_offset for s in schedules])[:, None]
+        columns = float(pulse) * lambdas + offsets  # (n, 1)
+        jitter = np.full((len(schedules), out.shape[-1]), np.nan)
+        for i, (schedule, base) in enumerate(zip(schedules, bases)):
+            jitter[i, : base.num_nodes] = schedule._jitter[: base.num_nodes]
+        out[rows] = columns + jitter
+
 
 class AlternatingLayer0(Layer0Schedule):
     """Zigzag input: pulse ``k`` at ``k * Lambda + (-1)**v * amplitude``.
@@ -281,6 +364,18 @@ class AlternatingLayer0(Layer0Schedule):
         mask = _width_mask(bases, out.shape[-1])
         block = columns[:, :, None] + offsets[:, None, :]
         out[rows] = np.where(mask[:, None, :], block, np.nan)
+
+    @classmethod
+    def _stack_pulse_row(cls, schedules, bases, pulse, out, rows):
+        # (k * Lambda + amplitude) + sign * amplitude, per trial at once.
+        lambdas = np.array([s.Lambda for s in schedules])[:, None]
+        amplitudes = np.array([s.amplitude for s in schedules])[:, None]
+        columns = float(pulse) * lambdas + amplitudes  # (n, 1)
+        signs = np.where(np.arange(out.shape[-1]) % 2 == 0, 1.0, -1.0)
+        mask = _width_mask(bases, out.shape[-1])
+        out[rows] = np.where(
+            mask, columns + signs[None, :] * amplitudes, np.nan
+        )
 
 
 class ChainLayer0(Layer0Schedule):
@@ -500,6 +595,25 @@ class ChainLayer0(Layer0Schedule):
             if pos in needed:
                 windows[pos] = row[start:]
         return np.array([windows[pos] for pos in positions])
+
+    @classmethod
+    def _stack_pulse_row(cls, schedules, bases, pulse, out, rows):
+        # One triangular cache extension per chain (position ``pos`` only
+        # needs chain pulse ``pulse + P - 1 - pos``), then a gather from
+        # the same front-to-back cache the per-entry fills use -- so the
+        # streamed row is bit-identical to the materialized block plane
+        # without the O(P^2) re-walk per-vertex ``pulse_time`` would do.
+        for row, schedule, base in zip(rows, schedules, bases):
+            length = len(schedule.chain_order)
+            for pos in range(length):
+                schedule._extend_position(pos, pulse + (length - 1 - pos))
+            for v in base.nodes():
+                position = schedule._position.get(v)
+                if position is None:
+                    raise ValueError(f"vertex {v} not on the chain")
+                out[row, v] = schedule._chain_times[position][
+                    pulse + (length - 1 - position)
+                ]
 
     def lemma_a1_envelope(self, position: int, chain_pulse: int) -> tuple:
         """Lemma A.1's envelope for chain pulse times.

@@ -74,6 +74,7 @@ from repro.analysis.skew import (
     masked_max,
     overall_skew_layers,
 )
+from repro.analysis.streaming import default_reducers, fold_correction_planes
 
 __all__ = ["BatchTrial", "BatchResult", "BatchRunner", "CONFIG_RATES"]
 
@@ -185,6 +186,14 @@ class BatchResult:
     result windows -- so no consumer can corrupt another's view of the
     shared memory.  Multi-group and per-trial batches materialize fresh
     (writable) stacked copies as before.
+
+    When the runner *streamed* (``store_times=False``), ``times``,
+    ``corrections``, and ``effective_corrections`` are ``None`` and
+    :attr:`streaming` is True: the ``(S, K, L, W)`` block was never
+    allocated, and every skew/correction accessor serves from the
+    per-result streamed accumulators instead -- bit-identical to the
+    materialized reductions.  ``faulty_masks`` is always materialized
+    (it is ``O(S, L, W)``, the streaming memory budget).
     """
 
     def __init__(
@@ -213,6 +222,33 @@ class BatchResult:
             (r.graph.num_layers, r.graph.base.adjacency) for r in results
         }
         self.heterogeneous = len(geometries) > 1
+        self.streaming = any(r.times is None for r in results)
+        if self.streaming:
+            if not all(r.times is None for r in results):
+                raise ValueError(
+                    "cannot mix streamed (store_times=False) and "
+                    "materialized results in one batch"
+                )
+            missing = [s for s, r in enumerate(results) if r.streamed is None]
+            if missing:
+                raise ValueError(
+                    f"trials {missing} hold neither pulse-time matrices nor "
+                    "streamed reducers; run them with reducers or "
+                    "store_times=True"
+                )
+            num_layers = max(r.graph.num_layers for r in results)
+            width = max(r.graph.width for r in results)
+            self._stream_layers = num_layers
+            self.times = None
+            self.corrections = None
+            self.effective_corrections = None
+            self.faulty_masks = np.zeros(
+                (len(results), num_layers, width), dtype=bool
+            )
+            for s, r in enumerate(results):
+                depth, w = r.graph.num_layers, r.graph.width
+                self.faulty_masks[s, :depth, :w] = r.faulty_mask
+            return
         block = getattr(results[0], "stack_block", None)
         if (
             block is not None
@@ -292,12 +328,43 @@ class BatchResult:
             out[np.asarray(indices)[:, None], np.arange(values.shape[-1])] = values
         return out
 
+    @staticmethod
+    def _streamed_reducer(result: FastResult, name: str):
+        """The named streaming reducer bound to ``result``, or raise."""
+        streamed = result.streamed
+        if streamed is None or name not in streamed:
+            raise ValueError(
+                f"streamed batch carries no {name!r} reducer; request it via "
+                "BatchRunner (sketch_rank / potential_levels) or re-run with "
+                "store_times=True"
+            )
+        return streamed[name]
+
+    def _streamed_layer_stat(
+        self, name: str, columns: int, empty: float
+    ) -> np.ndarray:
+        """Gather a streamed per-layer statistic into ``(S, cols)``.
+
+        Same padding contract as :meth:`_per_layer_stat`: NaN past a
+        trial's own layer count, ``empty`` where the layer exists but had
+        nothing to fold.
+        """
+        out = np.full((len(self), columns), np.nan)
+        for s, r in enumerate(self.results):
+            values = self._streamed_reducer(r, name).trial_values(
+                r.streamed_row, empty=empty
+            )
+            out[s, : values.shape[-1]] = values
+        return out
+
     def local_skews(self, empty: float = 0.0) -> np.ndarray:
         """Per-trial, per-layer ``L_l``; shape ``(S, L_max)``.
 
         Mixed-geometry batches report NaN for layers a trial does not
         have.
         """
+        if self.streaming:
+            return self._streamed_layer_stat("local", self._stream_layers, empty)
         if not self.heterogeneous:
             return local_skew_layers(self.times, self.graph, empty=empty)
         return self._per_layer_stat(
@@ -312,6 +379,10 @@ class BatchResult:
 
     def inter_layer_skews(self, empty: float = 0.0) -> np.ndarray:
         """Per-trial, per-boundary ``L_{l,l+1}``; shape ``(S, L_max - 1)``."""
+        if self.streaming:
+            return self._streamed_layer_stat(
+                "inter_layer", max(self._stream_layers - 1, 0), empty
+            )
         if not self.heterogeneous:
             return inter_layer_skew_layers(self.times, self.graph, empty=empty)
         return self._per_layer_stat(
@@ -326,6 +397,17 @@ class BatchResult:
 
     def overall_skews(self) -> np.ndarray:
         """Per-trial ``L = sup_l max(L_l, L_{l,l+1})``; shape ``(S,)``."""
+        if self.streaming:
+            # Composed from the two streamed folds; max is exact in FP, so
+            # this matches overall_skew_layers on the materialized block
+            # bitwise.  -inf keeps depth-1 trials (no boundaries at all)
+            # on their local max alone, mirroring the zero-column
+            # short-circuit of inter_layer_skew_layers.
+            local_max = _rows_max(self.local_skews())
+            inter = self.inter_layer_skews()
+            if inter.shape[-1] == 0:
+                return local_max
+            return np.maximum(local_max, _rows_max(inter, empty=-np.inf))
         if not self.heterogeneous:
             return overall_skew_layers(self.times, self.graph)
         out = np.empty(len(self))
@@ -341,7 +423,52 @@ class BatchResult:
         Geometry-agnostic: padded cells are NaN and the per-layer spread
         masks them, so the one-sweep reduction covers mixed grids too.
         """
+        if self.streaming:
+            return _rows_max(
+                self._streamed_layer_stat("global", self._stream_layers, np.nan)
+            )
         return _rows_max(global_skew_layers(self.times, empty=np.nan))
+
+    def potentials(self, s: int, empty: float = np.nan) -> np.ndarray:
+        """Per-trial, per-layer potential ``Psi_s``; shape ``(S, L_max)``.
+
+        Streamed batches serve the fold of a ``PotentialStream(s)``
+        reducer (request it via ``BatchRunner(potential_levels=...)``);
+        materialized batches reduce :func:`potential_layers` per trial
+        with that trial's own ``kappa``.
+        """
+        if self.streaming:
+            return self._streamed_layer_stat(
+                f"potential_s{int(s)}", self._stream_layers, empty
+            )
+        from repro.analysis.potentials import potential_layers
+
+        out = np.full((len(self), self.times.shape[-2]), np.nan)
+        for graph, indices in self._geometry_groups():
+            depth, width = graph.num_layers, graph.width
+            for i in indices:
+                coefficient = 4.0 * s * self.results[i].params.kappa
+                out[i, :depth] = potential_layers(
+                    self.times[i, :, :depth, :width],
+                    graph,
+                    coefficient,
+                    empty=empty,
+                )
+        return out
+
+    def sketches(self) -> List:
+        """The distinct :class:`IncrementalSketch` reducers, in trial order.
+
+        One entry per underlying stream (a stacked group shares one
+        sketch; per-trial runs carry one each).  Raises when the batch
+        was not run with ``sketch_rank``.
+        """
+        seen: List = []
+        for r in self.results:
+            sketch = self._streamed_reducer(r, "sketch")
+            if not any(sketch is other for other in seen):
+                seen.append(sketch)
+        return seen
 
     # ------------------------------------------------------------------
     # Correction statistics
@@ -349,18 +476,37 @@ class BatchResult:
     def correction_stats(self) -> Dict[str, np.ndarray]:
         """Per-trial correction summary: max/mean ``|C|`` and count.
 
-        Reduces over the finite entries of the stacked ``corrections``
-        array (layer 0 and via-``H_max`` iterations are NaN).
+        Reduces over the finite entries of the ``corrections`` matrices
+        (layer 0 and via-``H_max`` iterations are NaN).  Both paths fold
+        plane by plane in pulse-major order over each trial's *own*
+        ``(L_s, W_s)`` window -- :func:`fold_correction_planes` on the
+        materialized per-trial matrices, the ``CorrectionStatsStream``
+        accumulators otherwise -- so streamed and materialized runs agree
+        bitwise (folding the padded ``W_max`` block instead would change
+        the pairwise-sum association of the mean).
         """
-        flat = self.corrections.reshape(len(self), -1)
-        finite = np.isfinite(flat)
-        counts = finite.sum(axis=1)
-        abs_vals = np.where(finite, np.abs(flat), 0.0)
-        totals = abs_vals.sum(axis=1)
+        if self.streaming:
+            rows = [
+                self._streamed_reducer(r, "corrections").trial_stats(
+                    r.streamed_row
+                )
+                for r in self.results
+            ]
+            return {
+                "max_abs": np.array([row["max_abs"] for row in rows]),
+                "mean_abs": np.array([row["mean_abs"] for row in rows]),
+                "num_corrections": np.array(
+                    [row["num_corrections"] for row in rows], dtype=np.int64
+                ),
+            }
+        if not self.results:
+            return fold_correction_planes(self.corrections)
+        folds = [
+            fold_correction_planes(r.corrections[None]) for r in self.results
+        ]
         return {
-            "max_abs": abs_vals.max(axis=1, initial=0.0),
-            "mean_abs": np.where(counts > 0, totals / np.maximum(counts, 1), 0.0),
-            "num_corrections": counts,
+            key: np.concatenate([fold[key] for fold in folds])
+            for key in ("max_abs", "mean_abs", "num_corrections")
         }
 
     def num_faults(self) -> np.ndarray:
@@ -404,6 +550,9 @@ def _run_shard(
     stack: bool,
     stack_mixed_geometry: bool,
     compact_depth: bool,
+    store_times: bool,
+    sketch_rank: Optional[int],
+    potential_levels: Tuple[int, ...],
 ) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
     """Process-executor worker: run one contiguous shard serially.
 
@@ -411,6 +560,8 @@ def _run_shard(
     pickle it under every start method (fork, spawn, forkserver).
     Returns the shard's results plus its shard-local stack-group indices,
     compaction stats, and fallback reasons (re-offset by the parent).
+    Streamed shards ship their accumulators back through the results'
+    ``streamed`` attribute (``FastResult.__getstate__`` keeps it).
     """
     runner = BatchRunner(
         num_pulses=num_pulses,
@@ -418,6 +569,9 @@ def _run_shard(
         stack=stack,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        store_times=store_times,
+        sketch_rank=sketch_rank,
+        potential_levels=potential_levels,
     )
     return runner._run_serial(trials)
 
@@ -463,6 +617,21 @@ class BatchRunner:
     shards:
         Number of process shards; defaults to ``os.cpu_count()`` capped at
         the trial count.  Ignored by the serial executor.
+    store_times:
+        ``True`` (default) materializes the stacked ``(S, K, L, W)``
+        pulse-time block as before.  ``False`` streams instead: skew and
+        correction statistics fold online, one ``(S, W)`` layer plane at
+        a time, and the result never allocates the block -- memory drops
+        from ``O(S * K * L * W)`` to ``O(S * L * W)``.  The streamed
+        statistics are bit-identical to the materialized reducers.
+    sketch_rank:
+        Optional rank for an :class:`IncrementalSketch` reducer riding
+        the stream (``BatchResult.sketches()``); implies streaming
+        reducers even when ``store_times=True``.
+    potential_levels:
+        Potential levels ``s`` to fold online as ``PotentialStream``
+        reducers (served by ``BatchResult.potentials(s)`` on streamed
+        batches).
     """
 
     def __init__(
@@ -474,6 +643,9 @@ class BatchRunner:
         compact_depth: bool = True,
         executor: str = "serial",
         shards: Optional[int] = None,
+        store_times: bool = True,
+        sketch_rank: Optional[int] = None,
+        potential_levels: Sequence[int] = (),
     ) -> None:
         if num_pulses < 1:
             raise ValueError(f"num_pulses must be >= 1, got {num_pulses}")
@@ -490,6 +662,26 @@ class BatchRunner:
         self.compact_depth = compact_depth
         self.executor = executor
         self.shards = shards
+        self.store_times = store_times
+        self.sketch_rank = sketch_rank
+        self.potential_levels = tuple(potential_levels)
+
+    def _reducers(self):
+        """A fresh reducer list per run call, or None when nothing streams.
+
+        Fresh each call because reducers bind to one stream layout; a
+        stacked group and a fallback trial cannot share accumulators.
+        """
+        if (
+            self.store_times
+            and self.sketch_rank is None
+            and not self.potential_levels
+        ):
+            return None
+        return default_reducers(
+            sketch_rank=self.sketch_rank,
+            potential_levels=self.potential_levels,
+        )
 
     def run(self, trials: Sequence[BatchTrial]) -> BatchResult:
         """Execute every trial and return the stacked :class:`BatchResult`.
@@ -533,7 +725,11 @@ class BatchRunner:
                 else "vectorize=False forces the per-trial scalar path"
             )
             results = [
-                trial.simulation(vectorize=self.vectorize).run(self.num_pulses)
+                trial.simulation(vectorize=self.vectorize).run(
+                    self.num_pulses,
+                    reducers=self._reducers(),
+                    store_times=self.store_times,
+                )
                 for trial in trials
             ]
             return results, [], [], {i: reason for i in range(len(trials))}
@@ -550,12 +746,21 @@ class BatchRunner:
             reason = stack_compatibility(sims)
             if reason is not None:
                 for i, sim in zip(indices, sims):
-                    results[i] = sim.run(self.num_pulses)
+                    results[i] = sim.run(
+                        self.num_pulses,
+                        reducers=self._reducers(),
+                        store_times=self.store_times,
+                    )
                     reasons[i] = reason
                 continue
             stack_groups.append(list(indices))
             stack = TrialStack(sims, compact_depth=self.compact_depth)
-            for i, result in zip(indices, stack.run(self.num_pulses)):
+            stacked = stack.run(
+                self.num_pulses,
+                reducers=self._reducers(),
+                store_times=self.store_times,
+            )
+            for i, result in zip(indices, stacked):
                 results[i] = result
             compaction.append(dict(stack.compaction_stats))
         return results, stack_groups, compaction, reasons  # type: ignore[return-value]
@@ -590,6 +795,9 @@ class BatchRunner:
                     self.stack,
                     self.stack_mixed_geometry,
                     self.compact_depth,
+                    self.store_times,
+                    self.sketch_rank,
+                    self.potential_levels,
                 )
                 for _, chunk in chunks
             ]

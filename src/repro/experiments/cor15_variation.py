@@ -102,13 +102,16 @@ def run_cor15(
     executor: str = "serial",
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
+    store_times: bool = False,
 ) -> Cor15Result:
     """Run with per-pulse delay/rate drift and a mutating fault.
 
     ``executor``/``shards``/``stack_mixed_geometry`` are forwarded to
     :class:`BatchRunner` so multi-seed/multi-diameter variants of this
     study shard and stack like the other drivers (the default
-    single-trial run gains nothing from either).
+    single-trial run gains nothing from either).  Only the folded
+    overall skew is consumed, so the run streams by default
+    (``store_times=False``); ``store_times=True`` keeps raw pulse times.
     """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     params = config.params
@@ -142,6 +145,7 @@ def run_cor15(
         executor=executor,
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
+        store_times=store_times,
     ).run(
         [
             BatchTrial(

@@ -116,6 +116,7 @@ def run_table1(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    store_times: bool = False,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
 
@@ -129,7 +130,10 @@ def run_table1(
     compaction retires each diameter's rows as its shallower grid
     finishes).  ``executor``/``shards``/``stack_mixed_geometry``/
     ``compact_depth`` are forwarded to :class:`BatchRunner` and the
-    baseline simulations stay serial.
+    baseline simulations stay serial.  The Gradient TRIX batch consumes
+    only folded skew maxima, so it streams by default
+    (``store_times=False``, bit-identical); ``store_times=True``
+    materializes the pulse-time block again.
     """
     def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
         # The Figure 1 worst case: rightward/straight edges at maximum
@@ -143,6 +147,7 @@ def run_table1(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        store_times=store_times,
     )
     all_configs = {
         diameter: [

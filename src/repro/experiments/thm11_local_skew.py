@@ -83,6 +83,7 @@ def run_thm11(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    store_times: bool = False,
 ) -> Thm11Result:
     """Measure the fault-free local skew sweep.
 
@@ -98,6 +99,11 @@ def run_thm11(
     maxima come out of the stacked skew statistics, sliced per diameter.
     ``executor``/``shards`` are forwarded to :class:`BatchRunner`
     (``executor="process"`` shards the batch across worker processes).
+    The driver only needs the folded skew maxima, so it defaults to the
+    streaming path (``store_times=False``): the ``(S, K, L, W)``
+    pulse-time block is never materialized and the statistics are
+    bit-identical; pass ``store_times=True`` to keep raw pulse times for
+    drill-in.
     """
     rows: List[Thm11Row] = []
     kappa = standard_config(4).params.kappa
@@ -107,6 +113,7 @@ def run_thm11(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        store_times=store_times,
     )
     trials = []
     for diameter in diameters:

@@ -112,6 +112,7 @@ def run_thm13(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    store_times: bool = False,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
 
@@ -124,7 +125,10 @@ def run_thm13(
     whole batch is one stack group either way; ``stack_mixed_geometry``
     and ``compact_depth`` (which also retires trials whose layers a
     fault plan has silenced outright) are forwarded for parity with the
-    other drivers.
+    other drivers.  The driver reduces to per-trial skew maxima, so it
+    streams by default (``store_times=False``, bit-identical statistics
+    without the ``(S, K, L, W)`` block); ``store_times=True`` restores
+    the materialized pulse times.
     """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes
@@ -167,6 +171,7 @@ def run_thm13(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        store_times=store_times,
     ).run(batch_trials)
     skews = batch.max_local_skews()
     fault_free_skew = float(skews[0])

@@ -15,7 +15,12 @@ run through every path, asserting
 * **1e-9 agreement with the scalar replay** (same arithmetic, different
   association), and
 * **1e-9 agreement with the event-driven engine** (independent
-  event-queue execution; Lemma B.1 guarantees the pulse alignment).
+  event-queue execution; Lemma B.1 guarantees the pulse alignment), and
+* **bitwise agreement of the streaming reducers** (``store_times=False``
+  runs that never materialize the pulse-time block): every scenario also
+  replays through the streamed per-trial, scalar, padded, and compacted
+  paths, and the online skew/potential/correction folds must equal the
+  array reducers applied to the materialized reference exactly.
 
 The stacking decoys deliberately disagree with the scenario in width
 *and* depth, so the padding and compaction machinery is engaged on every
@@ -27,7 +32,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.skew import times_from_trace
+from repro.analysis.potentials import potential_layers
+from repro.analysis.skew import (
+    global_skew_layers,
+    inter_layer_skew_layers,
+    local_skew_layers,
+    times_from_trace,
+)
+from repro.analysis.streaming import default_reducers, fold_correction_planes
 from repro.clocks import uniform_random_rates
 from repro.core.fast import FastSimulation
 from repro.core.fast_batch import TrialStack, stack_compatibility
@@ -228,6 +240,83 @@ def run_fast_family(scenario, algorithm="full"):
     return family
 
 
+#: Potential level folded by the streaming legs (PotentialStream(1)).
+STREAM_POTENTIAL_S = 1
+
+
+def _stream_reducers():
+    """A fresh reducer list per leg (reducers bind to one stream)."""
+    return default_reducers(potential_levels=(STREAM_POTENTIAL_S,))
+
+
+def run_streaming_family(scenario, algorithm="full"):
+    """Streamed (``store_times=False``) twins of every fast path.
+
+    Same construction as :func:`run_fast_family` -- per-trial, padded
+    stack, compacted stack from both depth sides, scalar -- but with the
+    pulse-time block never materialized; statistics come back only
+    through the streamed accumulators.
+    """
+    kwargs = dict(store_times=False)
+    family = {
+        "per_trial": fast_simulation(scenario, algorithm).run(
+            NUM_PULSES, reducers=_stream_reducers(), **kwargs
+        )
+    }
+    depth = scenario["graph"].num_layers
+    family["padded_stack"] = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, depth + 2, algorithm)],
+        compact_depth=False,
+    ).run(NUM_PULSES, reducers=_stream_reducers(), **kwargs)[0]
+    family["compacted_stack_deep_mate"] = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, depth + 3, algorithm)],
+        compact_depth=True,
+    ).run(NUM_PULSES, reducers=_stream_reducers(), **kwargs)[0]
+    family["compacted_stack_shallow_mate"] = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, 1, algorithm)],
+        compact_depth=True,
+    ).run(NUM_PULSES, reducers=_stream_reducers(), **kwargs)[0]
+    family["scalar"] = fast_simulation(
+        scenario, algorithm, vectorize=False
+    ).run(NUM_PULSES, reducers=_stream_reducers(), **kwargs)
+    return family
+
+
+def assert_streamed_matches_materialized(streamed, reference, scenario, label=""):
+    """Streamed folds == array reducers on the materialized twin, bitwise."""
+    graph = scenario["graph"]
+    assert streamed.times is None, f"{label}: streamed run kept the block"
+    row = streamed.streamed_row
+    stats = streamed.streamed
+    np.testing.assert_array_equal(
+        stats["local"].trial_values(row),
+        local_skew_layers(reference.times, graph),
+        err_msg=f"{label}: local skew",
+    )
+    np.testing.assert_array_equal(
+        stats["inter_layer"].trial_values(row),
+        inter_layer_skew_layers(reference.times, graph),
+        err_msg=f"{label}: inter-layer skew",
+    )
+    np.testing.assert_array_equal(
+        stats["global"].trial_values(row, empty=np.nan),
+        global_skew_layers(reference.times, empty=np.nan),
+        err_msg=f"{label}: global skew",
+    )
+    coefficient = 4.0 * STREAM_POTENTIAL_S * scenario["params"].kappa
+    np.testing.assert_array_equal(
+        stats[f"potential_s{STREAM_POTENTIAL_S}"].trial_values(row),
+        potential_layers(reference.times, graph, coefficient),
+        err_msg=f"{label}: potential",
+    )
+    want = fold_correction_planes(reference.corrections[None])
+    got = stats["corrections"].trial_stats(row)
+    for key, values in want.items():
+        np.testing.assert_array_equal(
+            got[key], values[0], err_msg=f"{label}: corrections {key}"
+        )
+
+
 def assert_results_equal(got, want, exact=True, label=""):
     for attr in (
         "times",
@@ -266,6 +355,21 @@ class TestFastFamilyDifferential:
         for label, result in family.items():
             assert_results_equal(result, reference, exact=True, label=label)
         assert_results_equal(scalar, reference, exact=False, label="scalar")
+
+        # The same scenario with the pulse-time block never materialized:
+        # every streamed leg's online folds must equal the array reducers
+        # on its materialized twin bitwise (the scalar leg folds the
+        # scalar replay's own values, which differ from the vectorized
+        # reference only in association).
+        streaming = run_streaming_family(scenario, algorithm)
+        stream_scalar = streaming.pop("scalar")
+        for label, result in streaming.items():
+            assert_streamed_matches_materialized(
+                result, reference, scenario, label=f"streamed {label}"
+            )
+        assert_streamed_matches_materialized(
+            stream_scalar, scalar, scenario, label="streamed scalar"
+        )
 
 
 class TestEngineDifferential:
@@ -310,6 +414,35 @@ class TestEngineDifferential:
         np.testing.assert_array_equal(np.isnan(event), np.isnan(stacked.times))
         np.testing.assert_allclose(
             event, stacked.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+    @ENGINE_SETTINGS
+    @given(scenario=scenarios())
+    def test_engine_matches_streamed_folds_within_tolerance(self, scenario):
+        """Online folds vs array reducers on the engine's pulse times.
+
+        The streamed run never sees a pulse-time block at all, so this
+        closes the loop: accumulator output against statistics computed
+        from the independent event-queue execution.
+        """
+        streamed = fast_simulation(scenario).run(
+            NUM_PULSES, reducers=_stream_reducers(), store_times=False
+        )
+        event = self._engine_times(scenario)
+        graph = scenario["graph"]
+        row = streamed.streamed_row
+        stats = streamed.streamed
+        np.testing.assert_allclose(
+            stats["local"].trial_values(row),
+            local_skew_layers(event, graph),
+            rtol=0.0, atol=1e-9, equal_nan=True,
+            err_msg="engine vs streamed local skew",
+        )
+        np.testing.assert_allclose(
+            stats["global"].trial_values(row, empty=np.nan),
+            global_skew_layers(event, empty=np.nan),
+            rtol=0.0, atol=1e-9, equal_nan=True,
+            err_msg="engine vs streamed global skew",
         )
 
 
@@ -358,5 +491,19 @@ def test_deterministic_scenario_smoke():
     )
     # Downstream reducers see identical values through every path too.
     assert family["compacted_stack_deep_mate"].max_local_skew() == (
+        pytest.approx(reference.max_local_skew(), abs=0.0)
+    )
+    # And the streamed twins fold the same statistics without the block.
+    streaming = run_streaming_family(scenario)
+    stream_scalar = streaming.pop("scalar")
+    for label, result in streaming.items():
+        assert_streamed_matches_materialized(
+            result, reference, scenario, label=f"streamed {label}"
+        )
+    assert_streamed_matches_materialized(
+        stream_scalar, scalar, scenario, label="streamed scalar"
+    )
+    # Streamed skew accessors on the result object serve from the folds.
+    assert streaming["per_trial"].max_local_skew() == (
         pytest.approx(reference.max_local_skew(), abs=0.0)
     )
