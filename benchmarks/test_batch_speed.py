@@ -22,6 +22,12 @@ Four micro-benchmarks track the performance trajectory across PRs:
   and the uncompacted padded stack, asserting bit-identical times and
   the >= 1.3x floor over per-geometry grouping (the previous best mode
   on this shape).
+* ``test_campaign_stacked_speedup``: an S = 32, D = 32 batch where every
+  trial carries its own random :class:`ChaosCampaign`, run through the
+  trial-stacked kernel vs the per-trial loop (>= 1.5x floor, times
+  within 1e-9), plus the quiet-campaign overhead probe: a no-event
+  campaign must stay within 2x of the static kernel and reproduce its
+  times bitwise.  Recorded under the ``"churn"`` section.
 * ``test_streaming_memory_reduction``: the streaming result pipeline
   (``store_times=False``) vs the materialized ``(S, K, L, W)`` block on
   an S = 64, 32-pulse cell, tracking peak memory with ``tracemalloc``
@@ -51,6 +57,7 @@ from repro.clocks import uniform_random_rates
 from repro.core.fast import FastSimulation
 from repro.delays import StaticDelayModel
 from repro.experiments.batch import BatchRunner
+from repro.faults import ChaosCampaign
 from repro.params import Parameters
 from repro.topology import LayeredGraph, replicated_line
 
@@ -71,6 +78,11 @@ SCALAR_TRIALS = 4
 SIMPLIFIED_DIAMETER = 64
 SIMPLIFIED_TRIALS = 16
 SIMPLIFIED_SCALAR_TRIALS = 2
+
+#: The churn acceptance cell: every trial carries its own random campaign.
+CHURN_DIAMETER = 32
+CHURN_TRIALS = 32
+CHURN_PULSES = 6
 
 BENCH_JSON = Path(__file__).resolve().parent / "BENCH_batch.json"
 
@@ -732,6 +744,141 @@ def test_streaming_memory_reduction():
         f"streaming only reduced peak memory {reduction:.1f}x "
         f"({stream_peak} vs {full_peak} bytes); floor is "
         f"{STREAM_MEMORY_FLOOR}x"
+    )
+
+
+def test_campaign_stacked_speedup():
+    """Stacked campaign trials >= 1.5x per-trial; quiet campaigns near-free.
+
+    Every trial carries its own random :class:`ChaosCampaign`, so the
+    stacked kernel has to re-gather neighbor tensors at each trial's
+    epoch boundaries; the floor pins that the epoch machinery still
+    amortizes across the stack.  The quiet-campaign probe (a campaign
+    with no events) bounds the pure bookkeeping overhead against the
+    static kernel and requires bitwise-identical times.  Records the
+    ``"churn"`` section of ``BENCH_batch.json``.
+    """
+    trials = BatchRunner.seed_sweep(
+        CHURN_DIAMETER, range(CHURN_TRIALS), num_pulses=CHURN_PULSES
+    )
+    graph = trials[0].config.graph
+    node_pulses = graph.num_nodes * CHURN_PULSES
+    for i, trial in enumerate(trials):
+        trial.campaign = ChaosCampaign.random(
+            trial.config.graph.base,
+            trial.config.graph.num_layers,
+            churn_pulses=CHURN_PULSES - 1,
+            rng_or_seed=i,
+            event_rate=0.5,
+        )
+        trial.label = f"churn-seed={i}"
+
+    static_trials = BatchRunner.seed_sweep(
+        CHURN_DIAMETER, range(CHURN_TRIALS), num_pulses=CHURN_PULSES
+    )
+    quiet_trials = BatchRunner.seed_sweep(
+        CHURN_DIAMETER, range(CHURN_TRIALS), num_pulses=CHURN_PULSES
+    )
+    for trial in quiet_trials:
+        trial.campaign = ChaosCampaign(
+            trial.config.graph.base, trial.config.graph.num_layers, events=()
+        )
+
+    stacked_runner = BatchRunner(num_pulses=CHURN_PULSES)
+    per_trial_runner = BatchRunner(num_pulses=CHURN_PULSES, stack=False)
+
+    # Warm the per-edge delay and rate caches so every timed mode
+    # measures its kernel, not one-time RNG setup.
+    stacked_runner.run(trials)
+    for repeats in (3, 5):
+        stacked_time, stacked_batch = timed(
+            lambda: stacked_runner.run(trials), repeats=repeats
+        )
+        per_trial_time, per_trial_batch = timed(
+            lambda: per_trial_runner.run(trials), repeats=repeats
+        )
+        if per_trial_time / stacked_time >= 1.5:
+            break
+    static_time, static_batch = timed(lambda: stacked_runner.run(static_trials))
+    quiet_time, quiet_batch = timed(lambda: stacked_runner.run(quiet_trials))
+
+    # Correctness riding along with the timing: the stacked epoch
+    # machinery must agree with the per-trial loop, and a no-event
+    # campaign must be indistinguishable from the static kernel.
+    np.testing.assert_allclose(
+        stacked_batch.times,
+        per_trial_batch.times,
+        rtol=0.0,
+        atol=1e-9,
+        equal_nan=True,
+    )
+    np.testing.assert_array_equal(quiet_batch.times, static_batch.times)
+    assert any(
+        stats.get("actions", 0) > 0
+        for stats in stacked_batch.campaign_stats.values()
+    )
+
+    speedup = per_trial_time / stacked_time
+    quiet_overhead = quiet_time / static_time
+    _merge_bench_json(
+        {
+            "churn": {
+                "grid": {
+                    "diameter": CHURN_DIAMETER,
+                    "num_layers": graph.num_layers,
+                    "width": graph.width,
+                    "num_pulses": CHURN_PULSES,
+                    "trials": CHURN_TRIALS,
+                    "event_rate": 0.5,
+                },
+                "modes": {
+                    "per_trial_campaign": _mode_record(
+                        CHURN_TRIALS, per_trial_time, node_pulses
+                    ),
+                    "trial_stacked_campaign": _mode_record(
+                        CHURN_TRIALS, stacked_time, node_pulses
+                    ),
+                    "quiet_campaign_stacked": _mode_record(
+                        CHURN_TRIALS, quiet_time, node_pulses
+                    ),
+                    "static_stacked": _mode_record(
+                        CHURN_TRIALS, static_time, node_pulses
+                    ),
+                },
+                "speedups": {
+                    "stacked_vs_per_trial": speedup,
+                    "quiet_vs_static_overhead": quiet_overhead,
+                },
+            }
+        }
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                ("per-trial campaign", CHURN_TRIALS, per_trial_time,
+                 CHURN_TRIALS * node_pulses / per_trial_time),
+                ("stacked campaign", CHURN_TRIALS, stacked_time,
+                 CHURN_TRIALS * node_pulses / stacked_time),
+                ("quiet campaign (stacked)", CHURN_TRIALS, quiet_time,
+                 CHURN_TRIALS * node_pulses / quiet_time),
+                ("static (stacked)", CHURN_TRIALS, static_time,
+                 CHURN_TRIALS * node_pulses / static_time),
+            ],
+            title=f"Churn kernels, S={CHURN_TRIALS}, D={CHURN_DIAMETER}, "
+            f"{CHURN_PULSES} pulses (stacked {speedup:.1f}x vs per-trial, "
+            f"quiet overhead {quiet_overhead:.2f}x)",
+        )
+    )
+    assert speedup >= 1.5, (
+        f"stacked campaign kernel only {speedup:.2f}x faster than the "
+        f"per-trial loop ({stacked_time:.4f}s vs {per_trial_time:.4f}s)"
+    )
+    assert quiet_overhead <= 2.0, (
+        f"quiet campaign costs {quiet_overhead:.2f}x the static kernel "
+        f"({quiet_time:.4f}s vs {static_time:.4f}s)"
     )
 
 

@@ -1,4 +1,9 @@
-"""TH6: Theorem 1.6 -- self-stabilization within O(sqrt n) pulses."""
+"""TH6: Theorem 1.6 -- self-stabilization within O(sqrt n) pulses.
+
+Since the chaos-campaign rewrite, ``run_thm16`` measures recovery from
+*sustained churn* (a random :class:`~repro.faults.campaign.ChaosCampaign`
+per trial) through the fast path, not a one-shot state corruption.
+"""
 
 from repro.experiments.thm16_selfstab import run_thm16
 
@@ -8,8 +13,8 @@ def test_thm16(benchmark, report):
         lambda: run_thm16(diameter=8), rounds=1, iterations=1
     )
     report(result)
-    assert result.report.stabilized
+    assert result.stabilized
     assert result.stabilized_within_budget
-    # The transient fault was not a no-op.
-    assert result.corrupted_nodes > 0
-    assert result.report.violations > 0
+    # The churn window was not a no-op.
+    assert result.churn_actions > 0
+    assert result.last_event_pulse > 0

@@ -7,39 +7,26 @@ median rule pins the damage to ~2 kappa while the naive clamping variant
 (the same algorithm with ``stick_to_median=False``, Algorithm 1 semantics)
 lets the whole downstream column inherit the lie.
 
+Both variants run as one :class:`~repro.experiments.batch.BatchRunner`
+batch: they share a geometry, so the runner advances them through a single
+stacked kernel instead of two separate simulations.
+
 Run:  python examples/fault_drill.py
 """
 
 import numpy as np
 
-from repro import (
-    CorrectionPolicy,
-    FastSimulation,
-    LayeredGraph,
-    Parameters,
-    StaticDelayModel,
-    replicated_line,
-)
+from repro import CorrectionPolicy, Parameters, StaticDelayModel
 from repro.analysis import local_skew_per_layer
+from repro.experiments.batch import BatchRunner, BatchTrial
+from repro.experiments.common import ExperimentConfig
 from repro.faults import AdversarialLateFault, FaultPlan
-
-
-def run(policy, algorithm, graph, params, delays, plan):
-    sim = FastSimulation(
-        graph,
-        params,
-        delay_model=delays,
-        fault_plan=plan,
-        policy=policy,
-        algorithm=algorithm,
-    )
-    return sim.run(3)
 
 
 def main() -> None:
     params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
-    base = replicated_line(16)
-    graph = LayeredGraph(base, num_layers=16)
+    # replicated_line(16) with 16 layers, as in the paper's Figure 2 chip.
+    config = ExperimentConfig(diameter=15, params=params, num_layers=16)
     delays = StaticDelayModel(params.d, params.u, seed=5)
 
     liar = (8, 4)
@@ -48,21 +35,36 @@ def main() -> None:
     print(f"Byzantine node {liar} reports pulses {lag:.0f} kappa "
           f"({lag * params.kappa:.3f} time units) late.\n")
 
-    contained = run(
-        CorrectionPolicy(stick_to_median=True), "simplified",
-        graph, params, delays, plan,
-    )
-    naive = run(
-        CorrectionPolicy(stick_to_median=False), "simplified",
-        graph, params, delays, plan,
-    )
+    trials = [
+        BatchTrial(
+            config=config,
+            fault_plan=plan,
+            delay_model=delays,
+            clock_rates=None,  # perfect clocks, as in the original drill
+            policy=CorrectionPolicy(stick_to_median=True),
+            algorithm="simplified",
+            label="stick-to-median",
+        ),
+        BatchTrial(
+            config=config,
+            fault_plan=plan,
+            delay_model=delays,
+            clock_rates=None,
+            policy=CorrectionPolicy(stick_to_median=False),
+            algorithm="simplified",
+            label="naive clamp",
+        ),
+    ]
+    batch = BatchRunner(num_pulses=3).run(trials)
+    assert batch.stack_groups, "same geometry => one shared stacked kernel"
+    contained, naive = batch.results
 
     print("per-layer local skew (pulse-forwarding with Algorithm 1 semantics):")
     print(f"{'layer':>6} | {'stick-to-median':>16} | {'naive clamp':>12}")
     print("-" * 42)
     skews_m = local_skew_per_layer(contained)
     skews_n = local_skew_per_layer(naive)
-    for layer in range(graph.num_layers):
+    for layer in range(config.graph.num_layers):
         marker = "  <- fault layer" if layer == liar[1] else ""
         print(f"{layer:6d} | {skews_m[layer]:16.4f} | "
               f"{skews_n[layer]:12.4f}{marker}")

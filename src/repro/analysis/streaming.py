@@ -703,6 +703,12 @@ def default_reducers(
     Local / inter-layer / global skew and correction stats always;
     ``potential_levels`` adds one ``Psi^s`` stream per level and
     ``sketch_rank`` an :class:`IncrementalSketch`.
+
+    Example
+    -------
+    >>> from repro.analysis.streaming import default_reducers
+    >>> [r.name for r in default_reducers(potential_levels=(1,))]
+    ['local', 'inter_layer', 'global', 'corrections', 'potential_s1']
     """
     reducers: List[StreamingReducer] = [
         LocalSkewStream(),

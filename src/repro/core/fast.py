@@ -82,6 +82,7 @@ import numpy as np
 from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
 from repro.core.layer0 import Layer0Schedule, PerfectLayer0
 from repro.delays.models import DelayModel, UniformDelayModel
+from repro.faults.campaign import CampaignEpoch, ChaosCampaign
 from repro.faults.injection import FaultPlan
 from repro.faults.model import FaultContext
 from repro.params import Parameters
@@ -327,6 +328,12 @@ class FastResult:
             self.effective_corrections = None
             self.branches = None
         self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
+        # Set by campaign runs (:class:`~repro.faults.campaign.ChaosCampaign`):
+        # the campaign the run executed under and its compiled accounting
+        # (``CampaignSchedule.summary()``) -- epoch count, boundary pulses,
+        # action count, last event pulse.  None for static runs.
+        self.campaign = None
+        self.churn_stats: Optional[dict] = None
         # Set by the trial-stacked runner: the shared (S, K, L_max, W_max)
         # block this result's matrices are windows of, plus this trial's
         # row.  BatchResult uses them to adopt the block without re-copying
@@ -445,6 +452,15 @@ class FastSimulation:
         scalar per-node replay remains the fallback for nodes adjacent to
         faults or taking the via-``H_max``/missing-message branches; see
         the module docstring.  ``False`` forces the scalar path everywhere.
+    campaign:
+        Optional :class:`~repro.faults.campaign.ChaosCampaign` over the
+        same base graph: the run compiles it into per-epoch adjacency +
+        fault state and swaps graph/plan (re-gathering the vectorized
+        sweep's neighbor tensors) at epoch boundaries only.  ``fault_plan``
+        stays the *static* plan every epoch merges over.  The layer-0
+        schedule is gathered once from the seed topology; membership
+        changes silence a vertex's column via per-epoch crash masks rather
+        than rewriting history.
     """
 
     def __init__(
@@ -458,9 +474,23 @@ class FastSimulation:
         policy: CorrectionPolicy = PAPER_POLICY,
         algorithm: str = "full",
         vectorize: bool = True,
+        campaign: Optional["ChaosCampaign"] = None,
     ) -> None:
         if algorithm not in ("full", "simplified"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
+        if campaign is not None:
+            if campaign.base.num_nodes != graph.base.num_nodes or (
+                campaign.base.adjacency != graph.base.adjacency
+            ):
+                raise ValueError(
+                    "campaign's seed base graph does not match the "
+                    "simulation's base graph"
+                )
+            if campaign.num_layers != graph.num_layers:
+                raise ValueError(
+                    f"campaign compiled for {campaign.num_layers} layers, "
+                    f"simulation has {graph.num_layers}"
+                )
         self.graph = graph
         self.params = params
         self.delay_model = delay_model or UniformDelayModel(params.d, params.u)
@@ -469,6 +499,7 @@ class FastSimulation:
         self.policy = policy
         self.algorithm = algorithm
         self.vectorize = vectorize
+        self.campaign = campaign
         self._rates = clock_rates
         # Per-layer rate arrays for the vectorized sweep, rebuilt every run
         # so in-place edits of a rates dict between runs are honored.  The
@@ -528,6 +559,11 @@ class FastSimulation:
             stream = StreamedStats(
                 StreamLayout.from_sims([self], num_pulses), reducers
             )
+        schedule = (
+            None
+            if self.campaign is None
+            else self.campaign.compile(num_pulses, base_plan=self.fault_plan)
+        )
         result = self._begin_run(
             num_pulses, storage_pulses=num_pulses if store_times else 1
         )
@@ -535,31 +571,58 @@ class FastSimulation:
         # per run (tests mutate ``fault_plan`` between construction and run).
         sweep = _VectorSweep(self) if self.vectorize else None
         num_layers = self.graph.num_layers
-        for k in range(num_pulses):
-            rk = k if store_times else 0
-            if not store_times and k > 0:
-                # Recycle the rolling one-pulse window for this iteration.
-                result.times[0] = np.nan
-                result.protocol_times[0] = np.nan
-                result.corrections[0] = np.nan
-                result.effective_corrections[0] = np.nan
-                result.branches[0] = BRANCH_CODES["none"]
-            self._run_layer0(result, k, rk)
-            if stream is not None:
-                stream.update(
-                    k, 0, result.times[rk, 0][None],
-                    result.corrections[rk, 0][None],
-                )
-            for layer in range(1, num_layers):
-                if sweep is not None:
-                    self._run_layer_vectorized(result, k, layer, sweep, rk)
-                else:
-                    self._run_layer(result, k, layer, rk)
+        # Campaign state: graph/plan swap at epoch boundaries; sweeps are
+        # cached by epoch state so a revisited topology (an edge flapping
+        # back up) reuses its gather tensors instead of rebuilding them.
+        seed_state = (self.graph, self.fault_plan, self._layer0_has_fault)
+        sweep_cache: Dict[Tuple, "_VectorSweep"] = {}
+        epoch_index = -1
+        try:
+            for k in range(num_pulses):
+                if schedule is not None:
+                    index = schedule.epoch_index(k)
+                    if index != epoch_index:
+                        epoch_index = index
+                        epoch = schedule.epochs[index]
+                        self._enter_epoch(epoch)
+                        if self.vectorize:
+                            sweep = sweep_cache.get(epoch.state_key)
+                            if sweep is None:
+                                sweep = _VectorSweep(self)
+                                sweep_cache[epoch.state_key] = sweep
+                rk = k if store_times else 0
+                if not store_times and k > 0:
+                    # Recycle the rolling one-pulse window for this iteration.
+                    result.times[0] = np.nan
+                    result.protocol_times[0] = np.nan
+                    result.corrections[0] = np.nan
+                    result.effective_corrections[0] = np.nan
+                    result.branches[0] = BRANCH_CODES["none"]
+                self._run_layer0(result, k, rk)
                 if stream is not None:
                     stream.update(
-                        k, layer, result.times[rk, layer][None],
-                        result.corrections[rk, layer][None],
+                        k, 0, result.times[rk, 0][None],
+                        result.corrections[rk, 0][None],
                     )
+                for layer in range(1, num_layers):
+                    if sweep is not None:
+                        self._run_layer_vectorized(result, k, layer, sweep, rk)
+                    else:
+                        self._run_layer(result, k, layer, rk)
+                    if stream is not None:
+                        stream.update(
+                            k, layer, result.times[rk, layer][None],
+                            result.corrections[rk, layer][None],
+                        )
+        finally:
+            if schedule is not None:
+                # Restore the seed state so the simulation can be rerun
+                # (and so callers inspecting ``sim.graph`` after the run
+                # see the topology they constructed it with).
+                self.graph, self.fault_plan, self._layer0_has_fault = seed_state
+        if schedule is not None:
+            result.campaign = self.campaign
+            result.churn_stats = schedule.summary()
         if stream is not None:
             stream.finalize()
             result.streamed = stream
@@ -620,6 +683,26 @@ class FastSimulation:
             layer == 0 for _, layer in self.fault_plan
         )
         return result
+
+    def _enter_epoch(self, epoch: CampaignEpoch) -> None:
+        """Swap in a campaign epoch's graph and fault state.
+
+        Called at epoch boundaries only; between boundaries every pulse
+        runs exactly the static machinery on the swapped state.  The
+        layer-0 *schedule* (gathered once from the seed base in
+        :meth:`_begin_run`) is left alone -- an absent vertex's column is
+        silenced by the epoch plan's crash mask, not by rewriting the
+        schedule.  Rate caches survive (rates are keyed by node id, and
+        the vertex set never changes); delay-array caches live on the
+        delay model keyed by edge structure, so each distinct epoch
+        topology gathers its arrays once and revisited topologies hit
+        the cache.
+        """
+        self.graph = epoch.graph
+        self.fault_plan = epoch.fault_plan
+        self._layer0_has_fault = any(
+            layer == 0 for _, layer in self.fault_plan
+        )
 
     def _run_layer0(
         self, result: FastResult, k: int, row_index: Optional[int] = None

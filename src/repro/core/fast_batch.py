@@ -255,6 +255,22 @@ class TrialStack:
 
     After :meth:`run`, :attr:`compaction_stats` holds the padded vs
     executed row-step accounting of the last run.
+
+    Example
+    -------
+    >>> from repro.core.fast import FastSimulation
+    >>> from repro.core.fast_batch import TrialStack
+    >>> from repro.params import Parameters
+    >>> from repro.topology.base_graph import cycle_graph
+    >>> from repro.topology.layered import LayeredGraph
+    >>> params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
+    >>> sims = [
+    ...     FastSimulation(LayeredGraph(cycle_graph(4 + i), 3), params)
+    ...     for i in range(2)
+    ... ]
+    >>> results = TrialStack(sims).run(num_pulses=2)
+    >>> [r.times.shape for r in results]
+    [(2, 3, 4), (2, 3, 5)]
     """
 
     def __init__(
@@ -389,8 +405,19 @@ class TrialStack:
         num_layers = max(depths)
         self._width = width
         self._depths = depths
+        # Chaos campaigns compile to per-epoch adjacency + fault state up
+        # front; trials under a campaign swap their rows of the stacked
+        # tensors at epoch boundaries (see _enter_stack_epochs), which
+        # needs the per-trial 3-D gather tables of the padded path.
+        schedules = [
+            None
+            if sim.campaign is None
+            else sim.campaign.compile(num_pulses, base_plan=sim.fault_plan)
+            for sim in sims
+        ]
+        has_campaign = any(s is not None for s in schedules)
         adjacency0 = sims[0].graph.base.adjacency
-        self._uniform = all(
+        self._uniform = not has_campaign and all(
             depth == num_layers and sim.graph.base.adjacency == adjacency0
             for depth, sim in zip(depths, sims)
         )
@@ -542,82 +569,121 @@ class TrialStack:
         padded_row_steps = num_pulses * max(num_layers - 1, 0) * num_trials
         active_row_steps = 0
 
-        for k in range(num_pulses):
-            rk = k if store_times else 0
-            if not store_times and k > 0:
-                # Recycle the rolling one-pulse window for this iteration.
-                times[:, 0] = np.nan
-                protocol_times[:, 0] = np.nan
-                corrections[:, 0] = np.nan
-                effective[:, 0] = np.nan
-                branches[:, 0] = BRANCH_CODES["none"]
-            self._run_layer0_stacked(
-                results, times, protocol_times, branches, k, rk
-            )
-            if stream is not None:
-                stream.update(
-                    k, 0, times[:, rk, 0, :], corrections[:, rk, 0, :]
+        # Campaign bookkeeping: per-trial epoch cursor and per-trial sweep
+        # cache keyed by epoch state (a topology that returns to an earlier
+        # state reuses its gather tensors).  Seed graph/plan are restored
+        # after the run even on error.
+        epoch_cursor = [-1] * num_trials
+        sweep_caches: List[Dict[Tuple, _VectorSweep]] = [{} for _ in sims]
+        seed_states = [
+            (sim.graph, sim.fault_plan, sim._layer0_has_fault) for sim in sims
+        ]
+
+        try:
+            for k in range(num_pulses):
+                if has_campaign and self._enter_stack_epochs(
+                    k, schedules, epoch_cursor, sweep_caches, sweeps,
+                    nb_idx, nb_valid, static_eligible, faulty,
+                ):
+                    # Rows of the stacked tensors changed in place: refresh
+                    # every structure derived from them.  The stack-level
+                    # delay cache and the compacted row gathers hold stale
+                    # copies; the rate caches survive (rates are keyed by
+                    # node id and the vertex set never changes).
+                    layer_has_fault = faulty.any(axis=(0, 2))
+                    any_fault = bool(faulty.any())
+                    dead[:] = False
+                    delay_cache.clear()
+                    self._row_cache = {}
+                    self._l0_fault_trials = [
+                        s
+                        for s in range(num_trials)
+                        if bool(self._l0_faulty[s].any())
+                    ]
+                rk = k if store_times else 0
+                if not store_times and k > 0:
+                    # Recycle the rolling one-pulse window for this iteration.
+                    times[:, 0] = np.nan
+                    protocol_times[:, 0] = np.nan
+                    corrections[:, 0] = np.nan
+                    effective[:, 0] = np.nan
+                    branches[:, 0] = BRANCH_CODES["none"]
+                self._run_layer0_stacked(
+                    results, times, protocol_times, branches, k, rk
                 )
-            if compact and any_fault:
-                dead[:] = False
-            for layer in range(1, num_layers):
-                rows: Optional[np.ndarray] = None
-                skipped = False
-                if compact:
-                    mask = depths_arr > layer
-                    if any_fault:
-                        # A trial goes dead for the rest of this iteration
-                        # when *no* node of its previous layer produced a
-                        # pulse (protocol row all-NaN): correct nodes sent
-                        # nothing and faulty nodes recorded no sends, so
-                        # no message can reach this or any deeper layer.
-                        candidates = np.flatnonzero(mask & ~dead)
-                        if candidates.size:
-                            silent = np.isnan(
-                                protocol_times[candidates, rk, layer - 1, :]
-                            ).all(axis=1)
-                            if silent.any():
-                                dead[candidates[silent]] = True
-                        mask &= ~dead
-                    if not mask.all():
-                        if not mask.any():
-                            skipped = True
-                        else:
-                            rows = np.flatnonzero(mask)
-                if not skipped:
-                    active_row_steps += (
-                        num_trials if rows is None else int(rows.size)
-                    )
-                    self._run_layer_stacked(
-                        results,
-                        times,
-                        protocol_times,
-                        corrections,
-                        effective,
-                        branches,
-                        nb_idx,
-                        nb_valid,
-                        static_eligible,
-                        faulty,
-                        active,
-                        bool(layer_has_fault[layer]),
-                        self._delay_stack(sweeps, delay_cache, layer, k, rows),
-                        self._rate_stack(sweeps, rate_cache, layer, k, rows),
-                        k,
-                        layer,
-                        rows,
-                        rk,
-                    )
                 if stream is not None:
-                    # Skipped steps still update with an empty rows hint so
-                    # the inter-layer reducer retires its buffer plane.
                     stream.update(
-                        k,
-                        layer,
-                        times[:, rk, layer, :],
-                        corrections[:, rk, layer, :],
-                        _NO_ROWS if skipped else rows,
+                        k, 0, times[:, rk, 0, :], corrections[:, rk, 0, :]
                     )
+                if compact and any_fault:
+                    dead[:] = False
+                for layer in range(1, num_layers):
+                    rows: Optional[np.ndarray] = None
+                    skipped = False
+                    if compact:
+                        mask = depths_arr > layer
+                        if any_fault:
+                            # A trial goes dead for the rest of this iteration
+                            # when *no* node of its previous layer produced a
+                            # pulse (protocol row all-NaN): correct nodes sent
+                            # nothing and faulty nodes recorded no sends, so
+                            # no message can reach this or any deeper layer.
+                            candidates = np.flatnonzero(mask & ~dead)
+                            if candidates.size:
+                                silent = np.isnan(
+                                    protocol_times[candidates, rk, layer - 1, :]
+                                ).all(axis=1)
+                                if silent.any():
+                                    dead[candidates[silent]] = True
+                            mask &= ~dead
+                        if not mask.all():
+                            if not mask.any():
+                                skipped = True
+                            else:
+                                rows = np.flatnonzero(mask)
+                    if not skipped:
+                        active_row_steps += (
+                            num_trials if rows is None else int(rows.size)
+                        )
+                        self._run_layer_stacked(
+                            results,
+                            times,
+                            protocol_times,
+                            corrections,
+                            effective,
+                            branches,
+                            nb_idx,
+                            nb_valid,
+                            static_eligible,
+                            faulty,
+                            active,
+                            bool(layer_has_fault[layer]),
+                            self._delay_stack(sweeps, delay_cache, layer, k, rows),
+                            self._rate_stack(sweeps, rate_cache, layer, k, rows),
+                            k,
+                            layer,
+                            rows,
+                            rk,
+                        )
+                    if stream is not None:
+                        # Skipped steps still update with an empty rows hint so
+                        # the inter-layer reducer retires its buffer plane.
+                        stream.update(
+                            k,
+                            layer,
+                            times[:, rk, layer, :],
+                            corrections[:, rk, layer, :],
+                            _NO_ROWS if skipped else rows,
+                        )
+        finally:
+            if has_campaign:
+                for sim, state in zip(sims, seed_states):
+                    sim.graph, sim.fault_plan, sim._layer0_has_fault = state
+
+        for s, schedule in enumerate(schedules):
+            if schedule is not None:
+                results[s].campaign = sims[s].campaign
+                results[s].churn_stats = schedule.summary()
 
         self.compaction_stats = {
             "enabled": compact,
@@ -668,6 +734,60 @@ class TrialStack:
             result.stack_block = block
             result.stack_row = s
         return results
+
+    def _enter_stack_epochs(
+        self,
+        k: int,
+        schedules: Sequence[Optional[object]],
+        epoch_cursor: List[int],
+        sweep_caches: List[Dict[Tuple, _VectorSweep]],
+        sweeps: List[_VectorSweep],
+        nb_idx: np.ndarray,
+        nb_valid: np.ndarray,
+        static_eligible: np.ndarray,
+        faulty: np.ndarray,
+    ) -> bool:
+        """Advance campaign trials into pulse ``k``'s epoch; True if any moved.
+
+        For each trial whose compiled schedule crosses an epoch boundary at
+        ``k``, swaps the simulation's graph/plan
+        (:meth:`FastSimulation._enter_epoch`), replaces its sweep (cached
+        per epoch state, so revisited topologies rebuild nothing), and
+        rewrites the trial's *rows* of the stacked gather/eligibility/fault
+        tensors in place -- zeroing stale lanes first, since an epoch
+        graph's max degree can shrink.  Unchanged trials (and unchanged
+        pulses) cost one integer comparison each, which is what makes
+        quiet epochs free.  The caller refreshes the derived aggregates
+        (``layer_has_fault``, the delay/row caches) when this returns True.
+        """
+        changed = False
+        for s, schedule in enumerate(schedules):
+            if schedule is None:
+                continue
+            index = schedule.epoch_index(k)
+            if index == epoch_cursor[s]:
+                continue
+            epoch_cursor[s] = index
+            epoch = schedule.epochs[index]
+            sim = self.sims[s]
+            sim._enter_epoch(epoch)
+            sweep = sweep_caches[s].get(epoch.state_key)
+            if sweep is None:
+                sweep = _VectorSweep(sim)
+                sweep_caches[s][epoch.state_key] = sweep
+            sweeps[s] = sweep
+            w, cols = sweep.nb_idx.shape
+            depth = self._depths[s]
+            nb_idx[s] = 0
+            nb_valid[s] = False
+            nb_idx[s, :w, :cols] = sweep.nb_idx
+            nb_valid[s, :w, :cols] = sweep.nb_valid
+            static_eligible[s] = False
+            static_eligible[s, : depth - 1, :w] = sweep.static_eligible
+            faulty[s] = False
+            faulty[s, :depth, :w] = sweep.faulty
+            changed = True
+        return changed
 
     def _run_layer0_stacked(
         self,

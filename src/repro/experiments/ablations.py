@@ -64,7 +64,15 @@ class AblationResult:
 def run_discretization_ablation(
     diameter: int = 16, num_pulses: int = 4, seed: int = 0
 ) -> AblationResult:
-    """AB1: discrete ``4*s*kappa`` grid versus continuous midpoint rule."""
+    """AB1: discrete ``4*s*kappa`` grid versus continuous midpoint rule.
+
+    Example
+    -------
+    >>> from repro.experiments.ablations import run_discretization_ablation
+    >>> result = run_discretization_ablation(diameter=4, num_pulses=2)
+    >>> result.skew_with > 0 and result.skew_without > 0
+    True
+    """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     batch = BatchRunner(num_pulses=num_pulses).run(
         [
@@ -96,7 +104,15 @@ def run_median_ablation(
     seed: int = 0,
     lag_kappas: float = 50.0,
 ) -> AblationResult:
-    """AB2: stick-to-the-median versus naive clamping, one late fault."""
+    """AB2: stick-to-the-median versus naive clamping, one late fault.
+
+    Example
+    -------
+    >>> from repro.experiments.ablations import run_median_ablation
+    >>> result = run_median_ablation(diameter=8, num_pulses=2)
+    >>> result.degradation > 3.0
+    True
+    """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     fault_node = (config.graph.width // 2, max(1, config.graph.num_layers // 2))
     plan = FaultPlan.from_nodes({fault_node: AdversarialLateFault(lag_kappas)})

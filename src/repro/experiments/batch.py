@@ -66,6 +66,7 @@ from repro.core.fast_batch import TrialStack, stack_compatibility
 from repro.core.layer0 import Layer0Schedule
 from repro.delays.models import DelayModel
 from repro.experiments.common import ExperimentConfig, standard_config
+from repro.faults.campaign import ChaosCampaign
 from repro.faults.injection import FaultPlan
 from repro.analysis.skew import (
     global_skew_layers,
@@ -101,6 +102,11 @@ class BatchTrial:
     Every override defaults to "inherit from ``config``" (``delay_model``,
     ``clock_rates``) or to the :class:`FastSimulation` default
     (``fault_plan``, ``layer0``, ``policy``, ``algorithm``).
+    ``campaign`` attaches a :class:`~repro.faults.campaign.ChaosCampaign`
+    (declared churn over the trial's base graph); campaigns are plain
+    frozen-dataclass schedules, so campaign trials pickle into
+    ``executor="process"`` shards like any other, and their per-trial
+    churn accounting lands in :attr:`BatchResult.campaign_stats`.
     """
 
     config: ExperimentConfig
@@ -110,6 +116,7 @@ class BatchTrial:
     clock_rates: RateProvider = field(default=CONFIG_RATES)  # type: ignore[assignment]
     policy: CorrectionPolicy = PAPER_POLICY
     algorithm: str = "full"
+    campaign: Optional[ChaosCampaign] = None
     label: str = ""
 
     def simulation(self, vectorize: bool = True) -> FastSimulation:
@@ -129,6 +136,7 @@ class BatchTrial:
             policy=self.policy,
             algorithm=self.algorithm,
             vectorize=vectorize,
+            campaign=self.campaign,
         )
 
     @property
@@ -177,6 +185,13 @@ class BatchResult:
         stacked -- the runner records why (``stack=False``,
         ``vectorize=False``, or the :func:`stack_compatibility` verdict)
         instead of silently dropping to the slow path.
+    campaign_stats:
+        ``{trial_index: churn_stats}`` for every trial that ran under a
+        :class:`~repro.faults.campaign.ChaosCampaign` -- the compiled
+        schedule's accounting (epoch count, boundary pulses, action
+        count, last event pulse), parallel to ``fallback_reasons``.
+        Propagated across process shards (it rides on each
+        :class:`FastResult`); empty for campaign-free batches.
 
     Notes
     -----
@@ -213,6 +228,11 @@ class BatchResult:
         self.stack_groups = [list(g) for g in (stack_groups or [])]
         self.compaction_stats = [dict(c) for c in (compaction_stats or [])]
         self.fallback_reasons = dict(fallback_reasons or {})
+        self.campaign_stats = {
+            s: dict(r.churn_stats)
+            for s, r in enumerate(results)
+            if getattr(r, "churn_stats", None) is not None
+        }
 
         # Geometry (not array shape) decides whether skews must reduce per
         # group: a cycle-9 and a complete-9 trial share (K, L, 9) matrices
@@ -579,8 +599,21 @@ def _run_shard(
 class BatchRunner:
     """Run many ``(seed, fault_plan, params)`` trials and stack the results.
 
-    All trials of one batch must share the grid shape ``(L, W)`` so their
-    matrices stack; the runner validates this upfront.
+    Trials may differ in geometry, parameters, faults, and campaigns;
+    compatible ones advance through shared :class:`TrialStack` kernels
+    (padding narrower/shallower trials with inert cells) and the rest
+    fall back per-trial, recording why in
+    :attr:`BatchResult.fallback_reasons`.  Results are bit-identical
+    across every execution strategy.
+
+    Example
+    -------
+    >>> from repro.experiments.batch import BatchRunner, BatchTrial
+    >>> from repro.experiments.common import standard_config
+    >>> trials = [BatchTrial(config=standard_config(4, seed=s)) for s in (0, 1)]
+    >>> batch = BatchRunner(num_pulses=2).run(trials)
+    >>> batch.max_local_skews().shape
+    (2,)
 
     Parameters
     ----------

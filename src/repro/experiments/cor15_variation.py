@@ -112,6 +112,13 @@ def run_cor15(
     single-trial run gains nothing from either).  Only the folded
     overall skew is consumed, so the run streams by default
     (``store_times=False``); ``store_times=True`` keeps raw pulse times.
+
+    Example
+    -------
+    >>> from repro.experiments.cor15_variation import run_cor15
+    >>> result = run_cor15(diameter=8, num_pulses=2)
+    >>> result.within_envelope
+    True
     """
     config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
     params = config.params

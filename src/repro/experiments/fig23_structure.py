@@ -62,7 +62,15 @@ class StructureResult:
 
 
 def run_structure(length: int = 16, num_layers: int = 8) -> StructureResult:
-    """Build Figure 2's ``H`` and Figure 3's ``G`` and count degrees."""
+    """Build Figure 2's ``H`` and Figure 3's ``G`` and count degrees.
+
+    Example
+    -------
+    >>> from repro.experiments.fig23_structure import run_structure
+    >>> result = run_structure(length=8, num_layers=4)
+    >>> result.min_base_degree
+    2
+    """
     base = replicated_line(length)
     graph = LayeredGraph(base, num_layers)
     base_degrees = Counter(base.degree(v) for v in base.nodes())

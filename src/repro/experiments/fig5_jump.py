@@ -95,6 +95,13 @@ def run_fig5(
     cleanest base graph) and Algorithm 1 semantics (every message awaited,
     so the correction rule, not the missing-message fallback, decides each
     pulse).
+
+    Example
+    -------
+    >>> from repro.experiments.fig5_jump import run_fig5
+    >>> result = run_fig5(diameter=8)
+    >>> result.final_with_jc < result.final_without_jc
+    True
     """
     if diameter % 2 != 0:
         raise ValueError("diameter must be even for an alternating cycle")

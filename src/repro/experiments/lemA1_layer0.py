@@ -67,7 +67,15 @@ def run_lemA1(
     seeds: Sequence[int] = (0, 1),
     params: Parameters | None = None,
 ) -> LemA1Result:
-    """Measure chain-adjacent skew and the Lemma A.1 envelope."""
+    """Measure chain-adjacent skew and the Lemma A.1 envelope.
+
+    Example
+    -------
+    >>> from repro.experiments.lemA1_layer0 import run_lemA1
+    >>> result = run_lemA1(chain_lengths=(8,), num_pulses=2)
+    >>> result.all_within_bound
+    True
+    """
     if params is None:
         params = Parameters(d=1.0, u=0.01, vartheta=1.001, Lambda=2.0)
     rows: List[LemA1Row] = []

@@ -76,7 +76,15 @@ def run_potential_decay(
     num_layers: int | None = None,
     seed: int = 0,
 ) -> PotentialDecayResult:
-    """Inject layer-0 skew and track the potentials down the grid."""
+    """Inject layer-0 skew and track the potentials down the grid.
+
+    Example
+    -------
+    >>> from repro.experiments.potential_decay import run_potential_decay
+    >>> result = run_potential_decay(diameter=4, num_layers=12)
+    >>> result.decayed(1)
+    True
+    """
     config = standard_config(
         diameter,
         seed=seed,

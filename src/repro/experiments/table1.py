@@ -134,6 +134,13 @@ def run_table1(
     only folded skew maxima, so it streams by default
     (``store_times=False``, bit-identical); ``store_times=True``
     materializes the pulse-time block again.
+
+    Example
+    -------
+    >>> from repro.experiments.table1 import run_table1
+    >>> result = run_table1(diameters=(8,), seeds=(0,), num_pulses=2)
+    >>> sorted({row.method for row in result.rows})
+    ['gradient-trix', 'hex', 'hex+crash', 'naive-trix']
     """
     def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
         # The Figure 1 worst case: rightward/straight edges at maximum

@@ -104,6 +104,15 @@ def run_thm11(
     pulse-time block is never materialized and the statistics are
     bit-identical; pass ``store_times=True`` to keep raw pulse times for
     drill-in.
+
+    Example
+    -------
+    >>> from repro.experiments.thm11_local_skew import run_thm11
+    >>> result = run_thm11(diameters=(4, 8), seeds=(0,), num_pulses=2)
+    >>> result.all_within_bound
+    True
+    >>> len(result.rows)
+    2
     """
     rows: List[Thm11Row] = []
     kappa = standard_config(4).params.kappa

@@ -80,6 +80,13 @@ def run_thm12(
     envelope: the exponential is a worst-case bound requiring adversarial
     coordination beyond static late-faults, exactly as the paper remarks
     before Theorem 1.3.
+
+    Example
+    -------
+    >>> from repro.experiments.thm12_worstcase_faults import run_thm12
+    >>> result = run_thm12(diameter=8, fault_counts=(0, 1), num_pulses=2)
+    >>> result.all_within_bound and result.monotone
+    True
     """
     rows: List[Thm12Row] = []
     config0 = standard_config(diameter, seed=seed)

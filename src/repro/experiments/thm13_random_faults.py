@@ -129,6 +129,13 @@ def run_thm13(
     streams by default (``store_times=False``, bit-identical statistics
     without the ``(S, K, L, W)`` block); ``store_times=True`` restores
     the materialized pulse times.
+
+    Example
+    -------
+    >>> from repro.experiments.thm13_random_faults import run_thm13
+    >>> result = run_thm13(diameter=6, num_trials=2, num_pulses=2)
+    >>> result.fraction_within_envelope
+    1.0
     """
     config0 = standard_config(diameter)
     n = config0.num_grid_nodes

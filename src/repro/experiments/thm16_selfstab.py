@@ -1,30 +1,57 @@
-"""TH6 -- Theorem 1.6: the pulse propagation self-stabilizes in ``O(sqrt n)``
-pulses.
+"""TH6 -- Theorem 1.6: self-stabilization under *sustained* churn.
 
-The driver runs the event-driven grid with Algorithm 4 nodes
-(:class:`~repro.core.selfstab.SelfStabilizingNode`), lets it warm up, then
-hits every node of layers ``>= 1`` with a transient fault: volatile state is
-scrambled (reception registers possibly in the local future, bogus pending
-pulses, random pulse counters) and spurious messages are injected in
-flight.  It then measures how long the system needs to return to a clean
-schedule (period ``Lambda``, adjacent offsets within the skew bound).
+Earlier revisions of this driver staged a one-shot transient fault (corrupt
+every node once, watch the event engine recover).  The chaos-campaign layer
+(:mod:`repro.faults.campaign`) replaces that with the regime the theorem is
+actually about: a *sustained* window of churn -- nodes crashing and
+recovering, vertices leaving and rejoining, edges flapping, correlated
+regional outages -- after which the system must return to a clean gradient
+schedule on its own.  The driver
 
-Theorem 1.6 predicts stabilization within ``O(sqrt n)`` pulses -- on our
-grids, a small multiple of the layer count.
+1. samples a seeded :meth:`~repro.faults.campaign.ChaosCampaign.random`
+   campaign (or takes one the caller -- e.g. a hypothesis test -- hands
+   in) whose disruptions all revert by ``churn_pulses``,
+2. runs it through the fast path via :class:`~repro.experiments.batch.
+   BatchRunner` (``BatchTrial.campaign``), one trial per seed, and
+3. measures the per-pulse local-skew series over the *seed* edge set: the
+   stabilization time is the number of pulses after the last churn event
+   until the max local skew re-enters ``params.local_skew_bound(D)`` and
+   stays there for the rest of the run.
+
+Theorem 1.6 predicts stabilization within ``O(sqrt n)`` pulses.  Our
+measured times are far inside that budget, and honesty requires saying
+why: the fast path evaluates the Lemma B.1 recurrence, in which pulse
+``k`` of layer ``l`` depends only on pulse ``k`` of layer ``l - 1`` --
+there is no cross-pulse memory, so once the last disruption reverts, the
+very next pulse wave propagates through a clean topology and the skew
+re-enters the bound within about one wave.  The measurement is therefore
+consistent with (and much stronger than) the theorem's upper bound; the
+event-engine legs of ``tests/test_differential.py`` pin the fast path's
+churn-era behaviour to the engine at 1e-9, so the quick recovery is a
+property of the algorithm, not an artifact of the shortcut.
+
+Example
+-------
+>>> from repro.experiments.thm16_selfstab import run_thm16
+>>> result = run_thm16(diameter=4, num_trials=2, seed=1)
+>>> bool(result.stabilized)
+True
+>>> result.skew_series.shape == (2, result.num_pulses)
+True
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.analysis.stabilization import StabilizationReport, measure_stabilization
-from repro.core.algorithm import PULSE, GradientTrixNode
-from repro.core.network_sim import GridSimulation
-from repro.core.selfstab import SelfStabilizingNode, corrupt_node
+from repro.analysis.skew import masked_max
+from repro.experiments.batch import BatchResult, BatchRunner, BatchTrial
+from repro.faults.campaign import ChaosCampaign
 from repro.experiments.common import standard_config
 
 __all__ = ["Thm16Result", "run_thm16"]
@@ -32,109 +59,233 @@ __all__ = ["Thm16Result", "run_thm16"]
 
 @dataclass
 class Thm16Result:
-    """Stabilization measurement after a full-grid transient fault."""
+    """Self-stabilization measurement under a sustained churn campaign.
+
+    ``skew_series`` is the per-trial, per-pulse max local skew over the
+    seed edge set (shape ``(num_trials, num_pulses)``; NaN pulses -- e.g.
+    a fully silenced layer -- never occur on these campaigns because
+    layer 0 keeps beating).  ``stabilization_pulses`` counts, per trial,
+    the pulses after the campaign's last event until the series re-enters
+    ``skew_bound`` for good (-1 when it never does within the horizon).
+    """
 
     diameter: int
     num_grid_nodes: int
-    corrupted_nodes: int
-    injected_messages: int
-    report: StabilizationReport
+    num_trials: int
+    num_pulses: int
+    churn_pulses: int
+    skew_bound: float
     budget_pulses: int
+    last_event_pulse: int
+    churn_actions: int
+    skew_series: np.ndarray
+    stabilization_pulses: np.ndarray
+    worst_churn_skew: float
+    worst_recovered_skew: float
+    batch: BatchResult = field(repr=False)
+
+    @property
+    def stabilized(self) -> bool:
+        """Whether every trial re-entered the skew bound after the churn."""
+        return bool((self.stabilization_pulses >= 0).all())
 
     @property
     def stabilized_within_budget(self) -> bool:
-        """Whether stabilization beat the ``O(sqrt n)`` budget."""
-        return (
-            self.report.stabilized
-            and self.report.stabilization_pulses <= self.budget_pulses
+        """Whether every trial stabilized within the ``O(sqrt n)`` budget."""
+        return self.stabilized and bool(
+            (self.stabilization_pulses <= self.budget_pulses).all()
         )
 
     def table(self) -> str:
         """ASCII rendering."""
+        worst = int(self.stabilization_pulses.max())
         return format_table(
             ["quantity", "value"],
             [
                 ("D", self.diameter),
                 ("n (grid nodes)", self.num_grid_nodes),
-                ("nodes corrupted", self.corrupted_nodes),
-                ("spurious messages injected", self.injected_messages),
-                ("stabilized", self.report.stabilized),
-                ("stabilization pulses", self.report.stabilization_pulses),
+                ("trials", self.num_trials),
+                ("churn window (pulses)", self.churn_pulses),
+                ("churn actions (worst trial)", self.churn_actions),
+                ("last event pulse", self.last_event_pulse),
+                ("skew bound", f"{self.skew_bound:.4f}"),
+                ("worst churn-era skew", f"{self.worst_churn_skew:.4f}"),
+                ("worst recovered skew", f"{self.worst_recovered_skew:.4f}"),
+                ("stabilized", self.stabilized),
+                ("stabilization pulses (worst)", worst),
                 ("budget (pulses)", self.budget_pulses),
-                ("violations observed", self.report.violations),
             ],
-            title="Theorem 1.6: self-stabilization after transient faults",
+            title="Theorem 1.6: self-stabilization under sustained churn",
         )
+
+
+def _stabilization_pulses(
+    series: np.ndarray, bound: float, last_event: int
+) -> np.ndarray:
+    """Per-trial pulses-after-last-event until the series stays in bound.
+
+    For each row, the smallest ``p > last_event`` with ``series[p:]``
+    entirely within ``bound`` gives ``p - last_event``; rows that never
+    settle report -1.  NaN pulses (nothing to compare) count as within
+    bound -- they carry no skew evidence either way.
+    """
+    series = np.asarray(series, dtype=float)
+    within = np.isnan(series) | (series <= bound)
+    out = np.full(series.shape[0], -1, dtype=np.int64)
+    for s in range(series.shape[0]):
+        settled = -1
+        for p in range(series.shape[1] - 1, last_event, -1):
+            if not within[s, p]:
+                break
+            settled = p
+        if settled >= 0:
+            out[s] = settled - last_event
+    return out
 
 
 def run_thm16(
     diameter: int = 8,
-    warmup_pulses: int = 3,
-    recovery_pulses: int | None = None,
+    num_pulses: Optional[int] = None,
+    churn_pulses: Optional[int] = None,
     seed: int = 0,
+    num_trials: int = 1,
     budget_factor: float = 3.0,
-    corruption_scale_periods: float = 2.0,
+    event_rate: float = 0.7,
+    campaign: Optional[ChaosCampaign] = None,
+    executor: str = "serial",
+    shards: Optional[int] = None,
 ) -> Thm16Result:
-    """Corrupt the whole grid mid-run and measure recovery."""
-    config = standard_config(diameter, seed=seed)
-    params = config.params
-    graph = config.graph
-    if recovery_pulses is None:
-        recovery_pulses = 3 * graph.num_layers + 10
-    total_pulses = warmup_pulses + recovery_pulses
+    """Measure self-stabilization under a sustained churn campaign.
 
-    skew_bound = params.local_skew_bound(diameter)
-    grid = GridSimulation(
-        graph,
-        params,
-        delay_model=config.delay_model,
-        node_class=SelfStabilizingNode,
-        node_kwargs={"skew_estimate": skew_bound, "max_pulses": None},
-    )
-    grid.build(total_pulses)
+    Builds one :func:`~repro.experiments.common.standard_config` trial per
+    seed offset, attaches a sustained-churn
+    :class:`~repro.faults.campaign.ChaosCampaign` (seeded
+    :meth:`~repro.faults.campaign.ChaosCampaign.random` by default;
+    ``campaign=`` injects a caller-supplied one, e.g. hypothesis-drawn in
+    the tests), runs the batch through the fast path, and reduces the
+    per-pulse local-skew series; see the module docstring.
 
-    # Warm up: let the first pulses flood the grid.
-    corrupt_at = (warmup_pulses + graph.num_layers + 1) * params.Lambda
-    grid.sim.run_until(corrupt_at)
+    Args
+    ----
+    diameter:
+        Base-graph diameter ``D`` of the standard config.
+    num_pulses:
+        Total pulses simulated; default leaves a full recovery tail of
+        ``num_layers + 2`` quiet pulses after the churn window.
+    churn_pulses:
+        Length of the churn window; every disruption reverts by this
+        pulse.  Default ``max(4, num_layers // 2)``.
+    seed:
+        Base seed; trial ``t`` uses config seed ``seed + t`` and its own
+        campaign stream.
+    num_trials:
+        Independent (config, campaign) trials, stacked through one
+        :class:`~repro.experiments.batch.BatchRunner` call.
+    budget_factor:
+        The budget is ``int(budget_factor * sqrt(n)) + num_layers``
+        pulses, the experiment's concrete stand-in for ``O(sqrt n)``.
+    event_rate:
+        Per-pulse event probability of the sampled campaigns.
+    campaign:
+        Use this campaign for every trial instead of sampling (its base
+        graph must match the standard config's, i.e. the replicated line
+        of the given ``diameter``).
+    executor, shards:
+        Forwarded to :class:`~repro.experiments.batch.BatchRunner`.
 
-    rng = np.random.default_rng(seed + 1613)
-    scale = corruption_scale_periods * params.Lambda
-    corrupted = 0
-    for node, process in grid.nodes.items():
-        if isinstance(process, GradientTrixNode):
-            corrupt_node(process, rng, time_scale=scale)
-            corrupted += 1
-
-    # Spurious in-flight messages: one per layer, delivered shortly after.
-    injected = 0
-    for layer in range(1, graph.num_layers):
-        v = int(rng.integers(0, graph.width))
-        target = (v, layer)
-        fake_sender = (v, layer - 1)
-        delivery = grid.sim.now + float(rng.uniform(0, params.d))
-        grid.network.inject_at(
-            target, {PULSE: int(rng.integers(0, 5))}, fake_sender, delivery
+    Returns
+    -------
+    Thm16Result
+        Skew series, per-trial stabilization pulse counts, and the batch
+        (whose ``campaign_stats`` holds per-trial churn accounting).
+    """
+    if num_trials < 1:
+        raise ValueError(f"num_trials must be >= 1, got {num_trials}")
+    probe = standard_config(diameter, seed=seed)
+    num_layers = probe.graph.num_layers
+    if churn_pulses is None:
+        churn_pulses = max(4, num_layers // 2)
+    if num_pulses is None:
+        num_pulses = churn_pulses + num_layers + 2
+    if num_pulses <= churn_pulses:
+        raise ValueError(
+            f"num_pulses ({num_pulses}) must exceed churn_pulses "
+            f"({churn_pulses}) to leave a recovery tail"
         )
-        injected += 1
 
-    horizon = (total_pulses + graph.num_layers + 5) * params.Lambda
-    grid.sim.run_until(horizon)
+    trials: List[BatchTrial] = []
+    for t in range(num_trials):
+        config = standard_config(diameter, seed=seed + t)
+        trial_campaign = campaign
+        if trial_campaign is None:
+            trial_campaign = ChaosCampaign.random(
+                config.graph.base,
+                num_layers,
+                churn_pulses=churn_pulses,
+                rng_or_seed=np.random.SeedSequence([seed + t, 1613]),
+                event_rate=event_rate,
+            )
+        trials.append(
+            BatchTrial(
+                config=config,
+                campaign=trial_campaign,
+                label=f"churn seed={seed + t}",
+            )
+        )
 
-    report = measure_stabilization(
-        grid.trace,
-        graph,
-        params,
-        skew_bound=skew_bound,
-        observe_from=corrupt_at,
-        observe_until=(total_pulses - 1) * params.Lambda,
+    runner = BatchRunner(
+        num_pulses=num_pulses, executor=executor, shards=shards
     )
-    n = config.num_grid_nodes
-    budget = int(budget_factor * math.sqrt(n)) + graph.num_layers
+    batch = runner.run(trials)
+
+    # Per-pulse max local skew over the seed edge set: |t_v - t_w| along
+    # every base edge, max over layers and edges, per (trial, pulse).
+    # Absent/crashed cells are NaN and mask out automatically.
+    graph = probe.graph
+    left, right = graph.base.edge_index_arrays()
+    times = batch.times  # (S, K, L, W)
+    diffs = np.abs(times[..., left] - times[..., right])  # (S, K, L, E)
+    skew_series = masked_max(diffs, axis=(-2, -1), empty=np.nan)  # (S, K)
+
+    last_event = max(
+        (
+            stats["last_event_pulse"]
+            for stats in batch.campaign_stats.values()
+            if stats["last_event_pulse"] is not None
+        ),
+        default=0,
+    )
+    churn_actions = max(
+        (stats["actions"] for stats in batch.campaign_stats.values()),
+        default=0,
+    )
+    skew_bound = probe.params.local_skew_bound(diameter)
+    stabilization = _stabilization_pulses(skew_series, skew_bound, last_event)
+
+    churn_era = skew_series[:, : last_event + 1]
+    worst_churn = (
+        float(np.nanmax(churn_era)) if np.isfinite(churn_era).any() else 0.0
+    )
+    recovered = skew_series[:, last_event + 1 :]
+    worst_recovered = (
+        float(np.nanmax(recovered)) if np.isfinite(recovered).any() else 0.0
+    )
+
+    n = probe.num_grid_nodes
+    budget = int(budget_factor * math.sqrt(n)) + num_layers
     return Thm16Result(
         diameter=diameter,
         num_grid_nodes=n,
-        corrupted_nodes=corrupted,
-        injected_messages=injected,
-        report=report,
+        num_trials=num_trials,
+        num_pulses=num_pulses,
+        churn_pulses=churn_pulses,
+        skew_bound=skew_bound,
         budget_pulses=budget,
+        last_event_pulse=int(last_event),
+        churn_actions=int(churn_actions),
+        skew_series=skew_series,
+        stabilization_pulses=stabilization,
+        worst_churn_skew=worst_churn,
+        worst_recovered_skew=worst_recovered,
+        batch=batch,
     )

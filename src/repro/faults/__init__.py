@@ -22,18 +22,44 @@ from repro.faults.model import (
 )
 from repro.faults.injection import FaultPlan
 from repro.faults.locality import distance_delta_k_faulty, max_k_faulty_over_layer
+from repro.faults.campaign import (
+    CampaignEpoch,
+    CampaignEvent,
+    CampaignSchedule,
+    ChaosCampaign,
+    EdgeDown,
+    EdgeFlap,
+    EdgeUp,
+    NodeCrash,
+    NodeJoin,
+    NodeLeave,
+    NodeRecover,
+    RegionalOutage,
+)
 
 __all__ = [
     "AdversarialEarlyFault",
     "AdversarialLateFault",
     "ByzantineRandomFault",
+    "CampaignEpoch",
+    "CampaignEvent",
+    "CampaignSchedule",
+    "ChaosCampaign",
     "CrashFault",
+    "EdgeDown",
+    "EdgeFlap",
+    "EdgeUp",
     "FaultBehavior",
     "FaultContext",
     "FaultPlan",
     "FixedOffsetFault",
     "MutableFault",
+    "NodeCrash",
+    "NodeJoin",
+    "NodeLeave",
+    "NodeRecover",
     "PerSuccessorOffsetFault",
+    "RegionalOutage",
     "SilentFromFault",
     "distance_delta_k_faulty",
     "max_k_faulty_over_layer",

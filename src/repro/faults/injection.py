@@ -29,7 +29,22 @@ def _default_behavior_factory(
 
 
 class FaultPlan:
-    """Immutable assignment of fault behaviours to nodes."""
+    """Immutable assignment of fault behaviours to grid nodes.
+
+    The static fault model: the faulty set ``F`` and each member's
+    :class:`~repro.faults.model.FaultBehavior` are fixed for the whole
+    run (time-varying conditions are layered on top by
+    :class:`~repro.faults.campaign.ChaosCampaign`, which merges plans
+    per epoch).
+
+    Example
+    -------
+    >>> from repro.faults.injection import FaultPlan
+    >>> from repro.faults.model import CrashFault
+    >>> plan = FaultPlan.from_nodes({(2, 1): CrashFault()})
+    >>> plan.is_faulty((2, 1)), plan.is_faulty((2, 0)), len(plan)
+    (True, False, 1)
+    """
 
     def __init__(self, behaviors: Dict[NodeId, FaultBehavior] | None = None) -> None:
         self._behaviors: Dict[NodeId, FaultBehavior] = dict(behaviors or {})

@@ -41,6 +41,12 @@ class BaseGraph:
     require_min_degree_2:
         When true (default), enforce the paper's minimum-degree-2 model
         assumption.  Tests may disable it to study degenerate graphs.
+    require_connected:
+        When true (default), reject disconnected graphs.  Chaos-campaign
+        epoch graphs (:mod:`repro.faults.campaign`) disable it: a vertex
+        that has *left* the network keeps its slot (so array shapes stay
+        fixed across epochs) but drops all of its edges, which makes the
+        instantaneous topology formally disconnected.
     name:
         Optional human-readable label used in reports.
     """
@@ -50,6 +56,7 @@ class BaseGraph:
         num_nodes: int,
         edges: Iterable[Tuple[int, int]],
         require_min_degree_2: bool = True,
+        require_connected: bool = True,
         name: str = "custom",
     ) -> None:
         if num_nodes <= 0:
@@ -77,7 +84,7 @@ class BaseGraph:
         self._diameter: int | None = None
         self._edge_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._neighbor_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        if not self._is_connected():
+        if require_connected and not self._is_connected():
             raise ValueError("base graph must be connected")
         if require_min_degree_2 and num_nodes > 1:
             bad = [v for v in range(num_nodes) if len(self._adjacency[v]) < 2]

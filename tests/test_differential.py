@@ -20,7 +20,16 @@ run through every path, asserting
   runs that never materialize the pulse-time block): every scenario also
   replays through the streamed per-trial, scalar, padded, and compacted
   paths, and the online skew/potential/correction folds must equal the
-  array reducers applied to the materialized reference exactly.
+  array reducers applied to the materialized reference exactly, and
+* **dynamic adjacency** (:class:`~repro.faults.campaign.ChaosCampaign`):
+  every scenario is additionally run under a hypothesis-drawn churn
+  campaign -- leaves, joins, edge flaps, crashes, regional outages --
+  with the whole vectorized family again pinned bitwise and the engine
+  pinned at 1e-9 through *per-epoch stitching*: by Lemma B.1 pulse ``k``
+  depends only on pulse ``k`` of the layer below, so a dynamic run
+  equals, pulse for pulse, a static engine run on that pulse's
+  instantaneous graph; we replay the engine once per campaign epoch and
+  take each epoch's own rows as the ground-truth reference.
 
 The stacking decoys deliberately disagree with the scenario in width
 *and* depth, so the padding and compaction machinery is engaged on every
@@ -51,6 +60,16 @@ from repro.core.layer0 import (
 )
 from repro.core.network_sim import GridSimulation
 from repro.delays.models import StaticDelayModel, UniformDelayModel
+from repro.faults.campaign import (
+    ChaosCampaign,
+    EdgeDown,
+    EdgeFlap,
+    NodeCrash,
+    NodeJoin,
+    NodeLeave,
+    NodeRecover,
+    RegionalOutage,
+)
 from repro.faults.injection import FaultPlan
 from repro.faults.model import (
     AdversarialLateFault,
@@ -163,6 +182,84 @@ def scenarios(draw):
         "rates": rates,
         "fault_plan": fault_plan,
     }
+
+
+#: Horizon of the dynamic-adjacency legs: room for churn plus recovery.
+CAMPAIGN_PULSES = 5
+
+
+@st.composite
+def campaigns(draw, base, num_layers):
+    """A churn campaign over ``base`` with at least one in-horizon event.
+
+    Half the examples come from the seeded sustained-churn sampler the
+    thm16 experiment uses (:meth:`ChaosCampaign.random`); the rest are
+    directly drawn event lists covering the corners the sampler avoids
+    on purpose -- layer-0 crashes, leaves that never rejoin, edges that
+    stay down, overlapping regional outages.  Isolating a survivor is
+    fine: both simulators silence a degree-0 cell's layers identically.
+    """
+    if draw(st.booleans()):
+        campaign = ChaosCampaign.random(
+            base,
+            num_layers,
+            churn_pulses=CAMPAIGN_PULSES - 1,
+            rng_or_seed=draw(st.integers(0, 2**16)),
+            event_rate=1.0,
+        )
+        if campaign.events:
+            return campaign
+    edges = sorted(base.edges)
+    events = []
+    for _ in range(draw(st.integers(1, 3))):
+        pulse = draw(st.integers(1, CAMPAIGN_PULSES - 1))
+        kind = draw(
+            st.sampled_from(["crash", "leave", "flap", "down", "outage"])
+        )
+        if kind == "crash":
+            node = (
+                draw(st.integers(0, base.num_nodes - 1)),
+                draw(st.integers(0, num_layers - 1)),
+            )
+            events.append(NodeCrash(pulse=pulse, node=node))
+            if draw(st.booleans()):
+                events.append(
+                    NodeRecover(
+                        pulse=pulse + draw(st.integers(1, 2)), node=node
+                    )
+                )
+        elif kind == "leave":
+            vertex = draw(st.integers(0, base.num_nodes - 1))
+            events.append(NodeLeave(pulse=pulse, vertex=vertex))
+            if draw(st.booleans()):
+                events.append(
+                    NodeJoin(
+                        pulse=pulse + draw(st.integers(1, 2)), vertex=vertex
+                    )
+                )
+        elif kind == "flap":
+            events.append(
+                EdgeFlap(
+                    pulse=pulse,
+                    edge=draw(st.sampled_from(edges)),
+                    down_pulses=draw(st.integers(1, 2)),
+                )
+            )
+        elif kind == "down":
+            events.append(
+                EdgeDown(pulse=pulse, edge=draw(st.sampled_from(edges)))
+            )
+        else:
+            events.append(
+                RegionalOutage(
+                    pulse=pulse,
+                    center=draw(st.integers(0, base.num_nodes - 1)),
+                    radius=1,
+                    duration=draw(st.integers(1, 2)),
+                    kind=draw(st.sampled_from(["crash", "leave"])),
+                )
+            )
+    return ChaosCampaign(base, num_layers, events)
 
 
 def fast_simulation(scenario, algorithm="full", vectorize=True):
@@ -279,6 +376,63 @@ def run_streaming_family(scenario, algorithm="full"):
     family["scalar"] = fast_simulation(
         scenario, algorithm, vectorize=False
     ).run(NUM_PULSES, reducers=_stream_reducers(), **kwargs)
+    return family
+
+
+def campaign_simulation(scenario, campaign, vectorize=True):
+    """A fresh FastSimulation of ``scenario`` running ``campaign``."""
+    return FastSimulation(
+        scenario["graph"],
+        scenario["params"],
+        delay_model=scenario["delay_model"],
+        clock_rates=scenario["rates"],
+        fault_plan=scenario["fault_plan"],
+        layer0=scenario["layer0"],
+        campaign=campaign,
+        vectorize=vectorize,
+    )
+
+
+def run_campaign_family(scenario, campaign):
+    """The campaign's result on every fast path (see run_fast_family).
+
+    The stacked legs mix the campaign trial with static decoys of
+    different width and depth, so the per-trial epoch machinery must
+    rewrite exactly one trial's rows of the padded tensors while its
+    mates keep running untouched.
+    """
+    family = {
+        "per_trial": campaign_simulation(scenario, campaign).run(
+            CAMPAIGN_PULSES
+        )
+    }
+    twins = [campaign_simulation(scenario, campaign) for _ in range(2)]
+    family["homogeneous_stack"] = TrialStack(twins).run(CAMPAIGN_PULSES)[0]
+    depth = scenario["graph"].num_layers
+    family["padded_stack"] = TrialStack(
+        [
+            campaign_simulation(scenario, campaign),
+            _decoy(scenario, depth + 2, "full"),
+        ],
+        compact_depth=False,
+    ).run(CAMPAIGN_PULSES)[0]
+    family["compacted_stack_deep_mate"] = TrialStack(
+        [
+            campaign_simulation(scenario, campaign),
+            _decoy(scenario, depth + 3, "full"),
+        ],
+        compact_depth=True,
+    ).run(CAMPAIGN_PULSES)[0]
+    family["compacted_stack_shallow_mate"] = TrialStack(
+        [
+            campaign_simulation(scenario, campaign),
+            _decoy(scenario, 1, "full"),
+        ],
+        compact_depth=True,
+    ).run(CAMPAIGN_PULSES)[0]
+    family["scalar"] = campaign_simulation(
+        scenario, campaign, vectorize=False
+    ).run(CAMPAIGN_PULSES)
     return family
 
 
@@ -444,6 +598,157 @@ class TestEngineDifferential:
             rtol=0.0, atol=1e-9, equal_nan=True,
             err_msg="engine vs streamed global skew",
         )
+
+
+class TestCampaignDifferential:
+    """Dynamic adjacency: the fast family under hypothesis-drawn churn."""
+
+    @FAMILY_SETTINGS
+    @given(data=st.data())
+    def test_campaign_paths_agree(self, data):
+        scenario = data.draw(scenarios())
+        campaign = data.draw(
+            campaigns(scenario["graph"].base, scenario["graph"].num_layers)
+        )
+        family = run_campaign_family(scenario, campaign)
+        reference = family.pop("per_trial")
+        scalar = family.pop("scalar")
+        assert reference.churn_stats is not None
+        assert reference.churn_stats["actions"] > 0
+        for label, result in family.items():
+            assert_results_equal(result, reference, exact=True, label=label)
+            assert result.churn_stats == reference.churn_stats, label
+        assert_results_equal(scalar, reference, exact=False, label="scalar")
+
+        # The streamed twin folds the same planes the materialized run
+        # stored, epoch swaps and all, over the seed edge layout.
+        streamed = campaign_simulation(scenario, campaign).run(
+            CAMPAIGN_PULSES, reducers=_stream_reducers(), store_times=False
+        )
+        assert_streamed_matches_materialized(
+            streamed, reference, scenario, label="streamed campaign"
+        )
+
+
+class TestCampaignEngineDifferential:
+    """Churn-era fast output vs per-epoch engine stitching at 1e-9.
+
+    Lemma B.1's recurrence couples layers only within a pulse, so the
+    dynamic run equals, pulse for pulse, a static run on that pulse's
+    instantaneous graph: replay the engine once per campaign epoch
+    (epoch graph + epoch fault plan, same delays/clocks/layer 0) and
+    take rows ``[start, end)`` of each replay as the reference.
+    """
+
+    def _engine_times_stitched(self, scenario, campaign):
+        schedule = campaign.compile(
+            CAMPAIGN_PULSES, base_plan=scenario["fault_plan"]
+        )
+        graph = scenario["graph"]
+        out = np.empty((CAMPAIGN_PULSES, graph.num_layers, graph.width))
+        for epoch in schedule.epochs:
+            grid = GridSimulation(
+                epoch.graph,
+                scenario["params"],
+                delay_model=scenario["delay_model"],
+                clocks=dict(scenario["clocks"]),
+                fault_plan=epoch.fault_plan,
+                layer0=scenario["layer0"],
+            )
+            trace = grid.run(CAMPAIGN_PULSES)
+            times = times_from_trace(trace, epoch.graph, CAMPAIGN_PULSES)
+            out[epoch.start : epoch.end] = times[epoch.start : epoch.end]
+        return out
+
+    @ENGINE_SETTINGS
+    @given(data=st.data())
+    def test_engine_matches_campaign_fast(self, data):
+        scenario = data.draw(scenarios())
+        campaign = data.draw(
+            campaigns(scenario["graph"].base, scenario["graph"].num_layers)
+        )
+        fast = campaign_simulation(scenario, campaign).run(CAMPAIGN_PULSES)
+        event = self._engine_times_stitched(scenario, campaign)
+        np.testing.assert_array_equal(
+            np.isnan(event), np.isnan(fast.times),
+            err_msg="engine/fast disagree on which cells pulsed under churn",
+        )
+        np.testing.assert_allclose(
+            event, fast.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+    @ENGINE_SETTINGS
+    @given(data=st.data())
+    def test_engine_matches_campaign_compacted_stack(self, data):
+        """Transitivity under churn: engine vs the stacked epoch path."""
+        scenario = data.draw(scenarios())
+        campaign = data.draw(
+            campaigns(scenario["graph"].base, scenario["graph"].num_layers)
+        )
+        depth = scenario["graph"].num_layers
+        stacked = TrialStack(
+            [
+                campaign_simulation(scenario, campaign),
+                _decoy(scenario, depth + 3, "full"),
+            ],
+            compact_depth=True,
+        ).run(CAMPAIGN_PULSES)[0]
+        event = self._engine_times_stitched(scenario, campaign)
+        np.testing.assert_array_equal(np.isnan(event), np.isnan(stacked.times))
+        np.testing.assert_allclose(
+            event, stacked.times, rtol=0.0, atol=1e-9, equal_nan=True
+        )
+
+
+def test_deterministic_campaign_smoke():
+    """One fixed churn cell through every path plus the stitched engine."""
+    params = PARAMS_CHOICES[0]
+    base = cycle_graph(6)
+    graph = LayeredGraph(base, 3)
+    clocks = uniform_random_rates(
+        list(graph.nodes()), params.vartheta, rng_or_seed=21
+    )
+    scenario = {
+        "graph": graph,
+        "params": params,
+        "delay_model": StaticDelayModel(params.d, params.u, seed=20),
+        "layer0": AlternatingLayer0(params.Lambda, params.kappa),
+        "clocks": clocks,
+        "rates": {node: clock.rate for node, clock in clocks.items()},
+        "fault_plan": FaultPlan.from_nodes({(4, 2): FixedOffsetFault(0.2)}),
+    }
+    campaign = ChaosCampaign(
+        base,
+        graph.num_layers,
+        events=[
+            NodeLeave(pulse=1, vertex=2),
+            NodeJoin(pulse=3, vertex=2),
+            EdgeFlap(pulse=2, edge=(4, 5)),
+            NodeCrash(pulse=1, node=(0, 1)),
+            NodeRecover(pulse=4, node=(0, 1)),
+            RegionalOutage(pulse=3, center=0, radius=1, duration=1),
+        ],
+    )
+    family = run_campaign_family(scenario, campaign)
+    reference = family.pop("per_trial")
+    scalar = family.pop("scalar")
+    for label, result in family.items():
+        assert_results_equal(result, reference, exact=True, label=label)
+    assert_results_equal(scalar, reference, exact=False, label="scalar")
+    event = TestCampaignEngineDifferential()._engine_times_stitched(
+        scenario, campaign
+    )
+    np.testing.assert_array_equal(np.isnan(event), np.isnan(reference.times))
+    np.testing.assert_allclose(
+        event, reference.times, rtol=0.0, atol=1e-9, equal_nan=True
+    )
+    # The campaign run restores the seed state: the quiet tail after the
+    # last event is bitwise identical to the plain static run's pulses.
+    static = fast_simulation(scenario).run(CAMPAIGN_PULSES)
+    np.testing.assert_array_equal(
+        reference.times[4:], static.times[4:],
+        err_msg="restored-seed pulses differ from the static run",
+    )
 
 
 def test_deterministic_scenario_smoke():
