@@ -28,6 +28,22 @@ Four micro-benchmarks track the performance trajectory across PRs:
   within 1e-9), plus the quiet-campaign overhead probe: a no-event
   campaign must stay within 2x of the static kernel and reproduce its
   times bitwise.  Recorded under the ``"churn"`` section.
+* ``test_width_skewed_lane_compaction_speedup``: one wide shallow trial
+  stacked with a field of narrow deep ones -- the shape where depth
+  compaction alone still drags every surviving row across the wide
+  trial's padded lanes.  Lane (width) compaction vs the lane-padded
+  stack, bit-identical times, >= 1.3x floor; recorded under the
+  ``"sparse"`` section.
+* ``test_csr_backend_memory_reduction``: a hub-skewed 10^5-node sparse
+  layered graph through the CSR segment-reduce kernel vs the dense
+  padded kernel, tracking peak memory with ``tracemalloc`` and asserting
+  the CSR peak stays <= 0.5x dense (it is ~10x smaller in practice) with
+  bit-identical times on a small companion cell; also recorded under
+  ``"sparse"``.
+* ``test_dense_backend_no_regression``: the regular trial-stacked cell
+  with ``neighbor_backend="auto"`` vs explicit ``"dense"`` -- the
+  density heuristic must pick dense on regular graphs and cost nothing
+  measurable (<= 1.25x, bitwise-identical times).
 * ``test_streaming_memory_reduction``: the streaming result pipeline
   (``store_times=False``) vs the materialized ``(S, K, L, W)`` block on
   an S = 64, 32-pulse cell, tracking peak memory with ``tracemalloc``
@@ -55,11 +71,11 @@ import pytest
 from repro.analysis.report import format_table
 from repro.clocks import uniform_random_rates
 from repro.core.fast import FastSimulation
-from repro.delays import StaticDelayModel
+from repro.delays import StaticDelayModel, UniformDelayModel
 from repro.experiments.batch import BatchRunner
 from repro.faults import ChaosCampaign
 from repro.params import Parameters
-from repro.topology import LayeredGraph, replicated_line
+from repro.topology import LayeredGraph, replicated_line, sparse_layered
 
 pytestmark = pytest.mark.bench
 
@@ -97,6 +113,23 @@ def _merge_bench_json(update):
             report = {}
     report.update(update)
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def _merge_sparse_section(subkey, value):
+    """Merge one sub-entry into the ``"sparse"`` section of the report.
+
+    The sparse benches each own a sub-entry (``width_skew``,
+    ``csr_memory``); a plain top-level update would clobber the sibling
+    when only one bench runs.
+    """
+    existing = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text()).get("sparse", {})
+        except json.JSONDecodeError:
+            existing = {}
+    existing[subkey] = value
+    _merge_bench_json({"sparse": existing})
 
 
 def acceptance_grid():
@@ -879,6 +912,270 @@ def test_campaign_stacked_speedup():
     assert quiet_overhead <= 2.0, (
         f"quiet campaign costs {quiet_overhead:.2f}x the static kernel "
         f"({quiet_time:.4f}s vs {static_time:.4f}s)"
+    )
+
+
+#: The width-skew acceptance cell: one wide shallow trial (W ~ 1537,
+#: 2 layers) stacked with 15 narrow deep ones (W ~ 65, 8 layers).  Depth
+#: compaction retires the wide row after its two layers, but without lane
+#: compaction the surviving narrow rows still sweep all ~1537 padded
+#: lanes for every remaining layer step.
+WIDTH_SKEW_WIDE_DIAMETER = 1536
+WIDTH_SKEW_NARROW_DIAMETER = 64
+WIDTH_SKEW_NARROW_TRIALS = 15
+WIDTH_SKEW_DEEP_LAYERS = 8
+
+#: The CSR acceptance cell: a hub-skewed sparse layered graph with 10^5
+#: simulated nodes.  One degree-256 hub pads every dense row to 256
+#: entries while the ring median stays at 4 -- the dense kernel's
+#: footprint is ~60x the edge list's.
+CSR_WIDTH = 25_000
+CSR_LAYERS = 4
+CSR_HUB_DEGREE = 256
+CSR_PULSES = 3
+#: Ceiling on csr_peak / dense_peak; in practice CSR is ~10x smaller.
+CSR_MEMORY_CEILING = 0.5
+
+
+def width_skew_trials():
+    """One wide shallow trial towering over a field of narrow deep ones."""
+    trials = BatchRunner.seed_sweep(
+        WIDTH_SKEW_WIDE_DIAMETER, [0], num_pulses=NUM_PULSES, num_layers=2
+    )
+    for i in range(WIDTH_SKEW_NARROW_TRIALS):
+        trials.extend(
+            BatchRunner.seed_sweep(
+                WIDTH_SKEW_NARROW_DIAMETER,
+                [i + 1],
+                num_pulses=NUM_PULSES,
+                num_layers=WIDTH_SKEW_DEEP_LAYERS,
+            )
+        )
+    return trials
+
+
+def test_width_skewed_lane_compaction_speedup():
+    """Lane-compacted stack >= 1.3x over the lane-padded stack.
+
+    The complement of the depth-skew bench: there the waste was inert
+    *rows*, here it is inert *columns*.  Once the wide trial's rows
+    retire, lane compaction gathers the surviving narrow rows down to
+    their own union width instead of sweeping the wide trial's padded
+    lanes, and the result must stay bit-identical.  Records the lane
+    modes under the ``"sparse"`` section of ``BENCH_batch.json``.
+    """
+    trials = width_skew_trials()
+    node_pulses = sum(
+        t.config.graph.num_nodes * NUM_PULSES for t in trials
+    ) / len(trials)
+
+    lane_runner = BatchRunner(num_pulses=NUM_PULSES)
+    padded_runner = BatchRunner(num_pulses=NUM_PULSES, compact_width=False)
+
+    # Warm the per-edge delay and rate caches; pin the stacking shape
+    # and the width-axis accounting while we are at it.
+    warm = lane_runner.run(trials)
+    assert warm.stack_groups == [list(range(len(trials)))], (
+        "width-skewed sweep must run as a single padded stack"
+    )
+    (stats,) = warm.compaction_stats
+    assert "width" in stats["axes"], stats
+    assert stats["lane_dropped_fraction"] > 0.5, (
+        "lane compaction should reclaim most of the width padding here"
+    )
+    for repeats in (3, 5):
+        lane_time, lane_batch = timed(
+            lambda: lane_runner.run(trials), repeats=repeats
+        )
+        padded_time, padded_batch = timed(
+            lambda: padded_runner.run(trials), repeats=repeats
+        )
+        if padded_time / lane_time >= 1.3:
+            break
+
+    # Acceptance: lane compaction changes the work, never the results.
+    np.testing.assert_array_equal(lane_batch.times, padded_batch.times)
+
+    speedup = padded_time / lane_time
+    _merge_sparse_section(
+        "width_skew",
+        {
+            "grid": {
+                "wide_diameter": WIDTH_SKEW_WIDE_DIAMETER,
+                "narrow_diameter": WIDTH_SKEW_NARROW_DIAMETER,
+                "deep_layers": WIDTH_SKEW_DEEP_LAYERS,
+                "num_pulses": NUM_PULSES,
+                "trials": len(trials),
+                "faults": 0,
+            },
+            "compaction": {
+                "lane_dropped_fraction": stats["lane_dropped_fraction"],
+                "padded_lane_steps": stats["padded_lane_steps"],
+                "active_lane_steps": stats["active_lane_steps"],
+            },
+            "modes": {
+                "lane_padded": _mode_record(
+                    len(trials), padded_time, node_pulses
+                ),
+                "lane_compacted": _mode_record(
+                    len(trials), lane_time, node_pulses
+                ),
+            },
+            "speedups": {"lane_vs_padded": speedup},
+        },
+    )
+
+    print()
+    print(
+        format_table(
+            ["mode", "trials", "seconds", "node-pulses/s"],
+            [
+                ("lane_padded", len(trials), padded_time,
+                 len(trials) * node_pulses / padded_time),
+                ("lane_compacted", len(trials), lane_time,
+                 len(trials) * node_pulses / lane_time),
+            ],
+            title=f"Width-skewed stack, S={len(trials)}, "
+            f"W {WIDTH_SKEW_WIDE_DIAMETER + 1} vs "
+            f"{WIDTH_SKEW_NARROW_DIAMETER + 1}, {NUM_PULSES} pulses "
+            f"(lane-compacted {speedup:.1f}x vs padded)",
+        )
+    )
+    assert speedup >= 1.3, (
+        f"lane-compacted stack only {speedup:.1f}x faster than the "
+        f"lane-padded stack ({lane_time:.4f}s vs {padded_time:.4f}s)"
+    )
+
+
+def _csr_cell_run(neighbor_backend, width=CSR_WIDTH):
+    """Build and sweep one hub-skewed sparse cell on ``neighbor_backend``.
+
+    Construction stays inside the traced region on purpose: the dense
+    kernel's cost is dominated by the ``(L, W, max_deg)`` delay tensors
+    it builds up front, which is exactly the footprint the CSR backend
+    exists to avoid.
+    """
+    graph = sparse_layered(
+        width, CSR_LAYERS, num_hubs=1, hub_degree=CSR_HUB_DEGREE
+    )
+    # UniformDelayModel bulk-fills its delay arrays; the static per-edge
+    # model would spend the traced region in per-edge bookkeeping and
+    # distort the peak comparison (and slow it ~25x under tracemalloc).
+    sim = FastSimulation(
+        graph,
+        PARAMS,
+        delay_model=UniformDelayModel(PARAMS.d, PARAMS.u),
+        neighbor_backend=neighbor_backend,
+    )
+    return sim.run(CSR_PULSES)
+
+
+def test_csr_backend_memory_reduction():
+    """CSR peak memory <= 0.5x dense on a hub-skewed 10^5-node graph.
+
+    A small companion cell first pins CSR against dense bitwise; the
+    traced cell then compares end-to-end peaks (graph + kernel + delay
+    tensors) with ``tracemalloc``.  Records both backends under the
+    ``"sparse"`` section of ``BENCH_batch.json``.
+    """
+    small_dense = _csr_cell_run("dense", width=512)
+    small_csr = _csr_cell_run("csr", width=512)
+    np.testing.assert_array_equal(small_csr.times, small_dense.times)
+    np.testing.assert_array_equal(
+        small_csr.corrections, small_dense.corrections
+    )
+
+    peaks, times = {}, {}
+    for backend in ("dense", "csr"):
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        start = time.perf_counter()
+        _csr_cell_run(backend)
+        times[backend] = time.perf_counter() - start
+        _, peaks[backend] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    node_pulses = CSR_WIDTH * CSR_LAYERS * CSR_PULSES
+    ratio = peaks["csr"] / peaks["dense"]
+    _merge_sparse_section(
+        "csr_memory",
+        {
+            "grid": {
+                "width": CSR_WIDTH,
+                "num_layers": CSR_LAYERS,
+                "hub_degree": CSR_HUB_DEGREE,
+                "num_pulses": CSR_PULSES,
+                "simulated_nodes": CSR_WIDTH * CSR_LAYERS,
+            },
+            "modes": {
+                backend: dict(
+                    _mode_record(1, times[backend], node_pulses),
+                    peak_bytes=peaks[backend],
+                )
+                for backend in ("dense", "csr")
+            },
+            "memory_ratio_csr_vs_dense": ratio,
+        },
+    )
+
+    print()
+    print(
+        format_table(
+            ["backend", "seconds", "peak MiB", "node-pulses/s"],
+            [
+                (backend, times[backend], peaks[backend] / 2**20,
+                 node_pulses / times[backend])
+                for backend in ("dense", "csr")
+            ],
+            title=f"CSR backend, W={CSR_WIDTH}, {CSR_LAYERS} layers, "
+            f"hub degree {CSR_HUB_DEGREE} "
+            f"(CSR peak {ratio:.2f}x of dense)",
+        )
+    )
+    assert ratio <= CSR_MEMORY_CEILING, (
+        f"CSR peak memory is {ratio:.2f}x the dense kernel's "
+        f"({peaks['csr']} vs {peaks['dense']} bytes); ceiling is "
+        f"{CSR_MEMORY_CEILING}x"
+    )
+
+
+def test_dense_backend_no_regression():
+    """``auto`` must pick dense on regular graphs and cost ~nothing.
+
+    The density heuristic guards the default path: on the standard
+    trial-stacked cell (replicated lines, padding ratio 1.0) ``auto``
+    resolves to the dense kernel, produces bit-identical times, and
+    stays within 1.25x of an explicit ``neighbor_backend="dense"`` run.
+    """
+    trials = BatchRunner.seed_sweep(
+        BATCH_DIAMETER, range(16), num_pulses=NUM_PULSES
+    )
+    auto_runner = BatchRunner(num_pulses=NUM_PULSES, neighbor_backend="auto")
+    dense_runner = BatchRunner(num_pulses=NUM_PULSES, neighbor_backend="dense")
+
+    warm = auto_runner.run(trials)
+    (stats,) = warm.compaction_stats
+    assert stats["neighbor_backend"] == "dense", (
+        f"auto picked {stats['neighbor_backend']!r} on a regular graph"
+    )
+    for repeats in (3, 5):
+        auto_time, auto_batch = timed(
+            lambda: auto_runner.run(trials), repeats=repeats
+        )
+        dense_time, dense_batch = timed(
+            lambda: dense_runner.run(trials), repeats=repeats
+        )
+        if auto_time / dense_time <= 1.25:
+            break
+    np.testing.assert_array_equal(auto_batch.times, dense_batch.times)
+    overhead = auto_time / dense_time
+    print(
+        f"\nauto-vs-dense overhead {overhead:.3f}x "
+        f"({auto_time:.4f}s vs {dense_time:.4f}s)"
+    )
+    assert overhead <= 1.25, (
+        f"the auto backend heuristic costs {overhead:.2f}x the explicit "
+        f"dense run ({auto_time:.4f}s vs {dense_time:.4f}s)"
     )
 
 

@@ -102,80 +102,62 @@ BRANCH_CODES = {
 
 RateProvider = Union[None, Dict[NodeId, float], Callable[[NodeId, int], float]]
 
+#: Valid values for the ``neighbor_backend`` knob.
+NEIGHBOR_BACKENDS = ("auto", "dense", "csr")
 
-def _layer_step_kernel(
-    prev: np.ndarray,
-    own_delay: np.ndarray,
-    nb_delay: np.ndarray,
+
+def _prefer_csr(base) -> bool:
+    """Density heuristic: should this base graph default to the CSR kernel?
+
+    The dense padded tensors cost ``O(W * max_deg)`` per layer step while
+    CSR costs ``O(nnz)`` (``nnz = 2m``).  CSR wins when the padding waste
+    is at least 2x *and* the graph is big enough for the segment-reduce
+    overhead to amortize; regular small graphs (cycles, completes, tori --
+    padding ratio 1.0) stay dense.
+    """
+    width = base.num_nodes
+    if width == 0:
+        return False
+    padded = width * max(base.max_degree(), 1)
+    nnz = 2 * len(base.edges)
+    return padded >= 4096 and 2 * nnz <= padded
+
+
+def _resolve_backend(base, requested: str) -> str:
+    """Resolve a ``neighbor_backend`` request against the density heuristic."""
+    if requested not in NEIGHBOR_BACKENDS:
+        raise ValueError(
+            f"neighbor_backend must be one of {NEIGHBOR_BACKENDS}, "
+            f"got {requested!r}"
+        )
+    if requested == "auto":
+        return "csr" if _prefer_csr(base) else "dense"
+    return requested
+
+
+def _registers_step(
+    h_own: np.ndarray,
+    h_min: np.ndarray,
+    h_max: np.ndarray,
     rate: np.ndarray,
-    nb_idx: np.ndarray,
-    nb_valid: np.ndarray,
     static_eligible: np.ndarray,
     params: Parameters,
     policy: CorrectionPolicy,
     simplified: bool,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """One pulse of one layer for every cell of a ``(..., W)`` plane.
+    """Eligibility, correction, and pulse time from the filled registers.
 
-    The shape-generic arithmetic behind both the per-trial ``(W,)`` sweep
-    (:meth:`FastSimulation._run_layer_vectorized`) and the trial-stacked
-    ``(S, W)`` kernel (:class:`repro.core.fast_batch.TrialStack`): every
-    operation broadcasts over the leading axes, so both callers evaluate
-    *the same* NumPy expressions elementwise and eligible cells produce
-    bit-identical floats.  Formulae mirror the scalar replay
-    operation-for-operation.
-
-    ``prev`` holds the previous layer's send times (NaN = missing);
-    ``static_eligible`` is the precomputed fault-structure part of the
-    eligibility mask for this layer.  Returns ``(eligible, correction,
-    branches, pulse_time, effective_correction)``; only entries where
-    ``eligible`` is True are meaningful -- the rest are replayed by the
-    caller through the exact scalar fallback.
-
-    Two generalizations serve the heterogeneous trial stack of
-    :mod:`repro.core.fast_batch`:
-
-    * ``nb_idx``/``nb_valid`` may carry a leading trial axis (shape
-      ``(S, W, max_deg)``): each trial then gathers through its *own*
-      padded index rows (``prev[s, nb_idx[s, v, j]]``) instead of one
-      shared index table.  Padded lanes are masked by ``nb_valid`` and
-      padded cells stay NaN end-to-end, so they can never turn eligible.
-    * the numeric fields of ``params`` (``kappa``, ``vartheta``,
-      ``Lambda``, ``d``) and ``policy`` (``jump_slack``) may be
-      per-trial ``(S, 1)`` columns instead of scalars; every use is
-      elementwise, so lanes compute bit-identical floats to a scalar
-      call with their own value.  The *structural* policy switches
-      (``discretize``, ``stick_to_median``) select Python-level branches
-      and must be plain bools (uniform across the stack).
-
-    Eligibility: all predecessors correct (static part) and received (a
-    missing reception turns the summed registers NaN or infinite), and --
-    under the full Algorithm 3 semantics -- the loop provably exits at the
-    last arrival: no own-copy timeout, no last-neighbor timeout;
-    non-strict bounds are exit-free ties.  The two comparisons mirror the
-    scalar ``_exit_requirement`` thresholds operation-for-operation.
-    Algorithm 1 (``simplified=True``) has no timeouts -- the node waits
-    for every arrival unconditionally -- so the two comparisons drop out
-    and every received cell is eligible.
+    The back half of the layer step, shared verbatim by the dense padded
+    kernel (:func:`_layer_step_kernel`) and the CSR segment-reduce kernel
+    (:func:`_layer_step_kernel_csr`): once ``H_own``/``H_min``/``H_max``
+    are gathered, the two representations are indistinguishable -- every
+    operation here is elementwise over the ``(..., W)`` plane, so equal
+    registers produce bit-identical outputs regardless of how the
+    neighbor reduction was evaluated.
     """
     kappa = params.kappa
     vartheta = params.vartheta
     kappa_stacked = np.ndim(kappa) > 0
-
-    own_arrival = prev + own_delay
-    if nb_idx.ndim == 3:
-        # Per-trial padded gather: nb_idx is (S, W, max_deg) and row s
-        # indexes only into trial s's plane of prev (an (S, W) block).
-        gathered = np.take_along_axis(
-            prev, nb_idx.reshape(nb_idx.shape[0], -1), axis=-1
-        )
-        nb_arrival = gathered.reshape(nb_idx.shape) + nb_delay
-    else:
-        nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
-    h_own = rate * own_arrival
-    h_nb = rate[..., None] * nb_arrival
-    h_min = np.where(nb_valid, h_nb, np.inf).min(axis=-1)
-    h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=-1)
 
     with np.errstate(invalid="ignore", divide="ignore"):
         eligible = static_eligible & np.isfinite(h_own + h_min + h_max)
@@ -243,6 +225,140 @@ def _layer_step_kernel(
         effective = h_own + params.Lambda - params.d - rate * pulse_time
 
     return eligible, correction, branches, pulse_time, effective
+
+
+def _layer_step_kernel(
+    prev: np.ndarray,
+    own_delay: np.ndarray,
+    nb_delay: np.ndarray,
+    rate: np.ndarray,
+    nb_idx: np.ndarray,
+    nb_valid: np.ndarray,
+    static_eligible: np.ndarray,
+    params: Parameters,
+    policy: CorrectionPolicy,
+    simplified: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One pulse of one layer for every cell of a ``(..., W)`` plane.
+
+    The shape-generic arithmetic behind both the per-trial ``(W,)`` sweep
+    (:meth:`FastSimulation._run_layer_vectorized`) and the trial-stacked
+    ``(S, W)`` kernel (:class:`repro.core.fast_batch.TrialStack`): every
+    operation broadcasts over the leading axes, so both callers evaluate
+    *the same* NumPy expressions elementwise and eligible cells produce
+    bit-identical floats.  Formulae mirror the scalar replay
+    operation-for-operation.
+
+    ``prev`` holds the previous layer's send times (NaN = missing);
+    ``static_eligible`` is the precomputed fault-structure part of the
+    eligibility mask for this layer.  Returns ``(eligible, correction,
+    branches, pulse_time, effective_correction)``; only entries where
+    ``eligible`` is True are meaningful -- the rest are replayed by the
+    caller through the exact scalar fallback.
+
+    Two generalizations serve the heterogeneous trial stack of
+    :mod:`repro.core.fast_batch`:
+
+    * ``nb_idx``/``nb_valid`` may carry a leading trial axis (shape
+      ``(S, W, max_deg)``): each trial then gathers through its *own*
+      padded index rows (``prev[s, nb_idx[s, v, j]]``) instead of one
+      shared index table.  Padded lanes are masked by ``nb_valid`` and
+      padded cells stay NaN end-to-end, so they can never turn eligible.
+    * the numeric fields of ``params`` (``kappa``, ``vartheta``,
+      ``Lambda``, ``d``) and ``policy`` (``jump_slack``) may be
+      per-trial ``(S, 1)`` columns instead of scalars; every use is
+      elementwise, so lanes compute bit-identical floats to a scalar
+      call with their own value.  The *structural* policy switches
+      (``discretize``, ``stick_to_median``) select Python-level branches
+      and must be plain bools (uniform across the stack).
+
+    Eligibility: all predecessors correct (static part) and received (a
+    missing reception turns the summed registers NaN or infinite), and --
+    under the full Algorithm 3 semantics -- the loop provably exits at the
+    last arrival: no own-copy timeout, no last-neighbor timeout;
+    non-strict bounds are exit-free ties.  The two comparisons mirror the
+    scalar ``_exit_requirement`` thresholds operation-for-operation.
+    Algorithm 1 (``simplified=True``) has no timeouts -- the node waits
+    for every arrival unconditionally -- so the two comparisons drop out
+    and every received cell is eligible.
+    """
+    own_arrival = prev + own_delay
+    if nb_idx.ndim == 3:
+        # Per-trial padded gather: nb_idx is (S, W, max_deg) and row s
+        # indexes only into trial s's plane of prev (an (S, W) block).
+        gathered = np.take_along_axis(
+            prev, nb_idx.reshape(nb_idx.shape[0], -1), axis=-1
+        )
+        nb_arrival = gathered.reshape(nb_idx.shape) + nb_delay
+    else:
+        nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
+    h_own = rate * own_arrival
+    h_nb = rate[..., None] * nb_arrival
+    h_min = np.where(nb_valid, h_nb, np.inf).min(axis=-1)
+    h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=-1)
+
+    return _registers_step(
+        h_own, h_min, h_max, rate, static_eligible, params, policy, simplified
+    )
+
+
+def _layer_step_kernel_csr(
+    prev: np.ndarray,
+    own_delay: np.ndarray,
+    nb_delay: np.ndarray,
+    rate: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    owner: np.ndarray,
+    has_neighbors: np.ndarray,
+    static_eligible: np.ndarray,
+    params: Parameters,
+    policy: CorrectionPolicy,
+    simplified: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """CSR variant of :func:`_layer_step_kernel`: reduce over edge segments.
+
+    Instead of gathering through padded ``(..., W, max_deg)`` tensors,
+    the neighbor reduction walks the base graph's
+    :meth:`~repro.topology.base_graph.BaseGraph.neighbor_csr` arrays:
+    per-entry arrivals are gathered along the flat ``(..., nnz)`` edge
+    axis (``owner[j]`` maps entry ``j`` back to its destination vertex
+    for the rate product) and ``H_min``/``H_max`` come from
+    ``np.minimum.reduceat`` / ``np.maximum.reduceat`` at the segment
+    starts.  Per-step memory is ``O(nnz)`` instead of ``O(W * max_deg)``,
+    so a single hub vertex no longer pads every row.
+
+    Bit-exactness: min/max over the *same value set* (each vertex's
+    segment holds exactly its valid padded lane values, in the same
+    sorted-neighbor order) are exact regardless of evaluation order, and
+    NaN (a missing predecessor) propagates through ``reduceat`` exactly
+    as through the masked dense reduction, so eligible cells match the
+    dense kernel bitwise.  Empty segments (degree-0 vertices; only in
+    campaign epoch graphs) get the dense path's identity values --
+    ``+inf`` / ``-inf`` -- explicitly, since ``reduceat`` has no empty
+    reduction: their start index is clamped into range and the garbage
+    overwritten.  Such cells are statically ineligible anyway.
+    """
+    own_arrival = prev + own_delay
+    h_own = rate * own_arrival
+    nnz = indices.shape[0]
+    lead = prev.shape[:-1]
+    if nnz == 0:
+        h_min = np.full(lead + (indptr.shape[0] - 1,), np.inf)
+        h_max = np.full(lead + (indptr.shape[0] - 1,), -np.inf)
+    else:
+        nb_arrival = prev[..., indices] + nb_delay
+        h_nb = rate[..., owner] * nb_arrival
+        starts = np.minimum(indptr[:-1], nnz - 1)
+        h_min = np.minimum.reduceat(h_nb, starts, axis=-1)
+        h_max = np.maximum.reduceat(h_nb, starts, axis=-1)
+        if not has_neighbors.all():
+            h_min[..., ~has_neighbors] = np.inf
+            h_max[..., ~has_neighbors] = -np.inf
+
+    return _registers_step(
+        h_own, h_min, h_max, rate, static_eligible, params, policy, simplified
+    )
 
 
 @dataclass
@@ -461,6 +577,15 @@ class FastSimulation:
         schedule is gathered once from the seed topology; membership
         changes silence a vertex's column via per-epoch crash masks rather
         than rewriting history.
+    neighbor_backend:
+        Neighbor representation for the vectorized sweep: ``"dense"``
+        (padded ``(W, max_deg)`` gather tensors), ``"csr"``
+        (segment-reduce over the base graph's
+        :meth:`~repro.topology.base_graph.BaseGraph.neighbor_csr`
+        arrays, ``O(nnz)`` per step), or ``"auto"`` (default: CSR for
+        large graphs whose padding wastes >= 2x, dense otherwise).
+        Both backends are bit-identical on eligible cells; campaign
+        runs re-resolve ``"auto"`` per epoch topology.
     """
 
     def __init__(
@@ -475,9 +600,15 @@ class FastSimulation:
         algorithm: str = "full",
         vectorize: bool = True,
         campaign: Optional["ChaosCampaign"] = None,
+        neighbor_backend: str = "auto",
     ) -> None:
         if algorithm not in ("full", "simplified"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
+        if neighbor_backend not in NEIGHBOR_BACKENDS:
+            raise ValueError(
+                f"neighbor_backend must be one of {NEIGHBOR_BACKENDS}, "
+                f"got {neighbor_backend!r}"
+            )
         if campaign is not None:
             if campaign.base.num_nodes != graph.base.num_nodes or (
                 campaign.base.adjacency != graph.base.adjacency
@@ -500,6 +631,7 @@ class FastSimulation:
         self.algorithm = algorithm
         self.vectorize = vectorize
         self.campaign = campaign
+        self.neighbor_backend = neighbor_backend
         self._rates = clock_rates
         # Per-layer rate arrays for the vectorized sweep, rebuilt every run
         # so in-place edits of a rates dict between runs are honored.  The
@@ -795,20 +927,38 @@ class FastSimulation:
         own_delay, nb_delay = sweep.delay_arrays(layer, k)
         rate = sweep.rate_array(layer, k)
 
-        eligible, correction, branches, pulse_time, effective = (
-            _layer_step_kernel(
-                prev,
-                own_delay,
-                nb_delay,
-                rate,
-                sweep.nb_idx,
-                sweep.nb_valid,
-                sweep.static_eligible[layer - 1],
-                self.params,
-                self.policy,
-                self.algorithm == "simplified",
+        if sweep.backend == "csr":
+            eligible, correction, branches, pulse_time, effective = (
+                _layer_step_kernel_csr(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    sweep.indptr,
+                    sweep.indices,
+                    sweep.owner,
+                    sweep.has_neighbors,
+                    sweep.static_eligible[layer - 1],
+                    self.params,
+                    self.policy,
+                    self.algorithm == "simplified",
+                )
             )
-        )
+        else:
+            eligible, correction, branches, pulse_time, effective = (
+                _layer_step_kernel(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    sweep.nb_idx,
+                    sweep.nb_valid,
+                    sweep.static_eligible[layer - 1],
+                    self.params,
+                    self.policy,
+                    self.algorithm == "simplified",
+                )
+            )
 
         layer_faulty = sweep.layer_has_fault[layer]
         if not layer_faulty and eligible.all():
@@ -1079,35 +1229,76 @@ class _VectorSweep:
     edge identity see exactly the scalar path's edges.
     """
 
-    def __init__(self, sim: FastSimulation) -> None:
+    def __init__(
+        self, sim: FastSimulation, backend: Optional[str] = None
+    ) -> None:
         self.sim = sim
         graph = sim.graph
         base = graph.base
         width = base.num_nodes
         self.width = width
+        self.backend = _resolve_backend(
+            base, sim.neighbor_backend if backend is None else backend
+        )
         self.nb_lists = [tuple(base.neighbors(v)) for v in base.nodes()]
         # Identifies the edge set the delay gathers cover: two graphs with
         # equal width and adjacency query exactly the same edge tuples, so
         # they may share a delay model's array cache.
         self.edge_signature = (width, tuple(self.nb_lists))
         self.max_deg = base.max_degree() if width else 0
-        # Padded gather indices come from the graph's own cache (adjacency
-        # is immutable), shared across trials, runs, and stacks.
-        self.nb_idx, self.nb_valid = base.neighbor_index_arrays()
-        self.has_neighbors = self.nb_valid.any(axis=1)
+        if self.backend == "csr":
+            # CSR mode never materializes the O(W * max_deg) padded
+            # tensors -- that allocation is exactly what it exists to
+            # avoid on hub-skewed graphs.
+            indptr, indices, _ = base.neighbor_csr()
+            self.indptr = indptr
+            self.indices = indices
+            degrees = np.diff(indptr)
+            self.owner = np.repeat(
+                np.arange(width, dtype=np.int64), degrees
+            )
+            self.nb_idx = None
+            self.nb_valid = None
+            self.has_neighbors = degrees > 0
+        else:
+            self.indptr = None
+            self.indices = None
+            self.owner = None
+            # Padded gather indices come from the graph's own cache
+            # (adjacency is immutable), shared across trials, runs, and
+            # stacks.
+            self.nb_idx, self.nb_valid = base.neighbor_index_arrays()
+            self.has_neighbors = self.nb_valid.any(axis=1)
         faulty = sim.fault_plan.faulty_mask(graph)
         self.faulty = faulty
         # has_faulty_pred[l - 1] flags nodes of layer ``l`` with a faulty
         # own-copy or neighbor-copy predecessor on layer ``l - 1``.
         prev = faulty[:-1]
-        nb_faulty = (prev[:, self.nb_idx] & self.nb_valid[None, :, :]).any(axis=2)
+        if not faulty.any():
+            nb_faulty = np.zeros_like(prev)
+        elif self.backend == "csr":
+            nnz = self.indices.shape[0]
+            if nnz == 0:
+                nb_faulty = np.zeros_like(prev)
+            else:
+                vals = prev[:, self.indices].astype(np.uint8)
+                starts = np.minimum(indptr[:-1], nnz - 1)
+                seg = np.maximum.reduceat(vals, starts, axis=-1)
+                seg[:, ~self.has_neighbors] = 0
+                nb_faulty = seg.astype(bool)
+        else:
+            nb_faulty = (
+                prev[:, self.nb_idx] & self.nb_valid[None, :, :]
+            ).any(axis=2)
         self.has_faulty_pred = prev | nb_faulty
         self.static_eligible = self.has_neighbors[None, :] & ~self.has_faulty_pred
         self.layer_has_fault = [bool(row.any()) for row in faulty]
 
     def delay_arrays(self, layer: int, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Own-copy ``(W,)`` and neighbor-copy ``(W, max_deg)`` delays.
+        """Own-copy ``(W,)`` and neighbor-copy delays for one layer.
 
+        Neighbor delays are ``(W, max_deg)`` padded in dense mode and a
+        flat ``(nnz,)`` vector in CSR segment order in ``csr`` mode.
         Cached on the delay model keyed by the edge structure and layer
         (plus pulse unless the model is pulse-invariant), so rebuilt
         simulations over the same model skip the per-edge Python gather;
@@ -1115,7 +1306,13 @@ class _VectorSweep:
         are gathered uncached.
         """
         model = self.sim.delay_model
+        csr = self.backend == "csr"
         key = layer if getattr(model, "pulse_invariant", False) else (layer, k)
+        if csr:
+            # CSR delays are a flat (nnz,) vector in segment order; keep
+            # them on a distinct cache key so dense and CSR consumers of
+            # the same model never hand each other the wrong shape.
+            key = ("csr", key)
         model_cache = getattr(model, "_edge_array_cache", None)
         cache = (
             None
@@ -1125,11 +1322,31 @@ class _VectorSweep:
         cached = None if cache is None else cache.get(key)
         if cached is None:
             own = np.empty(self.width)
-            nb = np.zeros((self.width, max(self.max_deg, 1)))
-            for v, nbs in enumerate(self.nb_lists):
-                own[v] = model.delay(((v, layer - 1), (v, layer)), k)
-                for j, w in enumerate(nbs):
-                    nb[v, j] = model.delay(((w, layer - 1), (v, layer)), k)
+            if csr:
+                nnz = self.indices.shape[0]
+                if type(model) is UniformDelayModel:
+                    # A uniform model returns the same constant for every
+                    # edge; the bulk fill is bitwise-identical to the
+                    # per-edge queries and makes million-edge layers
+                    # gather in O(1) Python calls.
+                    own.fill(model.value)
+                    nb = np.full(nnz, model.value)
+                else:
+                    nb = np.empty(nnz)
+                    pos = 0
+                    for v, nbs in enumerate(self.nb_lists):
+                        own[v] = model.delay(((v, layer - 1), (v, layer)), k)
+                        for w in nbs:
+                            nb[pos] = model.delay(
+                                ((w, layer - 1), (v, layer)), k
+                            )
+                            pos += 1
+            else:
+                nb = np.zeros((self.width, max(self.max_deg, 1)))
+                for v, nbs in enumerate(self.nb_lists):
+                    own[v] = model.delay(((v, layer - 1), (v, layer)), k)
+                    for j, w in enumerate(nbs):
+                        nb[v, j] = model.delay(((w, layer - 1), (v, layer)), k)
             cached = (own, nb)
             if cache is not None:
                 cache[key] = cached

@@ -60,6 +60,38 @@ steps its trials actually run (``sum_s L_s``) instead of ``S * L_max``.
 :attr:`TrialStack.compaction_stats` records the padded vs executed
 row-step counts after each :meth:`TrialStack.run`.
 
+Width-aware compaction (dropping unused lanes)
+----------------------------------------------
+The width axis has the mirror problem: one wide trial pads every other
+trial's plane to ``W_max``, and the padding keeps riding the kernel even
+after the wide trial drops out of the layer loop.  With ``compact_width``
+(the default) each step additionally gathers only the ``active_lanes``
+-- the union, over the *active rows*, of lanes some trial still needs.
+A lane is needed by trial ``s`` when it is inside the trial's real width
+and, under a chaos campaign, the vertex is present in at least one epoch
+of the remaining horizon: a vertex absent from the current epoch through
+the end of the run can never pulse, receive, or send again, so its lane
+is freed at the epoch boundary (epoch re-gathers re-derive the free-lane
+set).  Neighbor tables are re-indexed into the compact column space
+(``lane_pos``), the kernel runs on the ``(S_active, C)`` plane, and
+results scatter back through ``rows x lanes`` -- dropped lanes keep
+their initial padding, which is exactly what the uncompacted path writes
+there (padding is never eligible, and a horizon-absent vertex's scalar
+replay records NaN/"none", the padding values, and no fault sends).
+Output is bit-identical with the knob on or off.
+
+CSR neighbor backend (sparse/skewed graphs)
+-------------------------------------------
+Uniform-adjacency stacks may run the neighbor reduction over the base
+graph's CSR arrays (:meth:`~repro.topology.base_graph.BaseGraph.neighbor_csr`)
+instead of the padded ``(W, max_deg)`` tensors: per-step cost becomes
+``O(S * nnz)`` rather than ``O(S * W * max_deg)``, which is what lets a
+hub-skewed or million-node sparse layer through the fast path -- see
+:func:`repro.core.fast._layer_step_kernel_csr`.  The backend is chosen
+per stack by the density heuristic (``neighbor_backend="auto"``) or
+forced (``"dense"``/``"csr"``); mixed-adjacency stacks fall back to the
+dense padded path (recorded in ``compaction_stats["backend_fallback"]``).
+
 Stacking requirements (checked by :func:`stack_compatibility`)
 --------------------------------------------------------------
 All stacked simulations must share
@@ -101,10 +133,13 @@ import numpy as np
 
 from repro.core.fast import (
     BRANCH_CODES,
+    NEIGHBOR_BACKENDS,
     FastResult,
     FastSimulation,
     _VectorSweep,
     _layer_step_kernel,
+    _layer_step_kernel_csr,
+    _resolve_backend,
 )
 from repro.core.layer0 import stacked_pulse_row, stacked_pulse_times
 
@@ -239,6 +274,19 @@ class TrialStack:
         docstring.  The default.  ``False`` keeps every row riding the
         full ``L_max`` loop (the pre-compaction behavior); output is
         bit-identical either way.
+    compact_width:
+        Additionally drop lanes no active trial needs (width padding, and
+        vertices absent for the whole remaining campaign horizon) and run
+        the kernel on the ``(S_active, C)`` column-compacted plane; see
+        the module docstring.  The default.  Only engages on mixed-width
+        (padded) stacks; output is bit-identical either way.
+    neighbor_backend:
+        ``"auto"`` (default), ``"dense"``, or ``"csr"``: the neighbor
+        representation of the stacked kernel.  ``"auto"`` picks CSR for
+        uniform stacks over large sparse/skewed base graphs (see
+        :func:`repro.core.fast._prefer_csr`) and the dense padded
+        tensors otherwise; mixed-adjacency stacks always run dense
+        (``compaction_stats["backend_fallback"]`` says why).
 
     Notes
     -----
@@ -274,15 +322,26 @@ class TrialStack:
     """
 
     def __init__(
-        self, sims: Sequence[FastSimulation], compact_depth: bool = True
+        self,
+        sims: Sequence[FastSimulation],
+        compact_depth: bool = True,
+        compact_width: bool = True,
+        neighbor_backend: str = "auto",
     ) -> None:
         reason = stack_compatibility(sims)
         if reason is not None:
             raise ValueError(f"trials cannot be stacked: {reason}")
+        if neighbor_backend not in NEIGHBOR_BACKENDS:
+            raise ValueError(
+                f"neighbor_backend must be one of {NEIGHBOR_BACKENDS}, "
+                f"got {neighbor_backend!r}"
+            )
         self.sims: List[FastSimulation] = list(sims)
         self.compact_depth = bool(compact_depth)
-        #: Row-step accounting of the last :meth:`run`; see the module
-        #: docstring.  ``None`` until the first run completes.
+        self.compact_width = bool(compact_width)
+        self.neighbor_backend = neighbor_backend
+        #: Row/lane-step accounting of the last :meth:`run`; see the
+        #: module docstring.  ``None`` until the first run completes.
         self.compaction_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
@@ -295,6 +354,7 @@ class TrialStack:
         layer: int,
         k: int,
         rows: Optional[np.ndarray] = None,
+        lanes: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Own ``(S, W)`` and neighbor ``(S, W, max_deg)`` delay arrays.
 
@@ -304,13 +364,26 @@ class TrialStack:
         compaction, ``rows`` selects the active trials and only their
         arrays are gathered (the cache key then carries the row set --
         depth-driven sets are nested, so at most one entry per distinct
-        depth survives).  Trials without this layer (padded depth)
-        contribute inert NaN/zero rows and are never queried, so delay
-        models only ever see edges that exist in their own graph.
+        depth survives), and ``lanes`` slices the active columns out of
+        the row-compacted arrays (cached under the extended key).  On a
+        CSR stack the neighbor array is the flat ``(S, nnz)`` segment
+        vector instead (lane compaction never coexists with CSR: CSR
+        requires a uniform stack, lanes a padded one).  Trials without
+        this layer (padded depth) contribute inert NaN/zero rows and are
+        never queried, so delay models only ever see edges that exist in
+        their own graph.
         """
         key: object = layer if self._all_pulse_invariant else (layer, k)
         if rows is not None:
             key = (key, rows.tobytes())
+        if lanes is not None:
+            full_own, full_nb = self._delay_stack(sweeps, cache, layer, k, rows)
+            key = (key, "lanes", lanes.tobytes())
+            cached = cache.get(key)
+            if cached is None:
+                cached = (full_own[:, lanes], full_nb[:, lanes, :])
+                cache[key] = cached
+            return cached
         cached = cache.get(key)
         if cached is None:
             if self._uniform:
@@ -343,12 +416,27 @@ class TrialStack:
         layer: int,
         k: int,
         rows: Optional[np.ndarray] = None,
+        lanes: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Clock rates of the (active) trials' nodes during pulse ``k``.
 
         Inert cells get rate 1 (never read through an eligible lane, but
         a finite value keeps the whole-plane arithmetic NaN-clean).
+        ``lanes`` slices the active columns out of the row-compacted
+        array, mirroring :meth:`_delay_stack`.
         """
+        if lanes is not None:
+            full = self._rate_stack(sweeps, cache, layer, k, rows)
+            key = (layer, None if rows is None else rows.tobytes(),
+                   "lanes", lanes.tobytes())
+            if self._rates_static:
+                cached = cache.get(key)
+                if cached is not None:
+                    return cached
+            sliced = full[:, lanes]
+            if self._rates_static:
+                cache[key] = sliced
+            return sliced
         key: object = (
             layer if rows is None else (layer, rows.tobytes())
         )
@@ -488,7 +576,23 @@ class TrialStack:
             result.effective_corrections = effective[s, :, : depths[s], : widths[s]]
             result.branches = branches[s, :, : depths[s], : widths[s]]
 
-        sweeps = [_VectorSweep(sim) for sim in sims]
+        # Resolve the neighbor backend for the whole stack.  CSR needs one
+        # shared adjacency (the segment structure is per-graph), so only
+        # uniform stacks qualify; an explicit "csr" request on a padded
+        # stack falls back to dense and says so in compaction_stats.
+        backend_fallback: Optional[str] = None
+        if self._uniform:
+            backend = _resolve_backend(
+                sims[0].graph.base, self.neighbor_backend
+            )
+        else:
+            backend = "dense"
+            if self.neighbor_backend == "csr":
+                backend_fallback = (
+                    "csr requires a uniform-adjacency static stack; "
+                    "ran dense padded instead"
+                )
+        sweeps = [_VectorSweep(sim, backend=backend) for sim in sims]
         self._all_pulse_invariant = all(
             getattr(sim.delay_model, "pulse_invariant", False) for sim in sims
         )
@@ -501,11 +605,23 @@ class TrialStack:
         if self._uniform:
             nb_idx = sweeps[0].nb_idx
             nb_valid = sweeps[0].nb_valid
-            self._max_deg = nb_idx.shape[1]
+            if backend == "csr":
+                sweep0 = sweeps[0]
+                self._csr = (
+                    sweep0.indptr,
+                    sweep0.indices,
+                    sweep0.owner,
+                    sweep0.has_neighbors,
+                )
+                self._max_deg = sweep0.max_deg
+            else:
+                self._csr = None
+                self._max_deg = nb_idx.shape[1]
             static_eligible = np.stack([sweep.static_eligible for sweep in sweeps])
             faulty = np.stack([sweep.faulty for sweep in sweeps])
             active = None
         else:
+            self._csr = None
             self._max_deg = max(sweep.nb_idx.shape[1] for sweep in sweeps)
             nb_idx = np.zeros((num_trials, width, self._max_deg), dtype=np.int64)
             nb_valid = np.zeros((num_trials, width, self._max_deg), dtype=bool)
@@ -555,6 +671,16 @@ class TrialStack:
             width_mask, BRANCH_CODES["layer0"], BRANCH_CODES["none"]
         ).astype(np.int8)
 
+        # Width-aware compaction bookkeeping: lane_needed[s, v] is True
+        # while trial s can still use lane v.  Statically that is the
+        # trial's width mask; campaign epoch entries clear lanes whose
+        # vertex is absent for the whole remaining horizon (see
+        # _enter_stack_epochs).  Uniform stacks have no width padding, so
+        # the lane pass is skipped there outright.
+        self._widths = widths
+        self._lane_needed = width_mask.copy()
+        compact_w = self.compact_width and active is not None
+
         # Depth-aware compaction bookkeeping (see the module docstring):
         # at layer ``l`` only trials with ``depth > l`` that have not gone
         # dead this iteration keep a row in the working plane.  ``dead``
@@ -568,6 +694,11 @@ class TrialStack:
         self._row_cache: Dict[bytes, Dict[str, object]] = {}
         padded_row_steps = num_pulses * max(num_layers - 1, 0) * num_trials
         active_row_steps = 0
+        # Lane-step (cell) accounting: padded cost is every row step times
+        # the full padded width; the active count sums rows x lanes over
+        # the steps actually executed.
+        padded_lane_steps = padded_row_steps * width
+        active_lane_steps = 0
 
         # Campaign bookkeeping: per-trial epoch cursor and per-trial sweep
         # cache keyed by epoch state (a topology that returns to an earlier
@@ -619,6 +750,7 @@ class TrialStack:
                     dead[:] = False
                 for layer in range(1, num_layers):
                     rows: Optional[np.ndarray] = None
+                    lanes: Optional[np.ndarray] = None
                     skipped = False
                     if compact:
                         mask = depths_arr > layer
@@ -641,9 +773,31 @@ class TrialStack:
                                 skipped = True
                             else:
                                 rows = np.flatnonzero(mask)
+                    if not skipped and compact_w:
+                        # Union of lanes still needed by the active rows:
+                        # drop the columns nobody will read or write.
+                        need = (
+                            self._lane_needed
+                            if rows is None
+                            else self._lane_needed[rows]
+                        )
+                        used = need.any(axis=0)
+                        if not used.all():
+                            if not used.any():
+                                skipped = True
+                            else:
+                                lanes = np.flatnonzero(used)
+                                if rows is None:
+                                    rows = np.arange(
+                                        num_trials, dtype=np.int64
+                                    )
                     if not skipped:
-                        active_row_steps += (
+                        row_count = (
                             num_trials if rows is None else int(rows.size)
+                        )
+                        active_row_steps += row_count
+                        active_lane_steps += row_count * (
+                            width if lanes is None else int(lanes.size)
                         )
                         self._run_layer_stacked(
                             results,
@@ -658,12 +812,17 @@ class TrialStack:
                             faulty,
                             active,
                             bool(layer_has_fault[layer]),
-                            self._delay_stack(sweeps, delay_cache, layer, k, rows),
-                            self._rate_stack(sweeps, rate_cache, layer, k, rows),
+                            self._delay_stack(
+                                sweeps, delay_cache, layer, k, rows, lanes
+                            ),
+                            self._rate_stack(
+                                sweeps, rate_cache, layer, k, rows, lanes
+                            ),
                             k,
                             layer,
                             rows,
                             rk,
+                            lanes,
                         )
                     if stream is not None:
                         # Skipped steps still update with an empty rows hint so
@@ -698,6 +857,25 @@ class TrialStack:
                 if padded_row_steps
                 else 0.0
             ),
+            # Which axes this run compacted along -- process-shard merges
+            # of BatchResult.compaction_stats stay unambiguous about what
+            # each dict's numbers mean.
+            "axes": [
+                axis
+                for axis, on in (("depth", compact), ("width", compact_w))
+                if on
+            ],
+            "min_width": int(min(widths)),
+            "max_width": int(max(widths)),
+            "padded_lane_steps": padded_lane_steps,
+            "active_lane_steps": active_lane_steps,
+            "lane_dropped_fraction": (
+                1.0 - active_lane_steps / padded_lane_steps
+                if padded_lane_steps
+                else 0.0
+            ),
+            "neighbor_backend": backend,
+            "backend_fallback": backend_fallback,
         }
 
         if stream is not None:
@@ -773,9 +951,23 @@ class TrialStack:
             sim._enter_epoch(epoch)
             sweep = sweep_caches[s].get(epoch.state_key)
             if sweep is None:
-                sweep = _VectorSweep(sim)
+                # Campaign stacks are padded (never uniform), so epoch
+                # sweeps must carry the dense gather tables the stacked
+                # 3-D tensors are rebuilt from.
+                sweep = _VectorSweep(sim, backend="dense")
                 sweep_caches[s][epoch.state_key] = sweep
             sweeps[s] = sweep
+            # A vertex absent from this epoch through the end of the
+            # horizon can never act again: free its lane.  Absence only
+            # accumulates toward the horizon tail, so freed lanes stay
+            # freed at later boundaries.
+            lane_row = np.arange(self._lane_needed.shape[1]) < self._widths[s]
+            gone = frozenset.intersection(
+                *(ep.absent for ep in schedule.epochs[index:])
+            )
+            if gone:
+                lane_row[np.fromiter(gone, dtype=np.int64)] = False
+            self._lane_needed[s] = lane_row
             w, cols = sweep.nb_idx.shape
             depth = self._depths[s]
             nb_idx[s] = 0
@@ -830,29 +1022,63 @@ class TrialStack:
     def _row_structs(
         self,
         rows: np.ndarray,
-        nb_idx: np.ndarray,
-        nb_valid: np.ndarray,
+        nb_idx: Optional[np.ndarray],
+        nb_valid: Optional[np.ndarray],
         static_eligible: np.ndarray,
         faulty: np.ndarray,
         active: Optional[np.ndarray],
+        lanes: Optional[np.ndarray] = None,
     ) -> Dict[str, object]:
-        """Compacted per-row-set kernel inputs, cached by the row set.
+        """Compacted per-row/lane-set kernel inputs, cached by both sets.
 
         Depth-driven active sets are nested (they only shrink as the
         layer index grows), so at most one entry per distinct depth is
-        ever built; dead-trial sets add at most a handful more.  Shared
+        ever built; dead-trial sets add at most a handful more, and lane
+        sets one entry per distinct (row set, lane set) pair.  Shared
         2-D gather tables (uniform stacks) are row-independent and pass
-        through untouched.
+        through untouched; CSR stacks carry no padded tables at all
+        (``nb_idx``/``nb_valid`` are None and the kernel reads the
+        stack's shared CSR arrays).  With ``lanes``, the padded tables
+        are additionally re-indexed into the compact column space:
+        ``lane_pos`` maps original vertex ids to compacted columns, and
+        entries pointing at dropped lanes (only ever behind an invalid
+        mask -- no valid entry of an active trial references a dropped
+        lane) collapse to column 0 harmlessly.
         """
-        key = rows.tobytes()
+        key = (
+            rows.tobytes()
+            if lanes is None
+            else rows.tobytes() + b"|" + lanes.tobytes()
+        )
         cached = self._row_cache.get(key)
         if cached is None:
+            if nb_idx is None:
+                sub_idx = None
+                sub_valid = None
+            elif nb_idx.ndim == 3:
+                sub_idx = nb_idx[rows]
+                sub_valid = nb_valid[rows]
+            else:
+                sub_idx = nb_idx
+                sub_valid = nb_valid
+            sub_eligible = static_eligible[rows]
+            sub_faulty = faulty[rows]
+            sub_active = None if active is None else active[rows]
+            if lanes is not None:
+                lane_pos = np.zeros(self._width, dtype=np.int64)
+                lane_pos[lanes] = np.arange(lanes.size, dtype=np.int64)
+                sub_idx = lane_pos[sub_idx[:, lanes, :]]
+                sub_valid = sub_valid[:, lanes, :]
+                sub_eligible = sub_eligible[:, :, lanes]
+                sub_faulty = sub_faulty[:, :, lanes]
+                sub_active = sub_active[:, :, lanes]
             cached = {
-                "nb_idx": nb_idx[rows] if nb_idx.ndim == 3 else nb_idx,
-                "nb_valid": nb_valid[rows] if nb_valid.ndim == 3 else nb_valid,
-                "static_eligible": static_eligible[rows],
-                "faulty": faulty[rows],
-                "active": None if active is None else active[rows],
+                "nb_idx": sub_idx,
+                "nb_valid": sub_valid,
+                "static_eligible": sub_eligible,
+                "faulty": sub_faulty,
+                "active": sub_active,
+                "lanes": lanes,
                 "params": (
                     self._params.take(rows)
                     if isinstance(self._params, _StackedParams)
@@ -893,50 +1119,92 @@ class TrialStack:
         dropped rows are untouched and keep their initial padding, which
         is also what the uncompacted path produces for them (inert or
         silent rows are never eligible and their scalar replays record
-        nothing).  ``rk`` is the block's storage row for pulse ``k``.
+        nothing).  With a lane set (``structs["lanes"]``) the plane
+        shrinks along the width axis as well, to ``(A, C)``: results
+        scatter back through the ``rows x lanes`` cross product, and the
+        dropped lanes keep their initial padding -- which is exact for
+        the same reason dropped rows are, because a lane is only dropped
+        when no surviving row still needs it (its cells are width
+        padding, or belong to horizon-absent vertices whose scalar
+        replay writes exactly the padding values and records nothing).
+        ``rk`` is the block's storage row for pulse ``k``.
         """
         sims = self.sims
-        prev = times[rows, rk, layer - 1, :]  # (A, W) gather, NaN = missing
+        lanes = structs["lanes"]
+        if lanes is None:
+            prev = times[rows, rk, layer - 1, :]  # (A, W), NaN = missing
+        else:
+            prev = times[rows[:, None], rk, layer - 1, lanes[None, :]]
         own_delay, nb_delay = delays
 
-        eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
-            prev,
-            own_delay,
-            nb_delay,
-            rate,
-            structs["nb_idx"],
-            structs["nb_valid"],
-            structs["static_eligible"][:, layer - 1, :],
-            structs["params"],
-            structs["policy"],
-            sims[0].algorithm == "simplified",
-        )
+        simplified = sims[0].algorithm == "simplified"
+        if self._csr is not None:
+            indptr, indices, owner, has_neighbors = self._csr
+            eligible, correction, branches, pulse_time, eff = (
+                _layer_step_kernel_csr(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    indptr,
+                    indices,
+                    owner,
+                    has_neighbors,
+                    structs["static_eligible"][:, layer - 1, :],
+                    structs["params"],
+                    structs["policy"],
+                    simplified,
+                )
+            )
+        else:
+            eligible, correction, branches, pulse_time, eff = (
+                _layer_step_kernel(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    structs["nb_idx"],
+                    structs["nb_valid"],
+                    structs["static_eligible"][:, layer - 1, :],
+                    structs["params"],
+                    structs["policy"],
+                    simplified,
+                )
+            )
 
         faulty_here = structs["faulty"][:, layer, :]
-        corrections[rows, rk, layer] = np.where(eligible, correction, np.nan)
-        branches_out[rows, rk, layer] = np.where(
+        if lanes is None:
+            ri, ci = rows, slice(None)
+        else:
+            ri, ci = rows[:, None], lanes[None, :]
+        corrections[ri, rk, layer, ci] = np.where(eligible, correction, np.nan)
+        branches_out[ri, rk, layer, ci] = np.where(
             eligible, branches, BRANCH_CODES["none"]
         )
-        effective[rows, rk, layer] = np.where(eligible, eff, np.nan)
-        protocol_times[rows, rk, layer] = np.where(eligible, pulse_time, np.nan)
-        times[rows, rk, layer] = np.where(
+        effective[ri, rk, layer, ci] = np.where(eligible, eff, np.nan)
+        protocol_times[ri, rk, layer, ci] = np.where(
+            eligible, pulse_time, np.nan
+        )
+        times[ri, rk, layer, ci] = np.where(
             eligible & ~faulty_here, pulse_time, np.nan
         )
         if faulty_here.any():
-            for si, v in zip(*np.nonzero(eligible & faulty_here)):
+            for si, vi in zip(*np.nonzero(eligible & faulty_here)):
                 s = int(rows[si])
+                v = int(vi) if lanes is None else int(lanes[vi])
                 sims[s]._record_fault_sends(
-                    results[s], (int(v), layer), k, float(pulse_time[si, v])
+                    results[s], (v, layer), k, float(pulse_time[si, vi])
                 )
         active = structs["active"]
         fallback = (
             ~eligible if active is None else active[:, layer, :] & ~eligible
         )
         if fallback.any():
-            for si, v in zip(*np.nonzero(fallback)):
+            for si, vi in zip(*np.nonzero(fallback)):
                 s = int(rows[si])
+                v = int(vi) if lanes is None else int(lanes[vi])
                 sims[s]._run_node_and_record(
-                    results[s], (int(v), layer), k, rk
+                    results[s], (v, layer), k, rk
                 )
 
     def _run_layer_stacked(
@@ -959,20 +1227,24 @@ class TrialStack:
         layer: int,
         rows: Optional[np.ndarray] = None,
         rk: Optional[int] = None,
+        lanes: Optional[np.ndarray] = None,
     ) -> None:
         """Advance pulse ``k`` of ``layer`` for all ``S x W`` cells at once.
 
         Mirrors :meth:`FastSimulation._run_layer_vectorized` with a leading
         trial axis -- both delegate to the shape-generic
-        :func:`~repro.core.fast._layer_step_kernel`; see the module
-        docstring for the exactness argument.  ``active`` (None on uniform
-        stacks) masks the padding: inert cells are never eligible, never
-        written, and never replayed by the scalar fallback.  ``rows``
-        (compaction) routes the step through the gathered
-        ``(S_active, W)`` plane of :meth:`_run_layer_compacted`; the
-        ``delays``/``rate`` arrays are then already row-compacted.
-        ``rk`` is the storage row of pulse ``k`` in the shared block
-        (``k`` itself on materialized runs, 0 on the rolling window).
+        :func:`~repro.core.fast._layer_step_kernel` (or its CSR twin on
+        ``csr``-backend stacks); see the module docstring for the
+        exactness argument.  ``active`` (None on uniform stacks) masks
+        the padding: inert cells are never eligible, never written, and
+        never replayed by the scalar fallback.  ``rows``
+        (depth compaction) routes the step through the gathered
+        ``(S_active, W)`` plane of :meth:`_run_layer_compacted`, and
+        ``lanes`` (width compaction, always with ``rows``) narrows that
+        plane to ``(S_active, C)``; the ``delays``/``rate`` arrays are
+        then already row- and lane-compacted.  ``rk`` is the storage row
+        of pulse ``k`` in the shared block (``k`` itself on materialized
+        runs, 0 on the rolling window).
         """
         if rk is None:
             rk = k
@@ -985,7 +1257,13 @@ class TrialStack:
                 effective,
                 branches_out,
                 self._row_structs(
-                    rows, nb_idx, nb_valid, static_eligible, faulty, active
+                    rows,
+                    nb_idx,
+                    nb_valid,
+                    static_eligible,
+                    faulty,
+                    active,
+                    lanes,
                 ),
                 delays,
                 rate,
@@ -999,18 +1277,39 @@ class TrialStack:
         prev = times[:, rk, layer - 1, :]  # (S, W) send times, NaN = missing
         own_delay, nb_delay = delays
 
-        eligible, correction, branches, pulse_time, eff = _layer_step_kernel(
-            prev,
-            own_delay,
-            nb_delay,
-            rate,
-            nb_idx,
-            nb_valid,
-            static_eligible[:, layer - 1, :],
-            self._params,
-            self._policy,
-            sims[0].algorithm == "simplified",
-        )
+        if self._csr is not None:
+            indptr, indices, owner, has_neighbors = self._csr
+            eligible, correction, branches, pulse_time, eff = (
+                _layer_step_kernel_csr(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    indptr,
+                    indices,
+                    owner,
+                    has_neighbors,
+                    static_eligible[:, layer - 1, :],
+                    self._params,
+                    self._policy,
+                    sims[0].algorithm == "simplified",
+                )
+            )
+        else:
+            eligible, correction, branches, pulse_time, eff = (
+                _layer_step_kernel(
+                    prev,
+                    own_delay,
+                    nb_delay,
+                    rate,
+                    nb_idx,
+                    nb_valid,
+                    static_eligible[:, layer - 1, :],
+                    self._params,
+                    self._policy,
+                    sims[0].algorithm == "simplified",
+                )
+            )
 
         if active is None:
             fallback = ~eligible

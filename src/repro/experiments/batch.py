@@ -61,7 +61,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.correction import CorrectionPolicy, PAPER_POLICY
-from repro.core.fast import FastResult, FastSimulation, RateProvider
+from repro.core.fast import (
+    NEIGHBOR_BACKENDS,
+    FastResult,
+    FastSimulation,
+    RateProvider,
+)
 from repro.core.fast_batch import TrialStack, stack_compatibility
 from repro.core.layer0 import Layer0Schedule
 from repro.delays.models import DelayModel
@@ -119,7 +124,9 @@ class BatchTrial:
     campaign: Optional[ChaosCampaign] = None
     label: str = ""
 
-    def simulation(self, vectorize: bool = True) -> FastSimulation:
+    def simulation(
+        self, vectorize: bool = True, neighbor_backend: str = "auto"
+    ) -> FastSimulation:
         """The :class:`FastSimulation` realizing this trial."""
         rates = (
             self.config.clock_rates
@@ -137,6 +144,7 @@ class BatchTrial:
             algorithm=self.algorithm,
             vectorize=vectorize,
             campaign=self.campaign,
+            neighbor_backend=neighbor_backend,
         )
 
     @property
@@ -175,16 +183,22 @@ class BatchResult:
         that ran per-trial).
     compaction_stats:
         One dict per stack group (parallel to ``stack_groups``): the
-        depth-compaction row-step accounting of that group's
-        :class:`~repro.core.fast_batch.TrialStack` run -- padded vs
-        executed row steps, min/max depth, and whether compaction was
-        enabled -- so "how much padding did compaction reclaim?" is on
-        record next to "which trials stacked".
+        compaction accounting of that group's
+        :class:`~repro.core.fast_batch.TrialStack` run along *both* axes
+        -- padded vs executed row steps with min/max depth (depth axis),
+        padded vs executed lane steps with min/max width (width axis),
+        the ``axes`` list naming which compactions were live, and the
+        resolved ``neighbor_backend`` (``"dense"``/``"csr"``) -- so "how
+        much padding did compaction reclaim, and over which neighbor
+        representation?" is on record next to "which trials stacked".
     fallback_reasons:
         ``{trial_index: reason}`` for every trial that did *not* run
         stacked -- the runner records why (``stack=False``,
-        ``vectorize=False``, or the :func:`stack_compatibility` verdict)
-        instead of silently dropping to the slow path.
+        ``vectorize=False``, the :func:`stack_compatibility` verdict, or
+        an explicit ``neighbor_backend="csr"`` request that a padded
+        mixed-geometry group cannot honor stacked, in which case the
+        trial runs per-trial *with* CSR) instead of silently dropping to
+        the slow path.
     campaign_stats:
         ``{trial_index: churn_stats}`` for every trial that ran under a
         :class:`~repro.faults.campaign.ChaosCampaign` -- the compiled
@@ -563,6 +577,24 @@ def _stack_key(trial: BatchTrial, mixed_geometry: bool = True) -> Tuple:
     )
 
 
+def _stack_is_uniform(sims: Sequence[FastSimulation]) -> bool:
+    """Whether a stack group would run the uniform (non-padded) kernel.
+
+    Mirrors the :class:`TrialStack` uniformity test -- one shared
+    adjacency, one depth, no campaigns -- which is exactly the set of
+    groups the stacked CSR kernel can take (its segment-reduce structure
+    is per-graph).
+    """
+    adjacency0 = sims[0].graph.base.adjacency
+    num_layers = sims[0].graph.num_layers
+    return all(
+        sim.campaign is None
+        and sim.graph.num_layers == num_layers
+        and sim.graph.base.adjacency == adjacency0
+        for sim in sims
+    )
+
+
 def _run_shard(
     trials: List[BatchTrial],
     num_pulses: int,
@@ -570,6 +602,8 @@ def _run_shard(
     stack: bool,
     stack_mixed_geometry: bool,
     compact_depth: bool,
+    compact_width: bool,
+    neighbor_backend: str,
     store_times: bool,
     sketch_rank: Optional[int],
     potential_levels: Tuple[int, ...],
@@ -589,6 +623,8 @@ def _run_shard(
         stack=stack,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
         store_times=store_times,
         sketch_rank=sketch_rank,
         potential_levels=potential_levels,
@@ -642,6 +678,21 @@ class BatchRunner:
         ``False`` opts out (every row rides the full padded loop).
         Results are bit-identical either way; per-group accounting lands
         in :attr:`BatchResult.compaction_stats`.
+    compact_width:
+        Drop unused width lanes out of the stacked layer loop
+        (:class:`TrialStack` ``compact_width``; the default) so
+        mixed-width groups pay for the columns still in use -- width
+        padding of narrow trials, and lanes whose campaign vertex is
+        absent through the end of the horizon.  Bit-identical either
+        way; the lane accounting rides the same per-group
+        ``compaction_stats`` dicts.
+    neighbor_backend:
+        Neighbor representation for the layer-step kernels: ``"auto"``
+        (default; per stack group, CSR when the density heuristic says
+        padding dominates), ``"dense"``, or ``"csr"``.  An explicit
+        ``"csr"`` on a padded mixed-geometry group runs those trials
+        per-trial with CSR instead (recorded in ``fallback_reasons``) --
+        the stacked CSR kernel needs one shared adjacency.
     executor:
         ``"serial"`` (default) or ``"process"``.  The process executor
         shards the trial list across worker processes -- worthwhile for
@@ -674,6 +725,8 @@ class BatchRunner:
         stack: bool = True,
         stack_mixed_geometry: bool = True,
         compact_depth: bool = True,
+        compact_width: bool = True,
+        neighbor_backend: str = "auto",
         executor: str = "serial",
         shards: Optional[int] = None,
         store_times: bool = True,
@@ -688,11 +741,18 @@ class BatchRunner:
             )
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if neighbor_backend not in NEIGHBOR_BACKENDS:
+            raise ValueError(
+                f"unknown neighbor_backend {neighbor_backend!r}; "
+                f"use one of {NEIGHBOR_BACKENDS}"
+            )
         self.num_pulses = num_pulses
         self.vectorize = vectorize
         self.stack = stack
         self.stack_mixed_geometry = stack_mixed_geometry
         self.compact_depth = compact_depth
+        self.compact_width = compact_width
+        self.neighbor_backend = neighbor_backend
         self.executor = executor
         self.shards = shards
         self.store_times = store_times
@@ -758,7 +818,10 @@ class BatchRunner:
                 else "vectorize=False forces the per-trial scalar path"
             )
             results = [
-                trial.simulation(vectorize=self.vectorize).run(
+                trial.simulation(
+                    vectorize=self.vectorize,
+                    neighbor_backend=self.neighbor_backend,
+                ).run(
                     self.num_pulses,
                     reducers=self._reducers(),
                     store_times=self.store_times,
@@ -775,8 +838,24 @@ class BatchRunner:
             key = _stack_key(trial, mixed_geometry=self.stack_mixed_geometry)
             groups.setdefault(key, []).append(i)
         for indices in groups.values():
-            sims = [trials[i].simulation(vectorize=True) for i in indices]
+            sims = [
+                trials[i].simulation(
+                    vectorize=True, neighbor_backend=self.neighbor_backend
+                )
+                for i in indices
+            ]
             reason = stack_compatibility(sims)
+            if reason is None and self.neighbor_backend == "csr" and not (
+                _stack_is_uniform(sims)
+            ):
+                # The stacked CSR kernel reduces over one shared segment
+                # structure; a padded mixed-geometry (or campaign) group
+                # has none.  Honor the explicit request per-trial rather
+                # than silently running the dense padded kernel.
+                reason = (
+                    "neighbor_backend='csr' needs a uniform-adjacency "
+                    "static stack; ran per-trial CSR instead"
+                )
             if reason is not None:
                 for i, sim in zip(indices, sims):
                     results[i] = sim.run(
@@ -787,7 +866,12 @@ class BatchRunner:
                     reasons[i] = reason
                 continue
             stack_groups.append(list(indices))
-            stack = TrialStack(sims, compact_depth=self.compact_depth)
+            stack = TrialStack(
+                sims,
+                compact_depth=self.compact_depth,
+                compact_width=self.compact_width,
+                neighbor_backend=self.neighbor_backend,
+            )
             stacked = stack.run(
                 self.num_pulses,
                 reducers=self._reducers(),
@@ -828,6 +912,8 @@ class BatchRunner:
                     self.stack,
                     self.stack_mixed_geometry,
                     self.compact_depth,
+                    self.compact_width,
+                    self.neighbor_backend,
                     self.store_times,
                     self.sketch_rank,
                     self.potential_levels,

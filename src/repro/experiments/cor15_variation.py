@@ -102,6 +102,8 @@ def run_cor15(
     executor: str = "serial",
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
+    compact_width: bool = True,
+    neighbor_backend: str = "auto",
     store_times: bool = False,
 ) -> Cor15Result:
     """Run with per-pulse delay/rate drift and a mutating fault.
@@ -152,6 +154,8 @@ def run_cor15(
         executor=executor,
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
         store_times=store_times,
     ).run(
         [

@@ -116,6 +116,8 @@ def run_table1(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    compact_width: bool = True,
+    neighbor_backend: str = "auto",
     store_times: bool = False,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
@@ -154,6 +156,8 @@ def run_table1(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
         store_times=store_times,
     )
     all_configs = {

@@ -83,6 +83,8 @@ def run_thm11(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    compact_width: bool = True,
+    neighbor_backend: str = "auto",
     store_times: bool = False,
 ) -> Thm11Result:
     """Measure the fault-free local skew sweep.
@@ -122,6 +124,8 @@ def run_thm11(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
         store_times=store_times,
     )
     trials = []

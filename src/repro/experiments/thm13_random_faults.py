@@ -112,6 +112,8 @@ def run_thm13(
     shards: Optional[int] = None,
     stack_mixed_geometry: bool = True,
     compact_depth: bool = True,
+    compact_width: bool = True,
+    neighbor_backend: str = "auto",
     store_times: bool = False,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
@@ -178,6 +180,8 @@ def run_thm13(
         shards=shards,
         stack_mixed_geometry=stack_mixed_geometry,
         compact_depth=compact_depth,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
         store_times=store_times,
     ).run(batch_trials)
     skews = batch.max_local_skews()

@@ -154,6 +154,8 @@ def run_thm16(
     campaign: Optional[ChaosCampaign] = None,
     executor: str = "serial",
     shards: Optional[int] = None,
+    compact_width: bool = True,
+    neighbor_backend: str = "auto",
 ) -> Thm16Result:
     """Measure self-stabilization under a sustained churn campaign.
 
@@ -234,7 +236,11 @@ def run_thm16(
         )
 
     runner = BatchRunner(
-        num_pulses=num_pulses, executor=executor, shards=shards
+        num_pulses=num_pulses,
+        executor=executor,
+        shards=shards,
+        compact_width=compact_width,
+        neighbor_backend=neighbor_backend,
     )
     batch = runner.run(trials)
 

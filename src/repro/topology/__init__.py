@@ -16,6 +16,7 @@ from repro.topology.base_graph import (
     torus_graph,
 )
 from repro.topology.layered import LayeredGraph, NodeId
+from repro.topology.sparse import sparse_base_graph, sparse_layered
 
 __all__ = [
     "BaseGraph",
@@ -25,6 +26,8 @@ __all__ = [
     "cycle_graph",
     "path_graph",
     "replicated_line",
+    "sparse_base_graph",
+    "sparse_layered",
     "star_graph",
     "torus_graph",
 ]

@@ -12,8 +12,7 @@ construction.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,10 +79,13 @@ class BaseGraph:
         )
         self._edges: Tuple[Tuple[int, int], ...] = tuple(sorted(seen))
         self.name = name
-        self._distances: Dict[int, List[int]] = {}
+        self._distances: Dict[int, np.ndarray] = {}
         self._diameter: int | None = None
         self._edge_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._neighbor_index_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._neighbor_csr: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
         if require_connected and not self._is_connected():
             raise ValueError("base graph must be connected")
         if require_min_degree_2 and num_nodes > 1:
@@ -94,16 +96,9 @@ class BaseGraph:
                 )
 
     def _is_connected(self) -> bool:
-        reached = [False] * self._num_nodes
-        reached[0] = True
-        stack = [0]
-        while stack:
-            v = stack.pop()
-            for w in self._adjacency[v]:
-                if not reached[w]:
-                    reached[w] = True
-                    stack.append(w)
-        return all(reached)
+        # The vectorized BFS doubles as the connectivity probe and warms
+        # the distance cache for vertex 0.
+        return bool((self.distances_from(0) >= 0).all())
 
     # ------------------------------------------------------------------
     # Structure accessors
@@ -163,6 +158,43 @@ class BaseGraph:
             self._neighbor_index_arrays = (idx, valid)
         return self._neighbor_index_arrays
 
+    def neighbor_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, indices, edge_slot)`` CSR neighbor arrays (cached).
+
+        The compressed-sparse-row mirror of :meth:`neighbor_index_arrays`:
+        the (sorted) neighbors of vertex ``v`` are
+        ``indices[indptr[v]:indptr[v + 1]]``, and ``edge_slot[j]`` maps the
+        ``j``-th directed entry back to its undirected slot in
+        :attr:`edges` (so per-edge state -- delays, flap schedules -- can
+        be gathered without a Python dict lookup per entry).  Memory is
+        ``O(n + m)`` instead of the padded ``O(n * max_deg)``, which is
+        what makes hub-skewed sparse graphs viable: a single high-degree
+        vertex no longer widens every row of the dense tensors.
+        """
+        if self._neighbor_csr is None:
+            degrees = np.fromiter(
+                (len(nbs) for nbs in self._adjacency),
+                dtype=np.int64,
+                count=self._num_nodes,
+            )
+            indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            flat = [w for nbs in self._adjacency for w in nbs]
+            indices = np.array(flat, dtype=np.int64)
+            edge_id = {edge: i for i, edge in enumerate(self._edges)}
+            edge_slot = np.array(
+                [
+                    edge_id[(v, w) if v < w else (w, v)]
+                    for v, nbs in enumerate(self._adjacency)
+                    for w in nbs
+                ],
+                dtype=np.int64,
+            )
+            for arr in (indptr, indices, edge_slot):
+                arr.setflags(write=False)
+            self._neighbor_csr = (indptr, indices, edge_slot)
+        return self._neighbor_csr
+
     def nodes(self) -> range:
         """Iterable over vertices."""
         return range(self._num_nodes)
@@ -190,41 +222,67 @@ class BaseGraph:
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
-    def distances_from(self, source: int) -> Sequence[int]:
-        """BFS distances from ``source`` to every vertex (cached)."""
+    def distances_from(self, source: int) -> np.ndarray:
+        """BFS distances from ``source`` as an int64 array (cached).
+
+        Runs a frontier-at-a-time BFS over the :meth:`neighbor_csr`
+        arrays: each level expands every frontier vertex's CSR segment in
+        one vectorized gather instead of a Python loop per edge, so
+        regional-outage compilation (which calls :meth:`ball` per event)
+        stays cheap on 10^5+-node graphs.  Unreached vertices hold ``-1``.
+        """
         cached = self._distances.get(source)
         if cached is not None:
             return cached
-        dist = [-1] * self._num_nodes
+        indptr, indices, _ = self.neighbor_csr()
+        dist = np.full(self._num_nodes, -1, dtype=np.int64)
         dist[source] = 0
-        queue = deque([source])
-        while queue:
-            v = queue.popleft()
-            for w in self._adjacency[v]:
-                if dist[w] < 0:
-                    dist[w] = dist[v] + 1
-                    queue.append(w)
+        frontier = np.array([source], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            shift = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            gather = np.repeat(starts - shift, counts) + np.arange(total)
+            nbrs = indices[gather]
+            fresh = np.unique(nbrs[dist[nbrs] < 0])
+            if fresh.size == 0:
+                break
+            depth += 1
+            dist[fresh] = depth
+            frontier = fresh
+        dist.setflags(write=False)
         self._distances[source] = dist
         return dist
 
     def distance(self, v: int, w: int) -> int:
         """Hop distance ``d(v, w)`` in ``H``."""
-        return self.distances_from(v)[w]
+        return int(self.distances_from(v)[w])
 
     @property
     def diameter(self) -> int:
         """Diameter ``D`` of ``H`` (1 for the single-node graph)."""
         if self._diameter is None:
             worst = max(
-                max(self.distances_from(v)) for v in range(self._num_nodes)
+                int(self.distances_from(v).max())
+                for v in range(self._num_nodes)
             )
             self._diameter = max(worst, 1)
         return self._diameter
 
     def ball(self, center: int, radius: int) -> List[int]:
-        """Vertices within hop distance ``radius`` of ``center``."""
+        """Vertices within hop distance ``radius`` of ``center``.
+
+        Returned as plain Python ints: campaign epoch state keys hash
+        these values, and they must compare equal across processes
+        regardless of NumPy scalar types.
+        """
         dist = self.distances_from(center)
-        return [v for v in range(self._num_nodes) if 0 <= dist[v] <= radius]
+        inside = np.flatnonzero((dist >= 0) & (dist <= radius))
+        return [int(v) for v in inside]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -233,3 +233,86 @@ class TestBatchRunnerValidation:
         batch = BatchRunner(num_pulses=NUM_PULSES).run([trial])
         # Uniform delays + unit rates: a perfectly symmetric execution.
         assert batch.max_local_skews()[0] == 0.0
+
+
+class TestSparseBatchOptions:
+    """neighbor_backend / compact_width threading through the runner."""
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            BatchRunner(num_pulses=NUM_PULSES, neighbor_backend="coo")
+
+    def test_explicit_csr_matches_dense_on_uniform_group(self):
+        trials = BatchRunner.seed_sweep(4, (0, 1), num_pulses=NUM_PULSES)
+        dense = BatchRunner(
+            num_pulses=NUM_PULSES, neighbor_backend="dense"
+        ).run(trials)
+        csr = BatchRunner(
+            num_pulses=NUM_PULSES, neighbor_backend="csr"
+        ).run(trials)
+        np.testing.assert_array_equal(csr.times, dense.times)
+        assert csr.fallback_reasons == {}
+        (stats,) = csr.compaction_stats
+        assert stats["neighbor_backend"] == "csr"
+        assert stats["backend_fallback"] is None
+
+    def test_explicit_csr_on_padded_group_runs_per_trial(self):
+        # Mixed geometries cannot share one CSR edge layout; the runner
+        # honors the explicit request per trial and says why.
+        trials = [
+            BatchTrial(config=standard_config(4)),
+            BatchTrial(config=standard_config(6)),
+        ]
+        dense = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        csr = BatchRunner(
+            num_pulses=NUM_PULSES, neighbor_backend="csr"
+        ).run(trials)
+        np.testing.assert_array_equal(csr.times, dense.times)
+        assert set(csr.fallback_reasons) == {0, 1}
+        for reason in csr.fallback_reasons.values():
+            assert "uniform-adjacency" in reason
+
+    def test_compact_width_off_matches_default(self):
+        trials = [
+            BatchTrial(config=standard_config(4)),
+            BatchTrial(config=standard_config(6)),
+        ]
+        on = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        off = BatchRunner(
+            num_pulses=NUM_PULSES, compact_width=False
+        ).run(trials)
+        np.testing.assert_array_equal(on.times, off.times)
+        (stats_on,) = on.compaction_stats
+        (stats_off,) = off.compaction_stats
+        assert "width" in stats_on["axes"]
+        assert stats_on["active_lane_steps"] < stats_on["padded_lane_steps"]
+        assert "width" not in stats_off["axes"]
+
+    def test_shard_merge_keeps_lane_and_backend_stats(self):
+        # Regression: shard merging must carry the new width/backend
+        # keys through the pickle boundary, one stats dict per stack
+        # group, identical to the serial run's accounting.
+        trials = [
+            BatchTrial(config=standard_config(4, seed=s)) for s in range(2)
+        ] + [
+            BatchTrial(config=standard_config(6, seed=s)) for s in range(2)
+        ]
+        serial = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        sharded = BatchRunner(
+            num_pulses=NUM_PULSES, executor="process", shards=2
+        ).run(trials)
+        np.testing.assert_array_equal(serial.times, sharded.times)
+        assert len(sharded.compaction_stats) == len(sharded.stack_groups)
+        for stats in sharded.compaction_stats:
+            for key in (
+                "axes",
+                "min_width",
+                "max_width",
+                "padded_lane_steps",
+                "active_lane_steps",
+                "lane_dropped_fraction",
+                "neighbor_backend",
+                "backend_fallback",
+            ):
+                assert key in stats, (key, stats)
+        assert sharded.fallback_reasons == serial.fallback_reasons

@@ -21,6 +21,11 @@ run through every path, asserting
   replays through the streamed per-trial, scalar, padded, and compacted
   paths, and the online skew/potential/correction folds must equal the
   array reducers applied to the materialized reference exactly, and
+* **bitwise agreement across neighbor backends**: hub-skewed sparse
+  scenarios replay through the CSR edge-segment kernel (per-trial and
+  stacked) against the dense padded kernel, and through the width-axis
+  lane compaction against the lane-padded stack -- both new execution
+  columns must reproduce the dense reference exactly, and
 * **dynamic adjacency** (:class:`~repro.faults.campaign.ChaosCampaign`):
   every scenario is additionally run under a hypothesis-drawn churn
   campaign -- leaves, joins, edge flaps, crashes, regional outages --
@@ -83,6 +88,7 @@ from repro.topology.base_graph import (
     replicated_line,
 )
 from repro.topology.layered import LayeredGraph
+from repro.topology.sparse import sparse_base_graph
 
 NUM_PULSES = 3
 
@@ -112,6 +118,12 @@ def scenarios(draw):
     Engine-compatible means constant-rate clocks and pulse-invariant
     delays (the event/fast coupling requires both); every fast-family
     path accepts strictly more, so one strategy serves the whole harness.
+    Late-fault magnitudes stay below one pulse period ``Lambda``: the
+    engine comparison leans on Lemma B.1's pulse alignment, and a
+    message several periods late shifts the receiver's firing count so
+    ``times_from_trace`` pairs engine pulses against the wrong ``k``
+    (observed empirically from ~3.5 Lambda).  The vectorized fast family
+    stays bitwise-pinned against itself for arbitrary magnitudes.
     """
     kind = draw(st.sampled_from(["line", "cycle", "complete"]))
     if kind == "line":
@@ -167,7 +179,9 @@ def scenarios(draw):
             if roll < 0.4:
                 behavior = CrashFault()
             elif roll < 0.7:
-                behavior = AdversarialLateFault(float(rng.uniform(2.0, 10.0)))
+                behavior = AdversarialLateFault(
+                    float(rng.uniform(0.5, 0.9 * params.Lambda))
+                )
             else:
                 behavior = FixedOffsetFault(float(rng.uniform(0.05, 0.4)))
             behaviors[node] = behavior
@@ -330,6 +344,19 @@ def run_fast_family(scenario, algorithm="full"):
         compact_depth=True,
     )
     family["compacted_stack_shallow_mate"] = shallow.run(NUM_PULSES)[0]
+    # The depth-1 decoy is also the *wider* mate, so once it retires the
+    # scenario's surviving rows drop the decoy's extra lanes: the width
+    # axis must actually engage here, never silently no-op.  Pin the
+    # lane-compacted leg above against the same stack with width
+    # compaction forced off.
+    stats = shallow.compaction_stats
+    assert "width" in stats["axes"], stats
+    assert stats["active_lane_steps"] < stats["padded_lane_steps"], stats
+    family["lane_padded_shallow_mate"] = TrialStack(
+        [fast_simulation(scenario, algorithm), _decoy(scenario, 1, algorithm)],
+        compact_depth=True,
+        compact_width=False,
+    ).run(NUM_PULSES)[0]
 
     family["scalar"] = fast_simulation(
         scenario, algorithm, vectorize=False
@@ -524,6 +551,106 @@ class TestFastFamilyDifferential:
         assert_streamed_matches_materialized(
             stream_scalar, scalar, scenario, label="streamed scalar"
         )
+
+
+@st.composite
+def sparse_scenarios(draw):
+    """A small skewed-degree sparse cell for the backend differential.
+
+    Hub-skewed circulants are where the CSR path earns its keep (one
+    high-degree vertex widens every dense row); keeping them small keeps
+    the harness fast while still exercising ragged edge segments.
+    """
+    num_hubs = draw(st.integers(0, 1))
+    kwargs = {"num_hubs": num_hubs}
+    if num_hubs:
+        kwargs["hub_degree"] = draw(st.integers(4, 7))
+    base = sparse_base_graph(draw(st.integers(8, 16)), **kwargs)
+    num_layers = draw(st.integers(2, 3))
+    graph = LayeredGraph(base, num_layers)
+    params = draw(st.sampled_from(PARAMS_CHOICES))
+    seed = draw(st.integers(0, 2**16))
+    if draw(st.booleans()):
+        delay_model = StaticDelayModel(params.d, params.u, seed=seed)
+    else:
+        delay_model = UniformDelayModel(params.d, params.u)
+    if draw(st.booleans()):
+        layer0 = JitteredLayer0(
+            params.Lambda, base.num_nodes, params.kappa / 2.0, seed=seed
+        )
+    else:
+        layer0 = PerfectLayer0(params.Lambda)
+    clocks = uniform_random_rates(
+        list(graph.nodes()), params.vartheta, rng_or_seed=seed + 1
+    )
+    fault_plan = None
+    if draw(st.booleans()):
+        rng = np.random.default_rng(seed + 2)
+        node = (
+            int(rng.integers(base.num_nodes)),
+            int(rng.integers(num_layers)),
+        )
+        if rng.random() < 0.5:
+            behavior = CrashFault()
+        else:
+            behavior = FixedOffsetFault(float(rng.uniform(0.05, 0.4)))
+        fault_plan = FaultPlan.from_nodes({node: behavior})
+    return {
+        "graph": graph,
+        "params": params,
+        "delay_model": delay_model,
+        "layer0": layer0,
+        "clocks": clocks,
+        "rates": {node: clock.rate for node, clock in clocks.items()},
+        "fault_plan": fault_plan,
+    }
+
+
+class TestSparseBackendDifferential:
+    """The CSR edge-segment kernel against the dense masked kernel.
+
+    Both kernels evaluate ``min``/``max`` reductions over the same
+    neighbor multiset in the same (sorted) order, so agreement is
+    bitwise -- any drift means the segment bookkeeping gathered the
+    wrong edges.
+    """
+
+    @FAMILY_SETTINGS
+    @given(data=st.data())
+    def test_csr_matches_dense(self, data):
+        algorithm = data.draw(st.sampled_from(["full", "simplified"]))
+        scenario = data.draw(sparse_scenarios())
+
+        def sim(backend):
+            return FastSimulation(
+                scenario["graph"],
+                scenario["params"],
+                delay_model=scenario["delay_model"],
+                clock_rates=scenario["rates"],
+                fault_plan=scenario["fault_plan"],
+                layer0=scenario["layer0"],
+                algorithm=algorithm,
+                neighbor_backend=backend,
+            )
+
+        dense = sim("dense").run(NUM_PULSES)
+        csr = sim("csr").run(NUM_PULSES)
+        assert_results_equal(csr, dense, exact=True, label="per-trial csr")
+
+        want = TrialStack(
+            [sim("dense"), sim("dense")], neighbor_backend="dense"
+        ).run(NUM_PULSES)
+        csr_stack = TrialStack(
+            [sim("csr"), sim("csr")], neighbor_backend="csr"
+        )
+        got = csr_stack.run(NUM_PULSES)
+        for index, (got_one, want_one) in enumerate(zip(got, want)):
+            assert_results_equal(
+                got_one, want_one, exact=True, label=f"stacked csr[{index}]"
+            )
+        stats = csr_stack.compaction_stats
+        assert stats["neighbor_backend"] == "csr", stats
+        assert stats["backend_fallback"] is None, stats
 
 
 class TestEngineDifferential:
@@ -812,3 +939,59 @@ def test_deterministic_scenario_smoke():
     assert streaming["per_trial"].max_local_skew() == (
         pytest.approx(reference.max_local_skew(), abs=0.0)
     )
+
+
+def test_campaign_permanent_leave_frees_lanes():
+    """A vertex absent for the whole remaining horizon frees its lane.
+
+    ``NodeLeave(vertex=5)`` below never rejoins, so from its pulse
+    onward the campaign trial's rows run one lane narrower; the decoy
+    mate is narrower *and* shallower, so depth and width compaction both
+    engage.  Freeing the lane is bit-exact because a permanently absent
+    vertex is degree-0 and statically ineligible -- the padded run only
+    ever writes padding values into that column.
+    """
+    params = Parameters(d=1.0, u=0.05, vartheta=1.01, Lambda=2.5)
+    base = cycle_graph(8)
+    campaign = ChaosCampaign(
+        base,
+        3,
+        [
+            NodeLeave(pulse=1, vertex=5),
+            NodeCrash(pulse=2, node=(1, 1)),
+            NodeRecover(pulse=4, node=(1, 1)),
+        ],
+    )
+    graph = LayeredGraph(base, 3)
+    clocks = uniform_random_rates(
+        list(graph.nodes()), params.vartheta, rng_or_seed=3
+    )
+    rates = {node: clock.rate for node, clock in clocks.items()}
+
+    def sims():
+        trial = FastSimulation(
+            graph,
+            params,
+            delay_model=StaticDelayModel(params.d, params.u, seed=4),
+            clock_rates=rates,
+            layer0=PerfectLayer0(params.Lambda),
+            campaign=campaign,
+        )
+        decoy = FastSimulation(
+            LayeredGraph(cycle_graph(5), 2),
+            params,
+            delay_model=StaticDelayModel(params.d, params.u, seed=8),
+            layer0=PerfectLayer0(params.Lambda),
+        )
+        return [trial, decoy]
+
+    want = TrialStack(sims(), compact_width=False).run(CAMPAIGN_PULSES + 1)
+    stack = TrialStack(sims(), compact_width=True)
+    got = stack.run(CAMPAIGN_PULSES + 1)
+    for index, (got_one, want_one) in enumerate(zip(got, want)):
+        assert_results_equal(
+            got_one, want_one, exact=True, label=f"campaign lanes[{index}]"
+        )
+    stats = stack.compaction_stats
+    assert "width" in stats["axes"], stats
+    assert stats["active_lane_steps"] < stats["padded_lane_steps"], stats

@@ -9,6 +9,8 @@ from repro.topology import (
     cycle_graph,
     path_graph,
     replicated_line,
+    sparse_base_graph,
+    sparse_layered,
     star_graph,
     torus_graph,
 )
@@ -274,3 +276,94 @@ class TestAncestors:
         counts = [g.count_ancestors_within((0, 19), j) for j in (2, 4, 8)]
         # Quadratic: quadrupling distance ~16x the count.
         assert counts[2] > 3 * counts[1] > 6 * counts[0]
+
+
+class TestNeighborCSR:
+    """The cached CSR representation mirrors the adjacency exactly."""
+
+    def _check_csr(self, g):
+        indptr, indices, edge_slot = g.neighbor_csr()
+        assert indptr.shape == (g.num_nodes + 1,)
+        assert indptr[0] == 0 and indptr[-1] == len(indices)
+        assert len(indices) == 2 * len(g.edges)
+        assert len(edge_slot) == len(indices)
+        edges = g.edges
+        for v in range(g.num_nodes):
+            segment = indices[indptr[v]: indptr[v + 1]]
+            assert tuple(segment) == g.neighbors(v)  # sorted-neighbor order
+            for pos, w in zip(range(indptr[v], indptr[v + 1]), segment):
+                assert edges[edge_slot[pos]] == (min(v, w), max(v, w))
+
+    def test_matches_neighbors_and_edges(self):
+        for g in (cycle_graph(8), complete_graph(5), replicated_line(4),
+                  torus_graph(3, 4), sparse_base_graph(40, num_hubs=1)):
+            self._check_csr(g)
+
+    def test_cached_and_write_protected(self):
+        g = cycle_graph(6)
+        first = g.neighbor_csr()
+        assert all(a is b for a, b in zip(first, g.neighbor_csr()))
+        for arr in first:
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_distances_match_neighbor_bfs(self):
+        # The vectorized frontier BFS against a hand-rolled queue BFS.
+        from collections import deque
+
+        for g in (sparse_base_graph(30, num_hubs=2, hub_degree=5),
+                  torus_graph(4, 5)):
+            for source in (0, g.num_nodes - 1):
+                dist = {source: 0}
+                queue = deque([source])
+                while queue:
+                    v = queue.popleft()
+                    for w in g.neighbors(v):
+                        if w not in dist:
+                            dist[w] = dist[v] + 1
+                            queue.append(w)
+                got = g.distances_from(source)
+                assert [dist[v] for v in range(g.num_nodes)] == list(got)
+
+    def test_ball_returns_python_ints(self):
+        # Campaign state keys hash ball members; numpy ints would change
+        # the key equality semantics across platforms.
+        members = cycle_graph(8).ball(0, 2)
+        assert all(type(v) is int for v in members)
+
+
+class TestSparseGraphs:
+    def test_ring_is_degree_4(self):
+        g = sparse_base_graph(100)
+        assert g.max_degree() == 4
+        assert min(len(g.neighbors(v)) for v in range(g.num_nodes)) >= 2
+
+    def test_diameter_scales_like_sqrt(self):
+        # C_n(1, s) with s ~ sqrt(n): diameter O(sqrt(n)), far below n/2.
+        g = sparse_base_graph(400)
+        assert g.diameter <= 4 * 20
+
+    def test_hubs_skew_degree(self):
+        g = sparse_base_graph(101, num_hubs=1, hub_degree=32)
+        degrees = [len(g.neighbors(v)) for v in range(g.num_nodes)]
+        assert max(degrees) == 32
+        assert sorted(degrees)[g.num_nodes // 2] <= 6  # median stays tiny
+
+    def test_hub_ids_trail_the_ring(self):
+        g = sparse_base_graph(20, num_hubs=2, hub_degree=4)
+        assert len(g.neighbors(18)) >= 4 and len(g.neighbors(19)) >= 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            sparse_base_graph(4)
+        with pytest.raises(ValueError):
+            sparse_base_graph(10, chord_stride=1)
+        with pytest.raises(ValueError):
+            sparse_base_graph(10, num_hubs=1, hub_degree=1)
+        with pytest.raises(ValueError):
+            sparse_base_graph(10, num_hubs=-1)
+
+    def test_layered_constructor(self):
+        g = sparse_layered(64, 3)
+        assert (g.width, g.num_layers) == (64, 3)
+        assert g.base.max_degree() == 4
