@@ -636,6 +636,13 @@ class StreamedStats:
         self, layout: StreamLayout, reducers: Iterable[StreamingReducer]
     ) -> None:
         self.layout = layout
+        # Position of this stream's first trial in the parent batch.
+        # BatchRunner stamps it after reassembly; merge() orders shards
+        # by it so ``a.merge(b)`` and ``b.merge(a)`` concatenate the
+        # trial axis identically (shard futures may resolve out of
+        # order).  Standalone streams keep 0 (self-first, the historical
+        # behavior).
+        self.trial_offset = 0
         self._reducers = list(reducers)
         names = [r.name for r in self._reducers]
         if len(set(names)) != len(names):
@@ -672,23 +679,35 @@ class StreamedStats:
         return self._by_name.get(name)
 
     def merge(self, other: "StreamedStats") -> "StreamedStats":
-        """Concatenate two shards' accumulators along the trial axis."""
+        """Concatenate two shards' accumulators along the trial axis.
+
+        The pair is ordered by :attr:`trial_offset` (lowest first, self
+        on ties), not by argument position, so the merged trial axis
+        matches the batch's trial order no matter which shard future
+        resolved first.
+        """
         if self.layout.num_pulses != other.layout.num_pulses:
             raise ValueError("cannot merge streams over different pulses")
         if self.names() != other.names():
             raise ValueError(
                 f"reducer sets differ: {self.names()} vs {other.names()}"
             )
+        self_offset = getattr(self, "trial_offset", 0)
+        other_offset = getattr(other, "trial_offset", 0)
+        first, second = (
+            (self, other) if self_offset <= other_offset else (other, self)
+        )
         layout = StreamLayout(
-            self.layout.graphs + other.layout.graphs,
-            np.concatenate([self.layout.kappas, other.layout.kappas]),
-            self.layout.num_pulses,
+            first.layout.graphs + second.layout.graphs,
+            np.concatenate([first.layout.kappas, second.layout.kappas]),
+            first.layout.num_pulses,
         )
         merged = StreamedStats.__new__(StreamedStats)
         merged.layout = layout
+        merged.trial_offset = min(self_offset, other_offset)
         merged._reducers = [
-            reducer.merged(other[reducer.name], layout)
-            for reducer in self._reducers
+            first[reducer.name].merged(second[reducer.name], layout)
+            for reducer in first._reducers
         ]
         merged._by_name = {r.name: r for r in merged._reducers}
         return merged

@@ -1,0 +1,347 @@
+"""Pluggable array-op backends behind the layer-step kernels.
+
+The vectorized layer step of :mod:`repro.core.fast` decomposes into a
+small array-API surface -- *gather* (padded neighbor lookup),
+*segment-min/max-reduce* (the CSR neighbor reduction), *where/select*
+(masked fills) and *scatter* (masked result writes).  This module defines
+that surface once and registers interchangeable implementations:
+
+* :class:`NumpyOps` -- the default.  Every method is exactly the NumPy
+  expression the kernels inlined before the seam existed, so the default
+  backend is bit-identical to the historical kernel.
+* :class:`NumbaOps` -- a Numba-JIT twin.  The two neighbor reductions
+  (the hot loops: dense padded gather-reduce and the CSR
+  ``reduceat``-equivalent segment loop) are fused ``@njit`` kernels that
+  make a single pass over the operands instead of materializing the
+  ``(..., W, max_deg)`` / ``(..., nnz)`` temporaries.  Compilation is
+  lazy (first kernel call), the ``numba`` import is deferred, and the
+  backend is gracefully absent when numba is not installed:
+  ``kernel_backend="auto"`` falls back to NumPy, an explicit
+  ``"numba"`` raises a clear error.
+
+Bit-exactness contract: both backends evaluate the same per-element
+expression ``rate * (prev + delay)`` and reduce with exact comparisons
+(min/max carry no rounding), propagating NaN exactly like the masked
+NumPy reductions -- so eligible cells are **bitwise identical** across
+backends, which ``tests/test_differential.py`` pins on hypothesis-drawn
+scenarios.
+
+Example
+-------
+>>> from repro.core.backend import resolve_kernel_ops
+>>> resolve_kernel_ops("numpy").name
+'numpy'
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "NumpyOps",
+    "NumbaOps",
+    "NUMPY_OPS",
+    "numba_available",
+    "resolve_kernel_ops",
+]
+
+#: Valid values for the ``kernel_backend`` knob (mirrors
+#: ``NEIGHBOR_BACKENDS`` for the neighbor-representation knob).
+KERNEL_BACKENDS = ("auto", "numpy", "numba")
+
+
+class NumpyOps:
+    """NumPy implementation of the kernel array surface (the default).
+
+    Stateless; one module-level instance (:data:`NUMPY_OPS`) is shared by
+    every simulation.  Each method is the exact expression the kernels
+    used before the backend seam existed, so routing through this object
+    changes nothing bitwise.
+    """
+
+    name = "numpy"
+
+    @staticmethod
+    def gather(prev: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Padded neighbor gather: ``prev[..., idx]``.
+
+        A 3-D ``idx`` carries a leading trial axis (``(S, W, max_deg)``)
+        and row ``s`` indexes only into trial ``s``'s plane of ``prev``.
+        """
+        if idx.ndim == 3:
+            flat = np.take_along_axis(
+                prev, idx.reshape(idx.shape[0], -1), axis=-1
+            )
+            return flat.reshape(idx.shape)
+        return prev[..., idx]
+
+    @staticmethod
+    def where(cond: np.ndarray, a, b) -> np.ndarray:
+        """Elementwise select (``np.where``)."""
+        return np.where(cond, a, b)
+
+    @staticmethod
+    def scatter(dest: np.ndarray, index, src) -> np.ndarray:
+        """Masked/indexed write ``dest[index] = src``; returns ``dest``."""
+        dest[index] = src
+        return dest
+
+    @staticmethod
+    def masked_min(vals: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Min over the last axis with invalid lanes filled ``+inf``."""
+        return np.where(valid, vals, np.inf).min(axis=-1)
+
+    @staticmethod
+    def masked_max(vals: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Max over the last axis with invalid lanes filled ``-inf``."""
+        return np.where(valid, vals, -np.inf).max(axis=-1)
+
+    @classmethod
+    def neighbor_min_max(
+        cls,
+        prev: np.ndarray,
+        nb_idx: np.ndarray,
+        nb_valid: np.ndarray,
+        nb_delay: np.ndarray,
+        rate: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense padded neighbor reduction: ``(H_min, H_max)``.
+
+        Gather + delay + rate product + masked min/max over the padded
+        lane axis, composed from the primitives above.
+        """
+        nb_arrival = cls.gather(prev, nb_idx) + nb_delay
+        h_nb = rate[..., None] * nb_arrival
+        return cls.masked_min(h_nb, nb_valid), cls.masked_max(h_nb, nb_valid)
+
+    @staticmethod
+    def segment_min_max(
+        prev: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        nb_delay: np.ndarray,
+        rate: np.ndarray,
+        owner: np.ndarray,
+        has_neighbors: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR neighbor reduction: per-vertex segment min/max.
+
+        ``np.minimum.reduceat`` / ``np.maximum.reduceat`` at the segment
+        starts; empty segments (degree-0 vertices, campaign epochs only)
+        get the dense identities ``+inf`` / ``-inf`` explicitly since
+        ``reduceat`` has no empty reduction.  Callers guarantee
+        ``nnz > 0``.
+        """
+        nnz = indices.shape[0]
+        nb_arrival = prev[..., indices] + nb_delay
+        h_nb = rate[..., owner] * nb_arrival
+        starts = np.minimum(indptr[:-1], nnz - 1)
+        h_min = np.minimum.reduceat(h_nb, starts, axis=-1)
+        h_max = np.maximum.reduceat(h_nb, starts, axis=-1)
+        if not has_neighbors.all():
+            h_min[..., ~has_neighbors] = np.inf
+            h_max[..., ~has_neighbors] = -np.inf
+        return h_min, h_max
+
+
+#: The shared default backend instance.
+NUMPY_OPS = NumpyOps()
+
+
+def _compile_numba_kernels():
+    """Import numba and compile the two fused reductions (lazy)."""
+    from numba import njit
+
+    @njit(cache=False)
+    def dense_min_max(prev, idx, valid, delay, rate, out_min, out_max):
+        num_trials, width, max_deg = idx.shape
+        for s in range(num_trials):
+            for v in range(width):
+                r = rate[s, v]
+                lo = np.inf
+                hi = -np.inf
+                bad = False
+                for j in range(max_deg):
+                    if not valid[s, v, j]:
+                        continue
+                    t = r * (prev[s, idx[s, v, j]] + delay[s, v, j])
+                    if np.isnan(t):
+                        bad = True
+                        break
+                    if t < lo:
+                        lo = t
+                    if t > hi:
+                        hi = t
+                if bad:
+                    out_min[s, v] = np.nan
+                    out_max[s, v] = np.nan
+                else:
+                    out_min[s, v] = lo
+                    out_max[s, v] = hi
+
+    @njit(cache=False)
+    def csr_min_max(prev, indices, indptr, delay, rate, out_min, out_max):
+        num_trials = prev.shape[0]
+        width = indptr.shape[0] - 1
+        for s in range(num_trials):
+            for v in range(width):
+                start = indptr[v]
+                stop = indptr[v + 1]
+                if stop == start:
+                    out_min[s, v] = np.inf
+                    out_max[s, v] = -np.inf
+                    continue
+                r = rate[s, v]
+                lo = np.inf
+                hi = -np.inf
+                bad = False
+                for e in range(start, stop):
+                    t = r * (prev[s, indices[e]] + delay[s, e])
+                    if np.isnan(t):
+                        bad = True
+                        break
+                    if t < lo:
+                        lo = t
+                    if t > hi:
+                        hi = t
+                if bad:
+                    out_min[s, v] = np.nan
+                    out_max[s, v] = np.nan
+                else:
+                    out_min[s, v] = lo
+                    out_max[s, v] = hi
+
+    return dense_min_max, csr_min_max
+
+
+class NumbaOps(NumpyOps):
+    """Numba-JIT backend: fused single-pass neighbor reductions.
+
+    Inherits the memory-bound primitives (``gather``/``where``/
+    ``scatter`` are plain array movement, where NumPy is already
+    optimal) and overrides the two reductions with ``@njit`` kernels
+    that skip the intermediate ``(..., W, max_deg)`` / ``(..., nnz)``
+    temporaries.  NaN propagation and comparison order match the masked
+    NumPy reductions exactly, so results are bitwise identical.
+
+    Compilation is deferred to the first kernel call; constructing the
+    object (or resolving ``kernel_backend="numba"``) only checks that
+    numba imports.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._kernels = None
+
+    def _ensure(self):
+        if self._kernels is None:
+            self._kernels = _compile_numba_kernels()
+        return self._kernels
+
+    @staticmethod
+    def _as_2d(arr: np.ndarray) -> np.ndarray:
+        return arr if arr.ndim == 2 else arr[None, :]
+
+    def neighbor_min_max(self, prev, nb_idx, nb_valid, nb_delay, rate):
+        """Fused dense gather + delay + rate + masked min/max."""
+        dense_min_max, _ = self._ensure()
+        squeeze = prev.ndim == 1
+        prev2 = self._as_2d(np.ascontiguousarray(prev, dtype=np.float64))
+        rate2 = self._as_2d(np.ascontiguousarray(rate, dtype=np.float64))
+        num_trials, width = prev2.shape
+        max_deg = nb_idx.shape[-1]
+        shape3 = (num_trials, width, max_deg)
+        idx3 = np.ascontiguousarray(
+            np.broadcast_to(nb_idx, shape3), dtype=np.int64
+        )
+        valid3 = np.ascontiguousarray(np.broadcast_to(nb_valid, shape3))
+        delay3 = np.ascontiguousarray(
+            np.broadcast_to(nb_delay, shape3), dtype=np.float64
+        )
+        out_min = np.empty((num_trials, width))
+        out_max = np.empty((num_trials, width))
+        dense_min_max(prev2, idx3, valid3, delay3, rate2, out_min, out_max)
+        if squeeze:
+            return out_min[0], out_max[0]
+        return out_min, out_max
+
+    def segment_min_max(
+        self, prev, indices, indptr, nb_delay, rate, owner, has_neighbors
+    ):
+        """Fused CSR segment reduction (``reduceat`` equivalent)."""
+        _, csr_min_max = self._ensure()
+        squeeze = prev.ndim == 1
+        prev2 = self._as_2d(np.ascontiguousarray(prev, dtype=np.float64))
+        rate2 = self._as_2d(np.ascontiguousarray(rate, dtype=np.float64))
+        num_trials = prev2.shape[0]
+        nnz = indices.shape[0]
+        delay2 = np.ascontiguousarray(
+            np.broadcast_to(nb_delay, (num_trials, nnz)), dtype=np.float64
+        )
+        width = indptr.shape[0] - 1
+        out_min = np.empty((num_trials, width))
+        out_max = np.empty((num_trials, width))
+        csr_min_max(
+            prev2,
+            np.ascontiguousarray(indices, dtype=np.int64),
+            np.ascontiguousarray(indptr, dtype=np.int64),
+            delay2,
+            rate2,
+            out_min,
+            out_max,
+        )
+        if squeeze:
+            return out_min[0], out_max[0]
+        return out_min, out_max
+
+
+_NUMBA_AVAILABLE: Optional[bool] = None
+_NUMBA_OPS: Optional[NumbaOps] = None
+
+
+def numba_available() -> bool:
+    """Whether the optional ``numba`` dependency imports (cached probe)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except Exception:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def resolve_kernel_ops(requested: str):
+    """Resolve a ``kernel_backend`` request to a backend instance.
+
+    ``"numpy"`` and ``"numba"`` are explicit; ``"auto"`` picks numba when
+    it is installed (the JIT kernels are bitwise-identical, so the choice
+    is purely a speed knob) and NumPy otherwise.  An explicit
+    ``"numba"`` without the package installed raises immediately with
+    the install hint instead of failing deep inside a run.
+    """
+    if requested not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+            f"got {requested!r}"
+        )
+    global _NUMBA_OPS
+    if requested == "numpy":
+        return NUMPY_OPS
+    if requested == "numba" and not numba_available():
+        raise RuntimeError(
+            "kernel_backend='numba' requested but numba is not installed; "
+            "install the optional extra (pip install "
+            "'gradient-trix-repro[numba]') or use kernel_backend='numpy' "
+            "or 'auto'"
+        )
+    if not numba_available():
+        return NUMPY_OPS
+    if _NUMBA_OPS is None:
+        _NUMBA_OPS = NumbaOps()
+    return _NUMBA_OPS

@@ -79,6 +79,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.backend import KERNEL_BACKENDS, NUMPY_OPS, resolve_kernel_ops
 from repro.core.correction import CorrectionPolicy, PAPER_POLICY, compute_correction
 from repro.core.layer0 import Layer0Schedule, PerfectLayer0
 from repro.delays.models import DelayModel, UniformDelayModel
@@ -135,39 +136,30 @@ def _resolve_backend(base, requested: str) -> str:
     return requested
 
 
-def _registers_step(
+def _correction_step(
     h_own: np.ndarray,
     h_min: np.ndarray,
     h_max: np.ndarray,
-    rate: np.ndarray,
-    static_eligible: np.ndarray,
     params: Parameters,
     policy: CorrectionPolicy,
-    simplified: bool,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Eligibility, correction, and pulse time from the filled registers.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized correction rule: ``compute_correction`` over a plane.
 
-    The back half of the layer step, shared verbatim by the dense padded
-    kernel (:func:`_layer_step_kernel`) and the CSR segment-reduce kernel
-    (:func:`_layer_step_kernel_csr`): once ``H_own``/``H_min``/``H_max``
-    are gathered, the two representations are indistinguishable -- every
-    operation here is elementwise over the ``(..., W)`` plane, so equal
-    registers produce bit-identical outputs regardless of how the
-    neighbor reduction was evaluated.
+    Mirrors :func:`repro.core.correction.compute_correction`
+    operation-for-operation on finite registers, so eligible kernel
+    lanes and batched-fallback cells compute bit-identical floats to the
+    scalar rule.  Lanes with ``H_max = +inf`` (last neighbor missing --
+    reachable only through the batched fallback) reproduce the scalar
+    ``raw_delta`` convention: their delta is ``-inf``, forcing the low
+    branch; the formulae below would produce NaN via ``inf - inf``
+    instead, so the convention is pinned explicitly.  Returns
+    ``(correction, branches)``.
     """
     kappa = params.kappa
     vartheta = params.vartheta
     kappa_stacked = np.ndim(kappa) > 0
 
     with np.errstate(invalid="ignore", divide="ignore"):
-        eligible = static_eligible & np.isfinite(h_own + h_min + h_max)
-        if not simplified:
-            eligible = (
-                eligible
-                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
-                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
-            )
-
         a = h_own - h_max
         b = h_own - h_min
         if policy.discretize:
@@ -198,6 +190,7 @@ def _registers_step(
                     delta = np.where(kappa == 0.0, b, delta)
         else:
             delta = h_own - (h_max + h_min) / 2.0 - kappa / 2.0
+        delta = np.where(np.isinf(h_max), -np.inf, delta)
 
         upper = vartheta * kappa
         damp = policy.jump_slack * kappa
@@ -217,6 +210,44 @@ def _registers_step(
             BRANCH_CODES["low"],
             np.where(high, BRANCH_CODES["high"], BRANCH_CODES["mid"]),
         ).astype(np.int8)
+    return correction, branches
+
+
+def _registers_step(
+    h_own: np.ndarray,
+    h_min: np.ndarray,
+    h_max: np.ndarray,
+    rate: np.ndarray,
+    static_eligible: np.ndarray,
+    params: Parameters,
+    policy: CorrectionPolicy,
+    simplified: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Eligibility, correction, and pulse time from the filled registers.
+
+    The back half of the layer step, shared verbatim by the dense padded
+    kernel (:func:`_layer_step_kernel`) and the CSR segment-reduce kernel
+    (:func:`_layer_step_kernel_csr`): once ``H_own``/``H_min``/``H_max``
+    are gathered, the two representations are indistinguishable -- every
+    operation here is elementwise over the ``(..., W)`` plane, so equal
+    registers produce bit-identical outputs regardless of how the
+    neighbor reduction was evaluated.
+    """
+    kappa = params.kappa
+    vartheta = params.vartheta
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        eligible = static_eligible & np.isfinite(h_own + h_min + h_max)
+        if not simplified:
+            eligible = (
+                eligible
+                & (h_own <= h_max + kappa / 2.0 + vartheta * kappa)
+                & (h_max <= 2.0 * h_own - h_min + 2.0 * kappa)
+            )
+
+        correction, branches = _correction_step(
+            h_own, h_min, h_max, params, policy
+        )
 
         exit_tau = np.maximum(h_own, h_max)
         target = h_own + params.Lambda - params.d - correction
@@ -238,6 +269,7 @@ def _layer_step_kernel(
     params: Parameters,
     policy: CorrectionPolicy,
     simplified: bool,
+    ops=NUMPY_OPS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One pulse of one layer for every cell of a ``(..., W)`` plane.
 
@@ -283,19 +315,11 @@ def _layer_step_kernel(
     and every received cell is eligible.
     """
     own_arrival = prev + own_delay
-    if nb_idx.ndim == 3:
-        # Per-trial padded gather: nb_idx is (S, W, max_deg) and row s
-        # indexes only into trial s's plane of prev (an (S, W) block).
-        gathered = np.take_along_axis(
-            prev, nb_idx.reshape(nb_idx.shape[0], -1), axis=-1
-        )
-        nb_arrival = gathered.reshape(nb_idx.shape) + nb_delay
-    else:
-        nb_arrival = prev[..., nb_idx] + nb_delay  # (..., W, max_deg)
     h_own = rate * own_arrival
-    h_nb = rate[..., None] * nb_arrival
-    h_min = np.where(nb_valid, h_nb, np.inf).min(axis=-1)
-    h_max = np.where(nb_valid, h_nb, -np.inf).max(axis=-1)
+    # Padded gather + delay + rate product + masked min/max, delegated to
+    # the selected backend (NumPy composition or a fused numba kernel;
+    # bitwise identical either way -- see :mod:`repro.core.backend`).
+    h_min, h_max = ops.neighbor_min_max(prev, nb_idx, nb_valid, nb_delay, rate)
 
     return _registers_step(
         h_own, h_min, h_max, rate, static_eligible, params, policy, simplified
@@ -315,6 +339,7 @@ def _layer_step_kernel_csr(
     params: Parameters,
     policy: CorrectionPolicy,
     simplified: bool,
+    ops=NUMPY_OPS,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """CSR variant of :func:`_layer_step_kernel`: reduce over edge segments.
 
@@ -347,14 +372,9 @@ def _layer_step_kernel_csr(
         h_min = np.full(lead + (indptr.shape[0] - 1,), np.inf)
         h_max = np.full(lead + (indptr.shape[0] - 1,), -np.inf)
     else:
-        nb_arrival = prev[..., indices] + nb_delay
-        h_nb = rate[..., owner] * nb_arrival
-        starts = np.minimum(indptr[:-1], nnz - 1)
-        h_min = np.minimum.reduceat(h_nb, starts, axis=-1)
-        h_max = np.maximum.reduceat(h_nb, starts, axis=-1)
-        if not has_neighbors.all():
-            h_min[..., ~has_neighbors] = np.inf
-            h_max[..., ~has_neighbors] = -np.inf
+        h_min, h_max = ops.segment_min_max(
+            prev, indices, indptr, nb_delay, rate, owner, has_neighbors
+        )
 
     return _registers_step(
         h_own, h_min, h_max, rate, static_eligible, params, policy, simplified
@@ -444,6 +464,12 @@ class FastResult:
             self.effective_corrections = None
             self.branches = None
         self.fault_sends: Dict[Tuple[NodeId, NodeId], Dict[int, Optional[float]]] = {}
+        # Batched-fallback accounting: how many kernel-rejected cells were
+        # resolved by :meth:`FastSimulation._run_fallback_batch`, and in
+        # how many batched passes (one per (pulse, layer) with any
+        # rejected cell).  Zero on fault-free runs.
+        self.fallback_cells = 0
+        self.fallback_batches = 0
         # Set by campaign runs (:class:`~repro.faults.campaign.ChaosCampaign`):
         # the campaign the run executed under and its compiled accounting
         # (``CampaignSchedule.summary()``) -- epoch count, boundary pulses,
@@ -586,6 +612,15 @@ class FastSimulation:
         large graphs whose padding wastes >= 2x, dense otherwise).
         Both backends are bit-identical on eligible cells; campaign
         runs re-resolve ``"auto"`` per epoch topology.
+    kernel_backend:
+        Array-op implementation behind the layer-step kernels:
+        ``"numpy"`` (default resolution), ``"numba"`` (fused JIT
+        reductions; requires the optional ``numba`` extra) or
+        ``"auto"`` (numba when installed, NumPy otherwise).  Backends
+        are bitwise identical on eligible cells -- the knob is purely a
+        speed choice; see :mod:`repro.core.backend`.  Resolution happens
+        eagerly, so an explicit ``"numba"`` without the package raises
+        here rather than mid-run.
     """
 
     def __init__(
@@ -601,6 +636,7 @@ class FastSimulation:
         vectorize: bool = True,
         campaign: Optional["ChaosCampaign"] = None,
         neighbor_backend: str = "auto",
+        kernel_backend: str = "auto",
     ) -> None:
         if algorithm not in ("full", "simplified"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -632,6 +668,11 @@ class FastSimulation:
         self.vectorize = vectorize
         self.campaign = campaign
         self.neighbor_backend = neighbor_backend
+        # Eager resolution: validates the name, raises the install hint
+        # for an explicit "numba" without the package, and picks the
+        # concrete ops object every kernel call will route through.
+        self.kernel_backend = kernel_backend
+        self._kernel_ops = resolve_kernel_ops(kernel_backend)
         self._rates = clock_rates
         # Per-layer rate arrays for the vectorized sweep, rebuilt every run
         # so in-place edits of a rates dict between runs are honored.  The
@@ -942,6 +983,7 @@ class FastSimulation:
                     self.params,
                     self.policy,
                     self.algorithm == "simplified",
+                    ops=self._kernel_ops,
                 )
             )
         else:
@@ -957,6 +999,7 @@ class FastSimulation:
                     self.params,
                     self.policy,
                     self.algorithm == "simplified",
+                    ops=self._kernel_ops,
                 )
             )
 
@@ -984,10 +1027,9 @@ class FastSimulation:
                     result, (int(v), layer), k, float(pulse_time[v])
                 )
         if not eligible.all():
-            for v in np.nonzero(~eligible)[0]:
-                self._run_node_and_record(
-                    result, (int(v), layer), k, row_index
-                )
+            self._run_fallback_batch(
+                result, k, layer, np.nonzero(~eligible)[0], row_index
+            )
 
     def _record_fault_sends(
         self, result: FastResult, node: NodeId, k: int, correct_time: float
@@ -1000,6 +1042,196 @@ class FastSimulation:
         for successor in self.graph.successors(node):
             send = behavior.send_time(context, successor)
             result.fault_sends.setdefault((node, successor), {})[k] = send
+
+    # ------------------------------------------------------------------
+    # Batched fallback
+    # ------------------------------------------------------------------
+    def _run_fallback_batch(
+        self,
+        result: FastResult,
+        k: int,
+        layer: int,
+        cells: np.ndarray,
+        row_index: Optional[int] = None,
+    ) -> None:
+        """Resolve all of one layer's kernel-rejected cells in one pass.
+
+        ``cells`` holds the vertex ids the vectorized kernel declared
+        ineligible -- fault-adjacent, missing-message, or early-exit
+        (via-``H_max`` / last-neighbor timeout) candidates.  Instead of
+        replaying each node's do-until loop in Python
+        (:meth:`_run_node_and_record`), the arrival events of *all* cells
+        are packed into one ``(n_cells, max_deg + 1)`` matrix (``+inf`` =
+        missing) sorted along the event axis, and the replay advances
+        event **positions**: at most ``max_deg + 1`` vectorized steps
+        regardless of how many cells fell back.  Register updates, the
+        exit test (:meth:`_exit_requirement`), and the correction
+        (:func:`_correction_step`) mirror the scalar replay
+        operation-for-operation, so outcomes are bit-identical to it --
+        the differential suite pins both against the event engine.
+
+        Only the event *gather* stays per-edge Python: send times may
+        come from the ``fault_sends`` dict and delays from arbitrary
+        delay models, exactly as in :meth:`_arrivals`.
+        """
+        rk = k if row_index is None else row_index
+        cells = np.asarray(cells, dtype=np.int64)
+        n = int(cells.size)
+        if n == 0:
+            return
+        result.fallback_batches += 1
+        result.fallback_cells += n
+        params = self.params
+        graph = self.graph
+        delay = self.delay_model.delay
+        prev_layer = layer - 1
+
+        # --- Gather: one +inf-padded event row per cell (col 0 = own
+        # copy, cols 1.. = neighbor copies; order is irrelevant after the
+        # sort below).  Mirrors :meth:`_arrivals` per edge.
+        preds = [graph.neighbor_predecessors((int(v), layer)) for v in cells]
+        num_nb = np.array([len(p) for p in preds], dtype=np.int64)
+        n_ev = int(num_nb.max()) + 1 if n else 1
+        ev_time = np.full((n, n_ev), np.inf)
+        ev_own = np.zeros((n, n_ev), dtype=bool)
+        rates = np.empty(n)
+        for i in range(n):
+            v = int(cells[i])
+            node = (v, layer)
+            rates[i] = self.rate(node, k)
+            own_pred = (v, prev_layer)
+            own_send = self._send_time(result, own_pred, node, k, row_index)
+            if own_send is not None:
+                ev_time[i, 0] = own_send + delay((own_pred, node), k)
+                ev_own[i, 0] = True
+            for j, pred in enumerate(preds[i], start=1):
+                send = self._send_time(result, pred, node, k, row_index)
+                if send is not None:
+                    ev_time[i, j] = send + delay((pred, node), k)
+
+        # Chronological event order in local time.  Rates are positive,
+        # so sorting real arrivals sorts local times; the secondary key
+        # puts own-copy events after neighbor events on ties, matching
+        # the scalar sort key ``(time, kind != "neighbor")``.
+        order = np.lexsort((ev_own, ev_time))
+        local = rates[:, None] * np.take_along_axis(ev_time, order, axis=1)
+        own_sorted = np.take_along_axis(ev_own, order, axis=1)
+        is_event = np.isfinite(local)
+
+        via_max = np.zeros(n, dtype=bool)
+        if self.algorithm == "simplified":
+            # Algorithm 1: wait for own + first + last neighbor
+            # unconditionally; no do-until exit to replay.
+            nb_event = is_event & ~own_sorted
+            own_ok = (ev_own & np.isfinite(ev_time)).any(axis=1)
+            complete = (
+                own_ok & (nb_event.sum(axis=1) >= num_nb) & (num_nb > 0)
+            )
+            with np.errstate(invalid="ignore"):
+                h_own = np.where(own_ok, rates * ev_time[:, 0], np.inf)
+                h_min = np.where(nb_event, local, np.inf).min(axis=1)
+                h_max = np.where(nb_event, local, -np.inf).max(axis=1)
+                exit_tau = np.maximum(h_own, h_max)
+            pulses = complete
+        else:
+            # Algorithm 3: replay the do-until loop for every cell at
+            # once, one event *position* per step.
+            kappa = params.kappa
+            vartheta = params.vartheta
+            h_own = np.full(n, np.inf)
+            h_min = np.full(n, np.inf)
+            h_max = np.full(n, np.inf)
+            received = np.zeros(n, dtype=np.int64)
+            exit_tau = np.zeros(n)
+            done = np.zeros(n, dtype=bool)
+            with np.errstate(invalid="ignore"):
+                for j in range(n_ev):
+                    live = is_event[:, j] & ~done
+                    if not live.any():
+                        # Events are sorted, +inf-padded to the right:
+                        # nothing live here means nothing live later.
+                        break
+                    t = local[:, j]
+                    upd_own = live & own_sorted[:, j]
+                    upd_nb = live & ~own_sorted[:, j]
+                    h_own = np.where(upd_own, np.minimum(h_own, t), h_own)
+                    received = received + upd_nb
+                    h_min = np.where(upd_nb & (received == 1), t, h_min)
+                    h_max = np.where(upd_nb & (received == num_nb), t, h_max)
+                    # _exit_requirement, vectorized: the earliest local
+                    # exit time given the registers known after event j.
+                    own_inf = np.isinf(h_own)
+                    max_inf = np.isinf(h_max)
+                    req_own = np.where(
+                        own_inf,
+                        h_max + kappa / 2.0 + vartheta * kappa,
+                        -np.inf,
+                    )
+                    req_nb = np.where(
+                        max_inf,
+                        2.0 * h_own - h_min + 2.0 * kappa,
+                        -np.inf,
+                    )
+                    required = np.maximum(t, np.maximum(req_own, req_nb))
+                    can_exit = (
+                        live & np.isfinite(h_min) & ~(own_inf & max_inf)
+                    )
+                    next_t = (
+                        local[:, j + 1]
+                        if j + 1 < n_ev
+                        else np.full(n, np.inf)
+                    )
+                    exits = can_exit & (required < next_t)
+                    exit_tau = np.where(exits, required, exit_tau)
+                    via_max = via_max | (exits & own_inf)
+                    done = done | exits
+            pulses = done
+
+        # --- Outcomes.  Cells that never exit stay "none" (NaN
+        # correction, no pulse); via-H_max cells anchor on H_max; the
+        # rest run the correction rule on their frozen registers.
+        correction = np.full(n, np.nan)
+        branch_codes = np.full(n, BRANCH_CODES["none"], dtype=np.int8)
+        normal = pulses & ~via_max
+        if normal.any():
+            corr, br = _correction_step(
+                h_own, h_min, h_max, params, self.policy
+            )
+            correction = np.where(normal, corr, correction)
+            branch_codes = np.where(normal, br, branch_codes)
+        with np.errstate(invalid="ignore"):
+            target = h_own + params.Lambda - params.d - correction
+            pulse_local = np.maximum(target, exit_tau)
+            if via_max.any():
+                vm_local = np.maximum(
+                    h_max + 1.5 * params.kappa + params.Lambda - params.d,
+                    exit_tau,
+                )
+                pulse_local = np.where(via_max, vm_local, pulse_local)
+                branch_codes = np.where(
+                    via_max, np.int8(BRANCH_CODES["via_max"]), branch_codes
+                )
+            pulse_time = np.where(pulses, pulse_local / rates, np.nan)
+            effective = (
+                h_own + params.Lambda - params.d - rates * pulse_time
+            )
+
+        result.corrections[rk, layer, cells] = correction
+        result.branches[rk, layer, cells] = branch_codes
+        eff_ok = pulses & np.isfinite(h_own)
+        result.effective_corrections[rk, layer, cells[eff_ok]] = effective[
+            eff_ok
+        ]
+        result.protocol_times[rk, layer, cells[pulses]] = pulse_time[pulses]
+        faulty = np.array(
+            [self.fault_plan.is_faulty((int(v), layer)) for v in cells]
+        )
+        ok = pulses & ~faulty
+        result.times[rk, layer, cells[ok]] = pulse_time[ok]
+        for i in np.nonzero(pulses & faulty)[0]:
+            self._record_fault_sends(
+                result, (int(cells[i]), layer), k, float(pulse_time[i])
+            )
 
     # ------------------------------------------------------------------
     # Reception times

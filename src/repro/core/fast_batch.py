@@ -131,6 +131,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import resolve_kernel_ops
 from repro.core.fast import (
     BRANCH_CODES,
     NEIGHBOR_BACKENDS,
@@ -287,6 +288,13 @@ class TrialStack:
         :func:`repro.core.fast._prefer_csr`) and the dense padded
         tensors otherwise; mixed-adjacency stacks always run dense
         (``compaction_stats["backend_fallback"]`` says why).
+    kernel_backend:
+        ``"auto"`` (default), ``"numpy"``, or ``"numba"``: the array-op
+        implementation behind the stacked layer-step kernels (see
+        :mod:`repro.core.backend`).  ``"auto"`` picks numba when the
+        optional extra is installed and NumPy otherwise; backends are
+        bitwise identical, so the knob is purely a speed choice.  The
+        resolved name lands in ``compaction_stats["kernel_backend"]``.
 
     Notes
     -----
@@ -327,6 +335,7 @@ class TrialStack:
         compact_depth: bool = True,
         compact_width: bool = True,
         neighbor_backend: str = "auto",
+        kernel_backend: str = "auto",
     ) -> None:
         reason = stack_compatibility(sims)
         if reason is not None:
@@ -340,6 +349,11 @@ class TrialStack:
         self.compact_depth = bool(compact_depth)
         self.compact_width = bool(compact_width)
         self.neighbor_backend = neighbor_backend
+        # Eager resolution, mirroring FastSimulation: validates the name
+        # and raises the install hint for an explicit "numba" without
+        # the package before any trial starts.
+        self.kernel_backend = kernel_backend
+        self._kernel_ops = resolve_kernel_ops(kernel_backend)
         #: Row/lane-step accounting of the last :meth:`run`; see the
         #: module docstring.  ``None`` until the first run completes.
         self.compaction_stats: Optional[Dict[str, object]] = None
@@ -876,6 +890,12 @@ class TrialStack:
             ),
             "neighbor_backend": backend,
             "backend_fallback": backend_fallback,
+            "kernel_backend": self._kernel_ops.name,
+            # Batched-fallback accounting: total kernel-rejected cells
+            # resolved by the masked replay, and in how many batched
+            # passes.  Zero on fault-free stacks.
+            "fallback_cells": sum(r.fallback_cells for r in results),
+            "fallback_batches": sum(r.fallback_batches for r in results),
         }
 
         if stream is not None:
@@ -1154,6 +1174,7 @@ class TrialStack:
                     structs["params"],
                     structs["policy"],
                     simplified,
+                    ops=self._kernel_ops,
                 )
             )
         else:
@@ -1169,6 +1190,7 @@ class TrialStack:
                     structs["params"],
                     structs["policy"],
                     simplified,
+                    ops=self._kernel_ops,
                 )
             )
 
@@ -1200,11 +1222,14 @@ class TrialStack:
             ~eligible if active is None else active[:, layer, :] & ~eligible
         )
         if fallback.any():
-            for si, vi in zip(*np.nonzero(fallback)):
+            # One batched resolver call per trial row with rejected
+            # cells (vertex ids mapped back through the lane set).
+            for si in np.nonzero(fallback.any(axis=1))[0]:
                 s = int(rows[si])
-                v = int(vi) if lanes is None else int(lanes[vi])
-                sims[s]._run_node_and_record(
-                    results[s], (v, layer), k, rk
+                vi = np.nonzero(fallback[si])[0]
+                sims[s]._run_fallback_batch(
+                    results[s], k, layer,
+                    vi if lanes is None else lanes[vi], rk,
                 )
 
     def _run_layer_stacked(
@@ -1293,6 +1318,7 @@ class TrialStack:
                     self._params,
                     self._policy,
                     sims[0].algorithm == "simplified",
+                    ops=self._kernel_ops,
                 )
             )
         else:
@@ -1308,6 +1334,7 @@ class TrialStack:
                     self._params,
                     self._policy,
                     sims[0].algorithm == "simplified",
+                    ops=self._kernel_ops,
                 )
             )
 
@@ -1353,7 +1380,8 @@ class TrialStack:
                     results[s], (int(v), layer), k, float(pulse_time[s, v])
                 )
         if fallback.any():
-            for s, v in zip(*np.nonzero(fallback)):
-                sims[s]._run_node_and_record(
-                    results[s], (int(v), layer), k, rk
+            for s in np.nonzero(fallback.any(axis=1))[0]:
+                s = int(s)
+                sims[s]._run_fallback_batch(
+                    results[s], k, layer, np.nonzero(fallback[s])[0], rk
                 )

@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import KERNEL_BACKENDS
 from repro.core.correction import CorrectionPolicy, PAPER_POLICY
 from repro.core.fast import (
     NEIGHBOR_BACKENDS,
@@ -125,7 +126,10 @@ class BatchTrial:
     label: str = ""
 
     def simulation(
-        self, vectorize: bool = True, neighbor_backend: str = "auto"
+        self,
+        vectorize: bool = True,
+        neighbor_backend: str = "auto",
+        kernel_backend: str = "auto",
     ) -> FastSimulation:
         """The :class:`FastSimulation` realizing this trial."""
         rates = (
@@ -145,6 +149,7 @@ class BatchTrial:
             vectorize=vectorize,
             campaign=self.campaign,
             neighbor_backend=neighbor_backend,
+            kernel_backend=kernel_backend,
         )
 
     @property
@@ -187,10 +192,16 @@ class BatchResult:
         :class:`~repro.core.fast_batch.TrialStack` run along *both* axes
         -- padded vs executed row steps with min/max depth (depth axis),
         padded vs executed lane steps with min/max width (width axis),
-        the ``axes`` list naming which compactions were live, and the
-        resolved ``neighbor_backend`` (``"dense"``/``"csr"``) -- so "how
-        much padding did compaction reclaim, and over which neighbor
-        representation?" is on record next to "which trials stacked".
+        the ``axes`` list naming which compactions were live, the
+        resolved ``neighbor_backend`` (``"dense"``/``"csr"``), the
+        resolved ``kernel_backend`` (``"numpy"``/``"numba"``), and the
+        batched-fallback accounting (``fallback_cells`` /
+        ``fallback_batches``: kernel-rejected cells resolved by the
+        masked replay of
+        :meth:`~repro.core.fast.FastSimulation._run_fallback_batch`,
+        never by per-cell Python loops) -- so "how much padding did
+        compaction reclaim, and over which backends?" is on record next
+        to "which trials stacked".
     fallback_reasons:
         ``{trial_index: reason}`` for every trial that did *not* run
         stacked -- the runner records why (``stack=False``,
@@ -604,6 +615,7 @@ def _run_shard(
     compact_depth: bool,
     compact_width: bool,
     neighbor_backend: str,
+    kernel_backend: str,
     store_times: bool,
     sketch_rank: Optional[int],
     potential_levels: Tuple[int, ...],
@@ -625,6 +637,7 @@ def _run_shard(
         compact_depth=compact_depth,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
         store_times=store_times,
         sketch_rank=sketch_rank,
         potential_levels=potential_levels,
@@ -693,6 +706,14 @@ class BatchRunner:
         ``"csr"`` on a padded mixed-geometry group runs those trials
         per-trial with CSR instead (recorded in ``fallback_reasons``) --
         the stacked CSR kernel needs one shared adjacency.
+    kernel_backend:
+        Array-op implementation behind the layer-step kernels:
+        ``"auto"`` (default; numba when the optional extra is installed,
+        NumPy otherwise), ``"numpy"``, or ``"numba"`` (raises a clear
+        error when numba is absent).  Backends are bitwise identical --
+        purely a speed knob; the resolved name is recorded per stack
+        group in ``compaction_stats["kernel_backend"]``.  See
+        :mod:`repro.core.backend`.
     executor:
         ``"serial"`` (default) or ``"process"``.  The process executor
         shards the trial list across worker processes -- worthwhile for
@@ -727,6 +748,7 @@ class BatchRunner:
         compact_depth: bool = True,
         compact_width: bool = True,
         neighbor_backend: str = "auto",
+        kernel_backend: str = "auto",
         executor: str = "serial",
         shards: Optional[int] = None,
         store_times: bool = True,
@@ -746,6 +768,11 @@ class BatchRunner:
                 f"unknown neighbor_backend {neighbor_backend!r}; "
                 f"use one of {NEIGHBOR_BACKENDS}"
             )
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel_backend {kernel_backend!r}; "
+                f"use one of {KERNEL_BACKENDS}"
+            )
         self.num_pulses = num_pulses
         self.vectorize = vectorize
         self.stack = stack
@@ -753,6 +780,7 @@ class BatchRunner:
         self.compact_depth = compact_depth
         self.compact_width = compact_width
         self.neighbor_backend = neighbor_backend
+        self.kernel_backend = kernel_backend
         self.executor = executor
         self.shards = shards
         self.store_times = store_times
@@ -789,6 +817,15 @@ class BatchRunner:
             results, groups, compaction, reasons = self._run_process(trials)
         else:
             results, groups, compaction, reasons = self._run_serial(trials)
+        # Stamp each distinct streamed accumulator with the batch index
+        # of its first trial so StreamedStats.merge orders shards by
+        # batch position rather than argument order.
+        seen_streams = set()
+        for i, result in enumerate(results):
+            streamed = getattr(result, "streamed", None)
+            if streamed is not None and id(streamed) not in seen_streams:
+                seen_streams.add(id(streamed))
+                streamed.trial_offset = i
         return BatchResult(
             trials,
             results,
@@ -821,6 +858,7 @@ class BatchRunner:
                 trial.simulation(
                     vectorize=self.vectorize,
                     neighbor_backend=self.neighbor_backend,
+                    kernel_backend=self.kernel_backend,
                 ).run(
                     self.num_pulses,
                     reducers=self._reducers(),
@@ -840,7 +878,9 @@ class BatchRunner:
         for indices in groups.values():
             sims = [
                 trials[i].simulation(
-                    vectorize=True, neighbor_backend=self.neighbor_backend
+                    vectorize=True,
+                    neighbor_backend=self.neighbor_backend,
+                    kernel_backend=self.kernel_backend,
                 )
                 for i in indices
             ]
@@ -871,6 +911,7 @@ class BatchRunner:
                 compact_depth=self.compact_depth,
                 compact_width=self.compact_width,
                 neighbor_backend=self.neighbor_backend,
+                kernel_backend=self.kernel_backend,
             )
             stacked = stack.run(
                 self.num_pulses,
@@ -914,6 +955,7 @@ class BatchRunner:
                     self.compact_depth,
                     self.compact_width,
                     self.neighbor_backend,
+                    self.kernel_backend,
                     self.store_times,
                     self.sketch_rank,
                     self.potential_levels,

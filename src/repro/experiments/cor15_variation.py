@@ -104,6 +104,7 @@ def run_cor15(
     stack_mixed_geometry: bool = True,
     compact_width: bool = True,
     neighbor_backend: str = "auto",
+    kernel_backend: str = "auto",
     store_times: bool = False,
 ) -> Cor15Result:
     """Run with per-pulse delay/rate drift and a mutating fault.
@@ -156,6 +157,7 @@ def run_cor15(
         stack_mixed_geometry=stack_mixed_geometry,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
         store_times=store_times,
     ).run(
         [

@@ -118,6 +118,7 @@ def run_table1(
     compact_depth: bool = True,
     compact_width: bool = True,
     neighbor_backend: str = "auto",
+    kernel_backend: str = "auto",
     store_times: bool = False,
 ) -> Table1Result:
     """Measure the Table 1 comparison over a diameter sweep.
@@ -158,6 +159,7 @@ def run_table1(
         compact_depth=compact_depth,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
         store_times=store_times,
     )
     all_configs = {

@@ -85,6 +85,7 @@ def run_thm11(
     compact_depth: bool = True,
     compact_width: bool = True,
     neighbor_backend: str = "auto",
+    kernel_backend: str = "auto",
     store_times: bool = False,
 ) -> Thm11Result:
     """Measure the fault-free local skew sweep.
@@ -126,6 +127,7 @@ def run_thm11(
         compact_depth=compact_depth,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
         store_times=store_times,
     )
     trials = []

@@ -114,6 +114,7 @@ def run_thm13(
     compact_depth: bool = True,
     compact_width: bool = True,
     neighbor_backend: str = "auto",
+    kernel_backend: str = "auto",
     store_times: bool = False,
 ) -> Thm13Result:
     """Sample random fault plans and measure the skew distribution.
@@ -182,6 +183,7 @@ def run_thm13(
         compact_depth=compact_depth,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
         store_times=store_times,
     ).run(batch_trials)
     skews = batch.max_local_skews()

@@ -156,6 +156,7 @@ def run_thm16(
     shards: Optional[int] = None,
     compact_width: bool = True,
     neighbor_backend: str = "auto",
+    kernel_backend: str = "auto",
 ) -> Thm16Result:
     """Measure self-stabilization under a sustained churn campaign.
 
@@ -193,7 +194,8 @@ def run_thm16(
         graph must match the standard config's, i.e. the replicated line
         of the given ``diameter``).
     executor, shards:
-        Forwarded to :class:`~repro.experiments.batch.BatchRunner`.
+        Forwarded to :class:`~repro.experiments.batch.BatchRunner`, as
+        are ``neighbor_backend`` and ``kernel_backend``.
 
     Returns
     -------
@@ -241,6 +243,7 @@ def run_thm16(
         shards=shards,
         compact_width=compact_width,
         neighbor_backend=neighbor_backend,
+        kernel_backend=kernel_backend,
     )
     batch = runner.run(trials)
 

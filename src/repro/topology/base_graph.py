@@ -135,6 +135,8 @@ class BaseGraph:
         if self._edge_index_arrays is None:
             left = np.array([e[0] for e in self._edges], dtype=np.int64)
             right = np.array([e[1] for e in self._edges], dtype=np.int64)
+            for arr in (left, right):
+                arr.setflags(write=False)
             self._edge_index_arrays = (left, right)
         return self._edge_index_arrays
 
@@ -155,6 +157,8 @@ class BaseGraph:
             for v, nbs in enumerate(self._adjacency):
                 idx[v, : len(nbs)] = nbs
                 valid[v, : len(nbs)] = True
+            for arr in (idx, valid):
+                arr.setflags(write=False)
             self._neighbor_index_arrays = (idx, valid)
         return self._neighbor_index_arrays
 

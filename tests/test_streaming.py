@@ -190,6 +190,71 @@ class TestShardsAndPickling:
             assert clone.streamed_row == result.streamed_row
             assert clone.max_local_skew() == result.max_local_skew()
 
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_every_shard_count_matches_serial_bitwise(self, shards):
+        """Shard-count regression: 1, 2, and 3 shards all reassemble to
+        the serial trial order (uneven splits included -- 8 trials over
+        3 shards)."""
+        serial = BatchRunner(num_pulses=NUM_PULSES, store_times=False).run(
+            _trials(8)
+        )
+        sharded = BatchRunner(
+            num_pulses=NUM_PULSES,
+            store_times=False,
+            executor="process",
+            shards=shards,
+        ).run(_trials(8))
+        np.testing.assert_array_equal(
+            serial.max_local_skews(), sharded.max_local_skews()
+        )
+        np.testing.assert_array_equal(
+            serial.global_skews(), sharded.global_skews()
+        )
+
+    def test_merge_orders_shards_by_trial_offset(self):
+        """Satellite regression: ``merge`` follows batch position, not
+        argument order.
+
+        Shard futures can resolve in any order; a consumer folding
+        ``later.merge(earlier)`` used to concatenate the trial axis
+        backwards, silently misattributing every per-trial statistic.
+        """
+        batch = BatchRunner(
+            num_pulses=NUM_PULSES,
+            store_times=False,
+            executor="process",
+            shards=2,
+        ).run(_trials(6))
+        streams = []
+        for result in batch.results:
+            if not any(result.streamed is s for s in streams):
+                streams.append(result.streamed)
+        assert len(streams) >= 2
+        offsets = [s.trial_offset for s in streams]
+        assert offsets == sorted(offsets) and len(set(offsets)) == len(
+            offsets
+        )
+        a, b = streams[0], streams[1]
+        forward = a.merge(b)
+        backward = b.merge(a)
+        assert forward.trial_offset == backward.trial_offset == min(
+            a.trial_offset, b.trial_offset
+        )
+        for row in range(forward.layout.num_trials):
+            np.testing.assert_array_equal(
+                forward["local"].trial_values(row),
+                backward["local"].trial_values(row),
+            )
+            assert forward["corrections"].trial_stats(row) == backward[
+                "corrections"
+            ].trial_stats(row)
+        # Row 0 of the merged stream is the batch's first trial either
+        # way (the lower-offset shard leads).
+        np.testing.assert_array_equal(
+            backward["local"].trial_values(0),
+            a["local"].trial_values(0),
+        )
+
     def test_streamed_stats_merge_concatenates_trials(self):
         a = _simulation(6, seed=0).run(NUM_PULSES, store_times=False)
         b = _simulation(8, seed=1).run(NUM_PULSES, store_times=False)
