@@ -35,6 +35,7 @@ Example
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
@@ -303,15 +304,48 @@ _NUMBA_AVAILABLE: Optional[bool] = None
 _NUMBA_OPS: Optional[NumbaOps] = None
 
 
-def numba_available() -> bool:
-    """Whether the optional ``numba`` dependency imports (cached probe)."""
+def _probe_numba() -> bool:
+    """Import ``numba``; the patch point for the probe tests.
+
+    Raises whatever the import raises -- :func:`numba_available` decides
+    which failures mean "absent" (``ImportError``) and which deserve a
+    warning (anything else: a broken install, an incompatible NumPy,
+    a real numba bug surfacing at import time).
+    """
+    import numba  # noqa: F401
+
+    return True
+
+
+def numba_available(refresh: bool = False) -> bool:
+    """Whether the optional ``numba`` dependency imports (cached probe).
+
+    Only ``ImportError`` means "not installed".  Any *other* exception
+    from the import is unexpected -- the old behavior swallowed it and
+    cached ``False`` for the life of the process, silently downgrading
+    ``kernel_backend="auto"`` to NumPy; now it emits a
+    ``RuntimeWarning`` naming the failure (once, at probe time) before
+    recording the backend as unavailable.  ``refresh=True`` drops the
+    cached verdict and re-probes -- the hook the backend tests use, and
+    the escape hatch after fixing a transient import failure.
+    """
     global _NUMBA_AVAILABLE
+    if refresh:
+        _NUMBA_AVAILABLE = None
     if _NUMBA_AVAILABLE is None:
         try:
-            import numba  # noqa: F401
-
-            _NUMBA_AVAILABLE = True
-        except Exception:
+            _NUMBA_AVAILABLE = bool(_probe_numba())
+        except ImportError:
+            _NUMBA_AVAILABLE = False
+        except Exception as exc:
+            warnings.warn(
+                "numba probe failed with an unexpected error "
+                f"({type(exc).__name__}: {exc}); treating numba as "
+                "unavailable for this process -- fix the install and call "
+                "numba_available(refresh=True) to re-probe",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             _NUMBA_AVAILABLE = False
     return _NUMBA_AVAILABLE
 

@@ -3,10 +3,20 @@
 Regenerates the paper's artifacts outside of pytest.  Without arguments it
 runs everything; with arguments it runs the named experiment ids (T1, F1,
 F23, F5, TH1, TH2, TH3, TH4, C15, TH6, LA1, P1, AB1, AB2).
+
+Service mode (see ``docs/service.md``):
+
+* ``--serve [--host H --port P ...]`` boots the simulation service
+  (delegates to ``python -m repro.service``).
+* ``--submit SPEC --url URL [--pulses N]`` submits a trial grid to a
+  running service and prints the returned statistics.  ``SPEC`` is a
+  known grid id (``TH1``, ``TH3``, ``C15``, ``T1``) or an inline JSON
+  grid spec such as ``'{"kind": "thm11", "diameters": [4, 8]}'``.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
@@ -48,6 +58,47 @@ RUNNERS = {
 }
 
 
+#: Grid specs for ``--submit`` by experiment id, at bench scale --
+#: the same grids the corresponding drivers batch.
+SERVICE_GRIDS = {
+    "TH1": {"kind": "thm11", "diameters": [4, 8, 16], "seeds": [0, 1]},
+    "TH3": {"kind": "thm13", "diameter": 16, "num_trials": 10},
+    "C15": {"kind": "cor15", "diameter": 16, "seed": 0},
+    "T1": {"kind": "table1", "diameters": [8, 16], "seeds": [0, 1]},
+}
+
+
+def _submit(args: list[str]) -> int:
+    """Handle ``--submit SPEC --url URL [--pulses N]``."""
+    from repro.service.client import ServiceClient
+
+    def option(name: str, default: str | None = None) -> str | None:
+        if name not in args:
+            return default
+        return args[args.index(name) + 1]
+
+    spec = option("--submit")
+    url = option("--url", "http://127.0.0.1:8631")
+    num_pulses = int(option("--pulses", "4"))
+    if spec in SERVICE_GRIDS:
+        grid = dict(SERVICE_GRIDS[spec])
+    else:
+        grid = json.loads(spec)
+    client = ServiceClient(url)
+    accepted = client.submit(grid, num_pulses=num_pulses)
+    job_id = accepted["id"]
+    print(f"submitted {job_id} (key={accepted['key']})")
+    job = client.wait(job_id)
+    if job["status"] != "done":
+        print(f"job failed: {job['error']}", file=sys.stderr)
+        return 1
+    result = client.result(job_id)
+    hit = "hit" if job["cache_hit"] else "miss"
+    print(f"done (cache {hit}); max local skews per trial:")
+    print(json.dumps(result["max_local_skews"]))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the requested experiments; returns a process exit code."""
     args = sys.argv[1:] if argv is None else argv
@@ -55,6 +106,12 @@ def main(argv: list[str] | None = None) -> int:
         print(__doc__)
         print("available ids:", " ".join(RUNNERS))
         return 0
+    if "--serve" in args:
+        from repro.service.__main__ import main as serve_main
+
+        return serve_main([a for a in args if a != "--serve"])
+    if "--submit" in args:
+        return _submit(args)
     ids = [a.upper() for a in args] or list(RUNNERS)
     unknown = [i for i in ids if i not in RUNNERS]
     if unknown:

@@ -54,9 +54,10 @@ from __future__ import annotations
 
 import enum
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -163,6 +164,34 @@ def _rows_max(values: np.ndarray, empty: float = 0.0) -> np.ndarray:
     return masked_max(values, axis=-1, empty=empty)
 
 
+#: Progress hook: called with one dict per executor event (see
+#: :meth:`BatchRunner.run`).
+ShardCallback = Callable[[Dict], None]
+
+
+def _emit(on_shard: Optional[ShardCallback], event: Dict) -> None:
+    """Deliver one progress event to the optional shard callback."""
+    if on_shard is not None:
+        on_shard(dict(event))
+
+
+def _shard_bounds(num_trials: int, shards: int) -> List[int]:
+    """Balanced shard boundaries: ``shards + 1`` offsets into the trial list.
+
+    ``np.array_split`` semantics -- the first ``num_trials % shards``
+    shards take one extra trial, so shard sizes never differ by more
+    than one.  (The previous ``np.linspace(...).astype(int)`` bounds
+    *truncated* instead of rounding, which for some ``(trials, shards)``
+    combinations produced maximally uneven chunks -- e.g. a first shard
+    carrying twice its share while another ran nearly empty.)
+    """
+    base, extra = divmod(num_trials, shards)
+    bounds = [0]
+    for i in range(shards):
+        bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    return bounds
+
+
 class BatchResult:
     """Stacked outcome of a multi-trial sweep.
 
@@ -209,7 +238,11 @@ class BatchResult:
         an explicit ``neighbor_backend="csr"`` request that a padded
         mixed-geometry group cannot honor stacked, in which case the
         trial runs per-trial *with* CSR) instead of silently dropping to
-        the slow path.
+        the slow path.  Executor-level events land here too: when a
+        process shard's worker dies (``BrokenProcessPool``) and the
+        shard is re-run in-parent, every trial of that shard carries the
+        retry note, appended to any stacking reason it already had --
+        so a trial may be *both* in a stack group and annotated here.
     campaign_stats:
         ``{trial_index: churn_stats}`` for every trial that ran under a
         :class:`~repro.faults.campaign.ChaosCampaign` -- the compiled
@@ -804,19 +837,36 @@ class BatchRunner:
             potential_levels=self.potential_levels,
         )
 
-    def run(self, trials: Sequence[BatchTrial]) -> BatchResult:
+    def run(
+        self,
+        trials: Sequence[BatchTrial],
+        on_shard: Optional[ShardCallback] = None,
+    ) -> BatchResult:
         """Execute every trial and return the stacked :class:`BatchResult`.
 
         Mixed grid shapes are welcome: the result matrices NaN-pad past
         each trial's own window (see :class:`BatchResult`).
+
+        ``on_shard`` is an optional progress hook (used by the
+        :mod:`repro.service` job runner to stream per-shard progress):
+        it receives one dict per executor event -- a ``plan`` event
+        naming the shard count and sizes, then one ``shard`` event per
+        shard with ``status`` ``"done"``, ``"lost"`` (its worker died;
+        see :meth:`_run_process`), or ``"retried"`` (the in-parent
+        re-run of a lost shard completed).  The serial executor emits
+        the same shape with a single shard.
         """
         trials = list(trials)
         if not trials:
             raise ValueError("need at least one trial")
         if self.executor == "process":
-            results, groups, compaction, reasons = self._run_process(trials)
+            results, groups, compaction, reasons = self._run_process(
+                trials, on_shard
+            )
         else:
-            results, groups, compaction, reasons = self._run_serial(trials)
+            results, groups, compaction, reasons = self._run_single(
+                trials, on_shard
+            )
         # Stamp each distinct streamed accumulator with the batch index
         # of its first trial so StreamedStats.merge orders shards by
         # batch position rather than argument order.
@@ -923,8 +973,46 @@ class BatchRunner:
             compaction.append(dict(stack.compaction_stats))
         return results, stack_groups, compaction, reasons  # type: ignore[return-value]
 
+    def _run_single(
+        self,
+        trials: List[BatchTrial],
+        on_shard: Optional[ShardCallback] = None,
+    ) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
+        """Serial execution wrapped in the one-shard progress protocol."""
+        _emit(on_shard, {"event": "plan", "shards": 1, "sizes": [len(trials)]})
+        out = self._run_serial(trials)
+        _emit(
+            on_shard,
+            {
+                "event": "shard",
+                "shard": 0,
+                "offset": 0,
+                "trials": len(trials),
+                "status": "done",
+            },
+        )
+        return out
+
+    def _shard_args(self) -> Tuple:
+        """The :func:`_run_shard` knob tuple after the trial chunk."""
+        return (
+            self.num_pulses,
+            self.vectorize,
+            self.stack,
+            self.stack_mixed_geometry,
+            self.compact_depth,
+            self.compact_width,
+            self.neighbor_backend,
+            self.kernel_backend,
+            self.store_times,
+            self.sketch_rank,
+            self.potential_levels,
+        )
+
     def _run_process(
-        self, trials: List[BatchTrial]
+        self,
+        trials: List[BatchTrial],
+        on_shard: Optional[ShardCallback] = None,
     ) -> Tuple[List[FastResult], List[List[int]], List[Dict], Dict[int, str]]:
         """Shard the trial list across worker processes, preserving order.
 
@@ -932,44 +1020,84 @@ class BatchRunner:
         reassembled result list is independent of the shard count.  Stack
         groups, compaction stats, and fallback reasons come back
         shard-local and are re-offset to batch indices here.
+
+        Failure isolation: a worker killed mid-shard (OOM, signal,
+        ``os._exit``) used to raise ``BrokenProcessPool`` out of the bare
+        ``future.result()`` loop and discard every *completed* shard
+        with it.  Now each future is collected individually as it
+        completes; shards whose future broke are re-run serially
+        in-parent after the pool exits (deterministic trials make the
+        re-run bitwise identical), and the event is recorded in
+        :attr:`BatchResult.fallback_reasons` for every trial of the lost
+        shard.  Exceptions *raised by a trial itself* still propagate
+        unchanged -- only executor-level worker death is retried.
         """
         shards = self.shards or os.cpu_count() or 1
         shards = max(1, min(shards, len(trials)))
         if shards == 1:
-            return self._run_serial(trials)
-        bounds = np.linspace(0, len(trials), shards + 1).astype(int)
+            return self._run_single(trials, on_shard)
+        bounds = _shard_bounds(len(trials), shards)
         chunks = [
-            (int(bounds[i]), trials[bounds[i]: bounds[i + 1]])
+            (bounds[i], trials[bounds[i]: bounds[i + 1]])
             for i in range(shards)
-            if bounds[i] < bounds[i + 1]
         ]
+        _emit(
+            on_shard,
+            {
+                "event": "plan",
+                "shards": len(chunks),
+                "sizes": [len(chunk) for _, chunk in chunks],
+            },
+        )
+        shard_outputs: List[Optional[Tuple]] = [None] * len(chunks)
+        lost: Dict[int, str] = {}
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
-                pool.submit(
-                    _run_shard,
-                    chunk,
-                    self.num_pulses,
-                    self.vectorize,
-                    self.stack,
-                    self.stack_mixed_geometry,
-                    self.compact_depth,
-                    self.compact_width,
-                    self.neighbor_backend,
-                    self.kernel_backend,
-                    self.store_times,
-                    self.sketch_rank,
-                    self.potential_levels,
-                )
-                for _, chunk in chunks
-            ]
-            shard_outputs = [future.result() for future in futures]
+            futures = {
+                pool.submit(_run_shard, chunk, *self._shard_args()): j
+                for j, (_, chunk) in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                j = futures[future]
+                offset, chunk = chunks[j]
+                event = {
+                    "event": "shard",
+                    "shard": j,
+                    "offset": offset,
+                    "trials": len(chunk),
+                }
+                try:
+                    shard_outputs[j] = future.result()
+                except BrokenProcessPool as exc:
+                    # One dead worker breaks the whole pool, so every
+                    # still-pending shard lands here too; each is
+                    # re-run below.  Completed shards keep their
+                    # results -- nothing is discarded.
+                    lost[j] = f"{type(exc).__name__}: {exc}" if str(exc) else (
+                        type(exc).__name__
+                    )
+                    _emit(on_shard, {**event, "status": "lost"})
+                else:
+                    _emit(on_shard, {**event, "status": "done"})
+        for j in sorted(lost):
+            offset, chunk = chunks[j]
+            shard_outputs[j] = _run_shard(chunk, *self._shard_args())
+            _emit(
+                on_shard,
+                {
+                    "event": "shard",
+                    "shard": j,
+                    "offset": offset,
+                    "trials": len(chunk),
+                    "status": "retried",
+                },
+            )
         results: List[FastResult] = []
         stack_groups: List[List[int]] = []
         compaction: List[Dict] = []
         reasons: Dict[int, str] = {}
-        for (offset, _), (
+        for j, ((offset, chunk), (
             shard_results, shard_groups, shard_compaction, shard_reasons
-        ) in zip(chunks, shard_outputs):
+        )) in enumerate(zip(chunks, shard_outputs)):
             results.extend(shard_results)
             stack_groups.extend(
                 [offset + i for i in group] for group in shard_groups
@@ -978,6 +1106,16 @@ class BatchRunner:
             reasons.update(
                 {offset + i: why for i, why in shard_reasons.items()}
             )
+            if j in lost:
+                note = (
+                    "process shard re-run in-parent after a worker death "
+                    f"({lost[j]})"
+                )
+                for i in range(len(chunk)):
+                    prior = reasons.get(offset + i)
+                    reasons[offset + i] = (
+                        f"{prior}; {note}" if prior else note
+                    )
         return results, stack_groups, compaction, reasons
 
     # ------------------------------------------------------------------

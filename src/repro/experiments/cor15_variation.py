@@ -32,7 +32,7 @@ from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 from repro.topology.layered import NodeId
 
-__all__ = ["Cor15Result", "run_cor15"]
+__all__ = ["Cor15Result", "run_cor15", "cor15_trial"]
 
 
 @dataclass
@@ -94,6 +94,59 @@ class _DriftingRates:
         return rates[pulse]
 
 
+def cor15_trial(
+    diameter: int = 16,
+    num_pulses: int = 6,
+    seed: int = 0,
+) -> tuple[BatchTrial, Dict[str, float]]:
+    """The sustained-variation trial :func:`run_cor15` batches.
+
+    Returns ``(trial, drift)`` where ``drift`` records the per-pulse
+    ``delay_step`` (ii), ``rate_step`` (iii), and the fault plan's
+    ``behavior_changes`` (i).  Factored out of the driver so other
+    callers -- the :mod:`repro.service` job runner in particular --
+    can submit the same cell.
+    """
+    config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
+    params = config.params
+    graph = config.graph
+    n = config.num_grid_nodes
+    log_d = math.log2(max(diameter, 2))
+
+    delay_step = params.u * log_d / math.sqrt(n)
+    rate_step = (params.vartheta - 1.0) * log_d / math.sqrt(n)
+
+    delays = VaryingDelayModel(
+        params.d, params.u, max_step=delay_step, seed=seed + 31
+    )
+    rates = _DriftingRates(params.vartheta, rate_step, seed + 47)
+
+    mutable = MutableFault(
+        [
+            (0, AdversarialLateFault(25.0)),
+            (2, CrashFault()),
+            (4, AdversarialEarlyFault(25.0)),
+        ]
+    )
+    plan = FaultPlan.from_nodes(
+        {(graph.width // 2, max(1, graph.num_layers // 2)): mutable}
+    )
+    changes = sum(plan.count_behavior_changes(k) for k in range(num_pulses))
+    trial = BatchTrial(
+        config=config,
+        fault_plan=plan,
+        delay_model=delays,
+        clock_rates=rates,
+        label="sustained-variation",
+    )
+    drift = {
+        "delay_step": delay_step,
+        "rate_step": rate_step,
+        "behavior_changes": changes,
+    }
+    return trial, drift
+
+
 def run_cor15(
     diameter: int = 16,
     num_pulses: int = 6,
@@ -123,32 +176,8 @@ def run_cor15(
     >>> result.within_envelope
     True
     """
-    config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
-    params = config.params
-    graph = config.graph
-    n = config.num_grid_nodes
-    log_d = math.log2(max(diameter, 2))
-
-    delay_step = params.u * log_d / math.sqrt(n)
-    rate_step = (params.vartheta - 1.0) * log_d / math.sqrt(n)
-
-    delays = VaryingDelayModel(
-        params.d, params.u, max_step=delay_step, seed=seed + 31
-    )
-    rates = _DriftingRates(params.vartheta, rate_step, seed + 47)
-
-    kappa = params.kappa
-    mutable = MutableFault(
-        [
-            (0, AdversarialLateFault(25.0)),
-            (2, CrashFault()),
-            (4, AdversarialEarlyFault(25.0)),
-        ]
-    )
-    plan = FaultPlan.from_nodes(
-        {(graph.width // 2, max(1, graph.num_layers // 2)): mutable}
-    )
-    changes = sum(plan.count_behavior_changes(k) for k in range(num_pulses))
+    trial, drift = cor15_trial(diameter, num_pulses=num_pulses, seed=seed)
+    params = trial.config.params
 
     batch = BatchRunner(
         num_pulses=num_pulses,
@@ -159,22 +188,12 @@ def run_cor15(
         neighbor_backend=neighbor_backend,
         kernel_backend=kernel_backend,
         store_times=store_times,
-    ).run(
-        [
-            BatchTrial(
-                config=config,
-                fault_plan=plan,
-                delay_model=delays,
-                clock_rates=rates,
-                label="sustained-variation",
-            )
-        ]
-    )
+    ).run([trial])
     return Cor15Result(
         diameter=diameter,
-        delay_step=delay_step,
-        rate_step=rate_step,
+        delay_step=drift["delay_step"],
+        rate_step=drift["rate_step"],
         overall=float(batch.overall_skews()[0]),
         envelope=envelope_factor * params.local_skew_bound(diameter),
-        behavior_changes=changes,
+        behavior_changes=int(drift["behavior_changes"]),
     )

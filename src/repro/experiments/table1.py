@@ -26,7 +26,7 @@ from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 from repro.params import Parameters
 
-__all__ = ["Table1Row", "Table1Result", "run_table1"]
+__all__ = ["Table1Row", "Table1Result", "run_table1", "table1_trials"]
 
 
 def _rightward_or_straight(edge) -> bool:
@@ -106,6 +106,56 @@ class Table1Result:
         )
 
 
+def _adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
+    """The Figure 1 worst case: rightward/straight edges slow, leftward fast."""
+    return AdversarialSplitDelays(p.d, p.u, _rightward_or_straight)
+
+
+def table1_trials(
+    diameters: Sequence[int],
+    seeds: Sequence[int],
+    num_pulses: int = 4,
+    configs: Optional[Dict[int, List]] = None,
+) -> Tuple[List[BatchTrial], Dict[Tuple[int, str], List[int]]]:
+    """The Gradient TRIX cells of the Table 1 sweep, as one trial grid.
+
+    Random-delay (``"normal"``) and Figure-1 adversarial-delay
+    (``"worst"``) trials for every diameter, interleaved into one
+    mixed-geometry batch.  Returns ``(trials, cells)`` where ``cells``
+    maps ``(diameter, kind)`` to the trial indices of that cell.
+    ``configs`` optionally supplies pre-built per-diameter
+    :class:`ExperimentConfig` lists (the driver reuses its own for the
+    baselines); by default they are built from ``seeds``.  Factored out
+    of :func:`run_table1` so other callers -- the :mod:`repro.service`
+    job runner in particular -- can submit the same sweep.
+    """
+    if configs is None:
+        configs = {
+            diameter: [
+                standard_config(diameter, seed=seed, num_pulses=num_pulses)
+                for seed in seeds
+            ]
+            for diameter in diameters
+        }
+    trials: List[BatchTrial] = []
+    cells: Dict[Tuple[int, str], List[int]] = {}
+    for diameter in diameters:
+        for kind, factory in (
+            ("normal", lambda c: BatchTrial(config=c)),
+            (
+                "worst",
+                lambda c: BatchTrial(
+                    config=c, delay_model=_adversarial_delays(c.params)
+                ),
+            ),
+        ):
+            cell = cells.setdefault((diameter, kind), [])
+            for config in configs[diameter]:
+                cell.append(len(trials))
+                trials.append(factory(config))
+    return trials, cells
+
+
 def run_table1(
     diameters: Sequence[int] = (8, 16, 32, 48),
     seeds: Sequence[int] = (0, 1),
@@ -145,11 +195,6 @@ def run_table1(
     >>> sorted({row.method for row in result.rows})
     ['gradient-trix', 'hex', 'hex+crash', 'naive-trix']
     """
-    def adversarial_delays(p: Parameters) -> AdversarialSplitDelays:
-        # The Figure 1 worst case: rightward/straight edges at maximum
-        # delay, leftward edges at minimum.
-        return AdversarialSplitDelays(p.d, p.u, _rightward_or_straight)
-
     rows: List[Table1Row] = []
     runner = BatchRunner(
         num_pulses=num_pulses,
@@ -169,24 +214,9 @@ def run_table1(
         ]
         for diameter in diameters
     }
-    # Gradient TRIX cells: random-delay and adversarial-delay trials for
-    # every diameter, interleaved into one mixed-geometry batch.
-    gt_trials: List[BatchTrial] = []
-    gt_cells: Dict[Tuple[int, str], List[int]] = {}
-    for diameter in diameters:
-        for kind, factory in (
-            ("normal", lambda c: BatchTrial(config=c)),
-            (
-                "worst",
-                lambda c: BatchTrial(
-                    config=c, delay_model=adversarial_delays(c.params)
-                ),
-            ),
-        ):
-            cell = gt_cells.setdefault((diameter, kind), [])
-            for config in all_configs[diameter]:
-                cell.append(len(gt_trials))
-                gt_trials.append(factory(config))
+    gt_trials, gt_cells = table1_trials(
+        diameters, seeds, num_pulses=num_pulses, configs=all_configs
+    )
     gt_batch = runner.run(gt_trials)
     gt_max_local = gt_batch.max_local_skews()
     gt_max_global = gt_batch.global_skews()
@@ -215,7 +245,7 @@ def run_table1(
             trix_w = NaiveTrixSimulation(
                 config.graph,
                 p,
-                delay_model=adversarial_delays(p),
+                delay_model=_adversarial_delays(p),
                 clock_rates=config.clock_rates,
             ).run(num_pulses)
             trix_worst = max(trix_worst, trix_w.max_local_skew())

@@ -31,7 +31,13 @@ from repro.faults.model import (
 from repro.experiments.batch import BatchRunner, BatchTrial
 from repro.experiments.common import standard_config
 
-__all__ = ["Thm13Trial", "Thm13Result", "run_thm13", "mixed_behavior_factory"]
+__all__ = [
+    "Thm13Trial",
+    "Thm13Result",
+    "run_thm13",
+    "thm13_trials",
+    "mixed_behavior_factory",
+]
 
 
 def mixed_behavior_factory(node, rng: np.random.Generator):
@@ -101,6 +107,54 @@ class Thm13Result:
         )
 
 
+def thm13_trials(
+    diameter: int,
+    seeds: Sequence[int],
+    num_pulses: int = 3,
+    probability_scale: float = 1.0,
+) -> tuple[List[BatchTrial], List[int]]:
+    """The Theorem 1.3 trial grid: fault-free reference + sampled plans.
+
+    Returns ``(trials, k_faulties)``: trial 0 is the fault-free
+    reference, trial ``i + 1`` runs the plan sampled for ``seeds[i]``
+    at ``p = probability_scale * n^{-0.6}``, and ``k_faulties[i]`` is
+    the plan's max-``k``-faulty locality statistic.  This is the grid
+    :func:`run_thm13` batches, factored out so other callers -- the
+    :mod:`repro.service` job runner in particular -- can submit the
+    same sweep.
+    """
+    config0 = standard_config(diameter)
+    n = config0.num_grid_nodes
+    probability = probability_scale * n**-0.6
+    batch_trials: List[BatchTrial] = [
+        BatchTrial(config=config0, label="fault-free")
+    ]
+    k_faulties: List[int] = []
+    for seed in seeds:
+        config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
+        rng = config.rng(salt=13)
+        plan = FaultPlan.random(
+            config.graph,
+            probability,
+            rng_or_seed=rng,
+            behavior_factory=mixed_behavior_factory,
+            enforce_one_local=True,
+        )
+        delta = max(2, int(round(n ** (1.0 / 12.0))))
+        k_faulties.append(
+            max(
+                max_k_faulty_over_layer(
+                    config.graph, plan, config.graph.num_layers - 1, delta
+                ),
+                0,
+            )
+        )
+        batch_trials.append(
+            BatchTrial(config=config, fault_plan=plan, label=f"seed={seed}")
+        )
+    return batch_trials, k_faulties
+
+
 def run_thm13(
     diameter: int = 16,
     num_trials: int = 20,
@@ -148,32 +202,12 @@ def run_thm13(
     if seeds is None:
         seeds = range(num_trials)
     seeds = list(seeds)
-    batch_trials: List[BatchTrial] = [
-        BatchTrial(config=config0, label="fault-free")
-    ]
-    k_faulties: List[int] = []
-    for seed in seeds:
-        config = standard_config(diameter, seed=seed, num_pulses=num_pulses)
-        rng = config.rng(salt=13)
-        plan = FaultPlan.random(
-            config.graph,
-            probability,
-            rng_or_seed=rng,
-            behavior_factory=mixed_behavior_factory,
-            enforce_one_local=True,
-        )
-        delta = max(2, int(round(n ** (1.0 / 12.0))))
-        k_faulties.append(
-            max(
-                max_k_faulty_over_layer(
-                    config.graph, plan, config.graph.num_layers - 1, delta
-                ),
-                0,
-            )
-        )
-        batch_trials.append(
-            BatchTrial(config=config, fault_plan=plan, label=f"seed={seed}")
-        )
+    batch_trials, k_faulties = thm13_trials(
+        diameter,
+        seeds,
+        num_pulses=num_pulses,
+        probability_scale=probability_scale,
+    )
 
     batch = BatchRunner(
         num_pulses=num_pulses,

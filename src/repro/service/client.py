@@ -1,0 +1,111 @@
+"""Thin urllib client for the service API (submit / poll / fetch).
+
+Mirrors the endpoints of :mod:`repro.service.api` one method each; the
+experiment CLI's ``--submit`` path and the test suite both drive the
+server through it.  JSON floats round-trip ``float.__repr__`` exactly,
+so statistics fetched here compare bitwise against an in-process
+``BatchRunner.run``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self, path: str, body: Optional[Dict] = None, raw: bool = False
+    ):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as rsp:
+                blob = rsp.read()
+        except urllib.error.HTTPError as exc:
+            blob = exc.read()
+            detail = blob.decode(errors="replace")
+            raise RuntimeError(
+                f"{request.method} {path} -> HTTP {exc.code}: {detail}"
+            ) from exc
+        return blob if raw else json.loads(blob.decode())
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> Dict:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def workers(self) -> List[int]:
+        """``GET /workers`` -> live worker-process PIDs."""
+        return self._request("/workers")["pids"]
+
+    def store_stats(self) -> Dict:
+        """``GET /store`` -> dedup-store counters."""
+        return self._request("/store")
+
+    def submit(
+        self,
+        grid: Dict,
+        num_pulses: int = 4,
+        runner: Optional[Dict] = None,
+    ) -> Dict:
+        """``POST /jobs`` -> the accepted job's status view."""
+        submission: Dict = {"grid": grid, "num_pulses": num_pulses}
+        if runner is not None:
+            submission["runner"] = runner
+        return self._request("/jobs", body=submission)
+
+    def jobs(self) -> List[Dict]:
+        """``GET /jobs`` -> all job status views."""
+        return self._request("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict:
+        """``GET /jobs/<id>``."""
+        return self._request(f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0, wait: float = 0.0) -> Dict:
+        """``GET /jobs/<id>/events`` (long-polls when ``wait > 0``)."""
+        return self._request(
+            f"/jobs/{job_id}/events?since={int(since)}&wait={float(wait)}"
+        )
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> Dict:
+        """Long-poll the event stream until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        since = 0
+        while True:
+            view = self.events(job_id, since=since, wait=2.0)
+            since = view["next"]
+            if view["status"] in ("done", "failed"):
+                return self.job(job_id)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['status']!r} after {timeout}s"
+                )
+
+    def result(self, job_id: str) -> Dict:
+        """``GET /jobs/<id>/result`` -> the statistics payload (JSON)."""
+        return self._request(f"/jobs/{job_id}/result")["result"]
+
+    def result_pickle(self, job_id: str) -> Dict:
+        """``GET /jobs/<id>/result?format=pickle`` -> unpickled payload."""
+        blob = self._request(f"/jobs/{job_id}/result?format=pickle", raw=True)
+        return pickle.loads(blob)

@@ -119,6 +119,73 @@ class TestResolution:
         assert sim._kernel_ops is NUMPY_OPS
 
 
+class TestAvailabilityProbe:
+    """``numba_available`` failure classification (the probe bugfix).
+
+    The old probe swallowed *every* exception and cached ``False`` for
+    the life of the process -- a transient non-import failure silently
+    downgraded ``kernel_backend="auto"`` to NumPy forever.  Now only
+    ``ImportError`` means "absent"; anything else warns, and
+    ``refresh=True`` re-probes.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_probe_cache(self):
+        yield
+        # Re-probe with the real import so later tests see the truth.
+        numba_available(refresh=True)
+
+    def test_import_error_means_absent_without_warning(self, monkeypatch):
+        def absent():
+            raise ImportError("No module named 'numba'")
+
+        monkeypatch.setattr(backend_mod, "_probe_numba", absent)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert numba_available(refresh=True) is False
+
+    def test_unexpected_failure_warns_and_reports_absent(self, monkeypatch):
+        def broken():
+            raise RuntimeError("llvmlite ABI mismatch")
+
+        monkeypatch.setattr(backend_mod, "_probe_numba", broken)
+        with pytest.warns(RuntimeWarning, match="llvmlite ABI mismatch"):
+            assert numba_available(refresh=True) is False
+
+    def test_unexpected_failure_warns_once_not_per_call(self, monkeypatch):
+        def broken():
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(backend_mod, "_probe_numba", broken)
+        with pytest.warns(RuntimeWarning):
+            numba_available(refresh=True)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            # Cached verdict: no re-probe, no second warning.
+            _warnings.simplefilter("error")
+            assert numba_available() is False
+
+    def test_refresh_recovers_after_transient_failure(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return True
+
+        monkeypatch.setattr(backend_mod, "_probe_numba", flaky)
+        with pytest.warns(RuntimeWarning, match="transient"):
+            assert numba_available(refresh=True) is False
+        # Without refresh the bad verdict sticks...
+        assert numba_available() is False
+        # ...and refresh=True is the documented escape hatch.
+        assert numba_available(refresh=True) is True
+
+
 # ----------------------------------------------------------------------
 # NumPy ops contract
 # ----------------------------------------------------------------------

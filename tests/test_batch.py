@@ -1,7 +1,12 @@
 """Tests for repro.experiments.batch: the batched multi-trial runner."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.analysis.skew import (
     global_skew,
@@ -10,7 +15,7 @@ from repro.analysis.skew import (
     overall_skew,
 )
 from repro.delays.models import UniformDelayModel
-from repro.experiments.batch import BatchRunner, BatchTrial
+from repro.experiments.batch import BatchRunner, BatchTrial, _shard_bounds
 from repro.experiments.common import standard_config
 from repro.experiments.thm13_random_faults import mixed_behavior_factory
 from repro.faults import CrashFault, FaultPlan
@@ -316,3 +321,123 @@ class TestSparseBatchOptions:
             ):
                 assert key in stats, (key, stats)
         assert sharded.fallback_reasons == serial.fallback_reasons
+
+
+class TestShardBounds:
+    """Balanced shard boundaries (the linspace-truncation bugfix)."""
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_sizes_differ_by_at_most_one(self, num_trials, shards):
+        shards = min(shards, num_trials)
+        bounds = _shard_bounds(num_trials, shards)
+        assert bounds[0] == 0
+        assert bounds[-1] == num_trials
+        assert len(bounds) == shards + 1
+        sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_matches_array_split_semantics(self, num_trials, shards):
+        shards = min(shards, num_trials)
+        bounds = _shard_bounds(num_trials, shards)
+        sizes = [b - a for a, b in zip(bounds, bounds[1:])]
+        reference = [
+            len(chunk)
+            for chunk in np.array_split(np.arange(num_trials), shards)
+        ]
+        assert sizes == reference
+
+    def test_results_bitwise_invariant_in_shard_count(self):
+        trials = BatchRunner.seed_sweep(4, range(5), num_pulses=NUM_PULSES)
+        serial = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        for shards in (2, 3, 5):
+            sharded = BatchRunner(
+                num_pulses=NUM_PULSES, executor="process", shards=shards
+            ).run(trials)
+            np.testing.assert_array_equal(serial.times, sharded.times)
+            np.testing.assert_array_equal(
+                serial.faulty_masks, sharded.faulty_masks
+            )
+
+
+class WorkerKiller:
+    """Rate provider that kills the hosting process -- workers only.
+
+    ``multiprocessing.parent_process()`` is ``None`` in the main
+    process, so the in-parent shard retry (and the serial reference run)
+    sees plain rate-1.0 clocks while any pool worker touching the trial
+    dies with an uncatchable ``os._exit``, which is exactly the
+    OOM-killer / SIGKILL shape ``BrokenProcessPool`` wraps.
+    """
+
+    def __call__(self, node, pulse):
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+        return 1.0
+
+
+class TestWorkerDeathRetry:
+    """A dead worker must not discard completed shards (batch.py bugfix)."""
+
+    def _trials(self):
+        trials = [
+            BatchTrial(config=standard_config(4, seed=s)) for s in range(4)
+        ]
+        trials.append(
+            BatchTrial(
+                config=standard_config(4, seed=99),
+                clock_rates=WorkerKiller(),
+                label="killer",
+            )
+        )
+        return trials
+
+    def test_batch_completes_and_matches_serial(self):
+        trials = self._trials()
+        serial = BatchRunner(num_pulses=NUM_PULSES).run(trials)
+        events = []
+        sharded = BatchRunner(
+            num_pulses=NUM_PULSES, executor="process", shards=2
+        ).run(trials, on_shard=events.append)
+        np.testing.assert_array_equal(serial.times, sharded.times)
+        statuses = [e["status"] for e in events if e["event"] == "shard"]
+        assert "lost" in statuses
+        assert statuses.count("retried") == statuses.count("lost")
+        # Every trial of a lost shard carries the retry note.
+        assert any(
+            "worker death" in why
+            for why in sharded.fallback_reasons.values()
+        )
+
+    def test_lost_shards_annotated_without_clobbering(self):
+        trials = self._trials()
+        sharded = BatchRunner(
+            num_pulses=NUM_PULSES, executor="process", shards=2
+        ).run(trials)
+        bounds = _shard_bounds(len(trials), 2)
+        # The killer sits in the last shard; at minimum that whole
+        # shard must be annotated (the pool may break before the other
+        # shard lands, in which case it is lost-and-retried too).
+        for i in range(bounds[-2], bounds[-1]):
+            assert "worker death" in sharded.fallback_reasons[i]
+
+    def test_healthy_process_runs_emit_no_retry_events(self):
+        trials = BatchRunner.seed_sweep(4, range(4), num_pulses=NUM_PULSES)
+        events = []
+        BatchRunner(
+            num_pulses=NUM_PULSES, executor="process", shards=2
+        ).run(trials, on_shard=events.append)
+        assert events[0]["event"] == "plan"
+        assert events[0]["shards"] == 2
+        assert sum(events[0]["sizes"]) == len(trials)
+        statuses = [e["status"] for e in events if e["event"] == "shard"]
+        assert statuses == ["done", "done"]
+
+    def test_serial_runs_speak_the_same_progress_protocol(self):
+        trials = BatchRunner.seed_sweep(4, range(2), num_pulses=NUM_PULSES)
+        events = []
+        BatchRunner(num_pulses=NUM_PULSES).run(trials, on_shard=events.append)
+        assert [e["event"] for e in events] == ["plan", "shard"]
+        assert events[0]["sizes"] == [len(trials)]
+        assert events[1]["status"] == "done"
